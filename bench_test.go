@@ -1,0 +1,418 @@
+// Benchmarks regenerating the measurements of EXPERIMENTS.md: one
+// benchmark family per experiment (E1-E9) plus the ablations called out in
+// DESIGN.md. The paper is pure theory and reports no absolute numbers; the
+// quantities of interest are the cost *shapes* (how work scales with r, w,
+// process count, and protocol size), which these benchmarks expose via
+// sub-benchmark sweeps and ReportMetric.
+package waitfree_test
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"waitfree/internal/consensus"
+	"waitfree/internal/core"
+	"waitfree/internal/explore"
+	"waitfree/internal/hierarchy"
+	"waitfree/internal/multivalue"
+	"waitfree/internal/onebit"
+	"waitfree/internal/program"
+	"waitfree/internal/registers"
+	"waitfree/internal/synth"
+	"waitfree/internal/types"
+	"waitfree/internal/universal"
+)
+
+// ---- E1: Section 4.3 one-use bit array ----
+
+// BenchmarkOneUseBitArray measures one write+read pair on the direct
+// construction across array sizes: cost grows linearly in r (writes flip a
+// whole row) — the paper's r*(w+1) space bound made visible as time.
+func BenchmarkOneUseBitArray(b *testing.B) {
+	for _, size := range []int{4, 16, 64, 256} {
+		b.Run(fmt.Sprintf("r=w=%d", size), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				bit := onebit.NewBoundedBit(size, size, 0)
+				for k := 0; k < size; k++ {
+					if err := bit.Write(1 - k%2); err != nil {
+						b.Fatal(err)
+					}
+					if _, err := bit.Read(); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if i == 0 {
+					b.ReportMetric(float64(bit.Bits()), "one-use-bits")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBitArrayScan is the DESIGN.md ablation: the paper's resuming
+// row scan versus a reader that rescans from row 1 on every read.
+func BenchmarkBitArrayScan(b *testing.B) {
+	const size = 128
+	variants := map[string]func() *onebit.BoundedBit{
+		"resume":  func() *onebit.BoundedBit { return onebit.NewBoundedBit(size, size, 0) },
+		"restart": func() *onebit.BoundedBit { return onebit.NewBoundedBitRestartScan(size, size, 0) },
+	}
+	for name, mk := range variants {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				bit := mk()
+				for k := 0; k < size; k++ {
+					if err := bit.Write(1 - k%2); err != nil {
+						b.Fatal(err)
+					}
+					if _, err := bit.Read(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// ---- E2: Section 4.1 register chain ----
+
+// BenchmarkRegisterChain measures single operations at each layer of the
+// chain, bottom to top: costs grow with fan-out (readers/writers), the
+// price of wait-freedom from weak cells.
+func BenchmarkRegisterChain(b *testing.B) {
+	b.Run("atomic-bit", func(b *testing.B) {
+		bit := registers.NewAtomicBit(0)
+		for i := 0; i < b.N; i++ {
+			bit.Write(i & 1)
+			_ = bit.Read()
+		}
+	})
+	b.Run("lamport-mrbit/readers=8", func(b *testing.B) {
+		reg := registers.NewLamportMRBit(8, 0, func(init int) registers.Bit { return registers.NewAtomicBit(init) })
+		for i := 0; i < b.N; i++ {
+			reg.Write(i & 1)
+			_ = reg.Read(i % 8)
+		}
+	})
+	for _, k := range []int{4, 16} {
+		b.Run(fmt.Sprintf("vidyasankar/k=%d", k), func(b *testing.B) {
+			reg := registers.NewVidyasankar(k, 0, func(init int) registers.Bit { return registers.NewAtomicBit(init) })
+			for i := 0; i < b.N; i++ {
+				reg.Write(i % k)
+				_ = reg.Read()
+			}
+		})
+	}
+	for _, readers := range []int{2, 8} {
+		b.Run(fmt.Sprintf("mrsw-atomic/readers=%d", readers), func(b *testing.B) {
+			reg := registers.NewMRSWAtomic(readers, 0)
+			for i := 0; i < b.N; i++ {
+				reg.Write(i)
+				_ = reg.Read(i % readers)
+			}
+		})
+	}
+	for _, parties := range []int{2, 4} {
+		b.Run(fmt.Sprintf("mrmw-atomic/w=r=%d", parties), func(b *testing.B) {
+			reg := registers.NewMRMWAtomic(parties, parties, 0)
+			for i := 0; i < b.N; i++ {
+				reg.Write(i%parties, i)
+				_ = reg.Read(i % parties)
+			}
+		})
+	}
+}
+
+// ---- E3: Section 4.2 access-bound computation ----
+
+// BenchmarkAccessBound measures the execution-tree exploration that yields
+// the bound D, per protocol; nodes/op exposes tree size.
+func BenchmarkAccessBound(b *testing.B) {
+	protos := map[string]func() *program.Implementation{
+		"tas2":   consensus.TAS2,
+		"queue2": consensus.Queue2,
+		"faa2":   consensus.FAA2,
+		"cas3":   func() *program.Implementation { return consensus.CAS(3) },
+		"cas4":   func() *program.Implementation { return consensus.CAS(4) },
+	}
+	for name, mk := range protos {
+		b.Run(name, func(b *testing.B) {
+			var nodes int64
+			for i := 0; i < b.N; i++ {
+				report, err := explore.Consensus(mk(), explore.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				nodes = report.Nodes
+			}
+			b.ReportMetric(float64(nodes), "nodes")
+		})
+	}
+}
+
+// BenchmarkExplorerMemoization is the DESIGN.md ablation: configuration
+// deduplication on versus off, on a protocol with heavy path convergence.
+func BenchmarkExplorerMemoization(b *testing.B) {
+	for _, memo := range []bool{false, true} {
+		b.Run(fmt.Sprintf("memoize=%v", memo), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := explore.Consensus(consensus.CAS(4), explore.Options{Memoize: memo}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---- E4: Section 5.1/5.2 witness search ----
+
+func BenchmarkWitnessSearch(b *testing.B) {
+	cases := []struct {
+		name  string
+		spec  *types.Spec
+		inits []types.State
+	}{
+		{"tas", types.TestAndSet(2), []types.State{0}},
+		{"queue", types.Queue(2, 2, 3), []types.State{types.QueueState()}},
+		{"cas", types.CompareSwap(2, 3), []types.State{2}},
+		{"latch-flag(k=2)", types.LatchFlag(), []types.State{types.LatchFlagInit()}},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := hierarchy.FindPair(tc.spec, tc.inits, 3); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---- E5: Section 5.3 one-use bit from consensus ----
+
+func BenchmarkOneUseFromConsensus(b *testing.B) {
+	im, err := onebit.FromConsensusImplementation(consensus.CAS(2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("solo-read", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			states := im.InitialStates()
+			if _, err := program.Solo(im, states, 0, types.Read, nil, 100); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("explore-all-interleavings", func(b *testing.B) {
+		scripts := [][]types.Invocation{{types.Read}, {types.Write(1)}}
+		for i := 0; i < b.N; i++ {
+			res, err := explore.Run(im, scripts, explore.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Violation != nil {
+				b.Fatal(res.Violation)
+			}
+		}
+	})
+}
+
+// BenchmarkOneUseRealizations is the DESIGN.md ablation: the three ways to
+// realize a one-use bit — Section 5.1/5.2 witnesses of different sequence
+// lengths and the Section 5.3 consensus route — compared by solo read
+// cost (object accesses are the explorer's step currency; here: time).
+func BenchmarkOneUseRealizations(b *testing.B) {
+	mk := map[string]func() (*program.Implementation, error){
+		"5.2-tas-k1": func() (*program.Implementation, error) {
+			im, _, err := onebit.FromType(types.TestAndSet(2), []types.State{0}, 3)
+			return im, err
+		},
+		"5.2-latchflag-k2": func() (*program.Implementation, error) {
+			im, _, err := onebit.FromType(types.LatchFlag(), []types.State{types.LatchFlagInit()}, 3)
+			return im, err
+		},
+		"5.3-cas-consensus": func() (*program.Implementation, error) {
+			return onebit.FromConsensusImplementation(consensus.CAS(2))
+		},
+	}
+	for name, make := range mk {
+		b.Run(name, func(b *testing.B) {
+			im, err := make()
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				states := im.InitialStates()
+				if _, err := program.Solo(im, states, 0, types.Read, nil, 100); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---- E6: Theorem 5 register elimination ----
+
+func BenchmarkEliminate(b *testing.B) {
+	protos := map[string]func() *program.Implementation{
+		"tas2":   consensus.TAS2,
+		"queue2": consensus.Queue2,
+		"faa2":   consensus.FAA2,
+		"swap2":  consensus.Swap2,
+	}
+	for name, mkP := range protos {
+		b.Run(name, func(b *testing.B) {
+			var outDepth int
+			for i := 0; i < b.N; i++ {
+				report, err := core.EliminateRegisters(mkP(), explore.Options{}, 3)
+				if err != nil {
+					b.Fatal(err)
+				}
+				outDepth = report.OutputReport.Depth
+			}
+			b.ReportMetric(float64(outDepth), "outputD")
+		})
+	}
+}
+
+// ---- E7: hierarchy equality across the zoo ----
+
+func BenchmarkHierarchyEquality(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := hierarchy.ClassifyZoo(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- E8: nondeterministic adversary exploration ----
+
+func BenchmarkNondetAdversary(b *testing.B) {
+	var nodes int64
+	for i := 0; i < b.N; i++ {
+		report, err := explore.Consensus(consensus.WeakLeader2(), explore.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !report.OK() {
+			b.Fatal(report.Summary())
+		}
+		nodes = report.Nodes
+	}
+	b.ReportMetric(float64(nodes), "nodes")
+}
+
+// ---- E9: universal construction ----
+
+func BenchmarkUniversal(b *testing.B) {
+	for _, procs := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("counter/procs=%d", procs), func(b *testing.B) {
+			// b.N operations total, split across procs goroutines, each
+			// owning one process slot of the construction.
+			each := b.N/procs + 1
+			u, err := universal.New(types.FetchAdd(procs), 0, procs, each*procs+procs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for p := 0; p < procs; p++ {
+				wg.Add(1)
+				go func(p int) {
+					defer wg.Done()
+					for i := 0; i < each; i++ {
+						if _, err := u.Apply(p, types.Inv(types.OpFAA, 1)); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}(p)
+			}
+			wg.Wait()
+		})
+	}
+}
+
+// ---- E10: multi-valued consensus ----
+
+// BenchmarkMultiValued measures the bit-by-bit construction's exploration
+// cost as k grows (roots scale as k^2, machine length as log k).
+func BenchmarkMultiValued(b *testing.B) {
+	for _, k := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("check/k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				report, err := explore.ConsensusK(multivalue.FromBinary(2, k), k, explore.Options{Memoize: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !report.OK() {
+					b.Fatal(report.Summary())
+				}
+			}
+		})
+	}
+	b.Run("eliminate/k=4", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.EliminateRegisters(multivalue.FromBinarySRSW(4), explore.Options{Memoize: true}, 3); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkValency measures the FLP valency analysis per protocol.
+func BenchmarkValency(b *testing.B) {
+	protos := map[string]func() *program.Implementation{
+		"tas2": consensus.TAS2,
+		"cas3": func() *program.Implementation { return consensus.CAS(3) },
+	}
+	for name, mk := range protos {
+		b.Run(name, func(b *testing.B) {
+			im := mk()
+			proposals := make([]int, im.Procs)
+			for p := range proposals {
+				proposals[p] = p % 2
+			}
+			for i := 0; i < b.N; i++ {
+				if _, err := explore.Valency(im, proposals, explore.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---- E11: protocol synthesis ----
+
+// BenchmarkSynth measures bounded synthesis: positive cases (protocol
+// found) are fast; negative cases pay for exhausting the space.
+func BenchmarkSynth(b *testing.B) {
+	b.Run("find/cas", func(b *testing.B) {
+		objects := []synth.Object{{Name: "cas", Spec: types.CompareSwap(2, 3), Init: 2}}
+		for i := 0; i < b.N; i++ {
+			if _, _, err := synth.Search(objects, synth.Options{Depth: 1, Symmetric: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("find/augqueue", func(b *testing.B) {
+		objects := []synth.Object{{Name: "aq", Spec: types.AugmentedQueue(2, 2, 2), Init: types.QueueState()}}
+		for i := 0; i < b.N; i++ {
+			if _, _, err := synth.Search(objects, synth.Options{Depth: 2, Symmetric: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("refute/tas-alone", func(b *testing.B) {
+		objects := []synth.Object{{Name: "tas", Spec: types.TestAndSet(2), Init: 0}}
+		for i := 0; i < b.N; i++ {
+			_, _, err := synth.Search(objects, synth.Options{Depth: 3, Budget: 1e9})
+			if !errors.Is(err, synth.ErrNoProtocol) {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,17 @@
+package main
+
+import "testing"
+
+func TestRunAllProtocols(t *testing.T) {
+	for _, name := range []string{"tas", "queue", "stack", "faa", "swap", "noisysticky"} {
+		if err := run([]string{"-protocol", name}); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if err := run([]string{"-protocol", "ghost"}); err == nil {
+		t.Fatal("unknown protocol accepted")
+	}
+}

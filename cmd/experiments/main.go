@@ -1,0 +1,69 @@
+// Command experiments runs the full reproduction harness (E1-E9, indexed
+// in DESIGN.md) and prints the result tables as Markdown — the body of
+// EXPERIMENTS.md. The exit status is nonzero if any experiment's verdict
+// is FAILED.
+//
+// Usage:
+//
+//	experiments [-only E4]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"waitfree/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	only := fs.String("only", "", "run a single experiment (E1..E9)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var tables []*experiments.Table
+	var err error
+	if *only != "" {
+		runners := map[string]func() (*experiments.Table, error){
+			"E1": experiments.E1, "E2": experiments.E2, "E3": experiments.E3,
+			"E4": experiments.E4, "E5": experiments.E5, "E6": experiments.E6,
+			"E7": experiments.E7, "E8": experiments.E8, "E9": experiments.E9, "E10": experiments.E10, "E11": experiments.E11,
+		}
+		runner, ok := runners[*only]
+		if !ok {
+			return fmt.Errorf("unknown experiment %q", *only)
+		}
+		table, err := runner()
+		if err != nil {
+			return err
+		}
+		tables = []*experiments.Table{table}
+	} else {
+		tables, err = experiments.All()
+		if err != nil {
+			return err
+		}
+	}
+
+	fmt.Print(experiments.Markdown(tables))
+	failed := 0
+	for _, t := range tables {
+		if t.Failed() {
+			failed++
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d experiments FAILED", failed, len(tables))
+	}
+	fmt.Printf("All %d experiments reproduced.\n", len(tables))
+	return nil
+}

@@ -1,0 +1,15 @@
+package main
+
+import "testing"
+
+func TestRunSingleExperiment(t *testing.T) {
+	if err := run([]string{"-only", "E4"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-only", "E99"}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}

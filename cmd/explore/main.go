@@ -1,0 +1,142 @@
+// Command explore model-checks one of the built-in consensus protocols:
+// it enumerates every execution tree (one per proposal vector, as in
+// Section 4.2 of Bazzi-Neiger-Peterson), checks agreement, validity, and
+// wait-freedom, and prints the tree statistics and per-object access
+// bounds.
+//
+// Usage:
+//
+//	explore [-protocol NAME] [-procs N] [-memoize]
+//
+// Protocols: tas, queue, stack, faa, swap, weakleader, naive (incorrect,
+// registers only), casregister3, noisysticky, and the register-free
+// cas/sticky/augqueue/fetchcons (which honor -procs).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"waitfree/internal/consensus"
+	"waitfree/internal/explore"
+	"waitfree/internal/program"
+	"waitfree/internal/types"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "explore:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("explore", flag.ContinueOnError)
+	name := fs.String("protocol", "tas", "protocol to check")
+	procs := fs.Int("procs", 2, "process count for the scalable protocols (cas, sticky)")
+	memoize := fs.Bool("memoize", false, "memoize configurations")
+	valency := fs.Bool("valency", false, "run the FLP/Herlihy valency analysis on mixed proposals")
+	dot := fs.Bool("dot", false, "print the mixed-proposal execution tree as Graphviz DOT and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var im *program.Implementation
+	switch *name {
+	case "tas":
+		im = consensus.TAS2()
+	case "queue":
+		im = consensus.Queue2()
+	case "stack":
+		im = consensus.Stack2()
+	case "faa":
+		im = consensus.FAA2()
+	case "swap":
+		im = consensus.Swap2()
+	case "weakleader":
+		im = consensus.WeakLeader2()
+	case "naive":
+		im = consensus.NaiveRegister2()
+	case "cas":
+		im = consensus.CAS(*procs)
+	case "sticky":
+		im = consensus.Sticky(*procs)
+	case "augqueue":
+		im = consensus.AugQueue(*procs)
+	case "fetchcons":
+		im = consensus.FetchCons(*procs)
+	case "noisysticky":
+		im = consensus.NoisySticky2()
+	case "casregister3":
+		im = consensus.CASRegister3()
+	default:
+		return fmt.Errorf("unknown protocol %q", *name)
+	}
+
+	if *dot {
+		scripts := make([][]types.Invocation, im.Procs)
+		for p := range scripts {
+			scripts[p] = []types.Invocation{types.Propose(p % 2)}
+		}
+		out, err := explore.Dot(im, scripts, explore.Options{}, 4000)
+		if err != nil {
+			return err
+		}
+		fmt.Print(out)
+		return nil
+	}
+
+	fmt.Printf("checking %v\n\n", im)
+	report, err := explore.Consensus(im, explore.Options{Memoize: *memoize})
+	if err != nil {
+		return err
+	}
+	fmt.Println(report.Summary())
+	fmt.Printf("decisions reachable: %v\n", report.Decisions)
+	fmt.Printf("per-process wait-freedom bounds (own steps): %v\n", report.ProcSteps)
+	fmt.Println("\nper-object access bounds over all executions (Section 4.2):")
+	for i := range im.Objects {
+		ops := report.OpAccess[i]
+		keys := make([]string, 0, len(ops))
+		for op := range ops {
+			keys = append(keys, op)
+		}
+		sort.Strings(keys)
+		fmt.Printf("  %-10s total<=%d", im.Objects[i].Name, report.MaxAccess[i])
+		for _, op := range keys {
+			fmt.Printf("  %s<=%d", op, ops[op])
+		}
+		fmt.Println()
+	}
+	if report.Violation != nil {
+		fmt.Printf("\ncounterexample (proposals %v):\n%s\n",
+			report.ViolationProposals, explore.FormatLanes(report.Violation.Schedule, im))
+		fmt.Printf("detail: %s\n", report.Violation.Detail)
+		return fmt.Errorf("implementation is incorrect")
+	}
+
+	if *valency {
+		proposals := make([]int, im.Procs)
+		for p := range proposals {
+			proposals[p] = p % 2 // mixed proposals: the bivalent start
+		}
+		v, err := explore.Valency(im, proposals, explore.Options{})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nvalency analysis (proposals %v):\n", v.Proposals)
+		fmt.Printf("  configurations: %d (%d bivalent, %d univalent)\n", v.Configs, v.Bivalent, v.Univalent)
+		fmt.Printf("  initial valency: %v (bivalent: %v)\n", explore.ValencySet(v.InitialValency), v.InitialBivalent)
+		fmt.Printf("  critical configurations: %d\n", len(v.Critical))
+		if len(v.CriticalObjects) > 0 {
+			fmt.Printf("  arbitrating objects:")
+			for _, o := range v.CriticalObjects {
+				fmt.Printf(" %s", im.Objects[o].Name)
+			}
+			fmt.Println(" (Herlihy's argument: never a register)")
+		}
+	}
+	return nil
+}

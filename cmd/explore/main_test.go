@@ -1,0 +1,32 @@
+package main
+
+import "testing"
+
+func TestRunCorrectProtocols(t *testing.T) {
+	for _, name := range []string{"tas", "queue", "cas", "sticky", "augqueue", "fetchcons", "weakleader", "noisysticky"} {
+		if err := run([]string{"-protocol", name}); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestRunNaiveFails(t *testing.T) {
+	if err := run([]string{"-protocol", "naive"}); err == nil {
+		t.Fatal("broken protocol reported correct")
+	}
+}
+
+func TestRunValencyAndDot(t *testing.T) {
+	if err := run([]string{"-protocol", "tas", "-valency"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-protocol", "cas", "-dot"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownProtocol(t *testing.T) {
+	if err := run([]string{"-protocol", "ghost"}); err == nil {
+		t.Fatal("unknown protocol accepted")
+	}
+}

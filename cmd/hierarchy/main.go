@@ -1,0 +1,83 @@
+// Command hierarchy classifies the built-in type zoo: obliviousness,
+// determinism, triviality, the Section 5.1/5.2 witnesses, literature
+// consensus numbers, and what Theorem 5 of Bazzi-Neiger-Peterson (PODC
+// 1994) concludes about h_m versus h_m^r for each type.
+//
+// Usage:
+//
+//	hierarchy [-witnesses]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"waitfree/internal/hierarchy"
+	"waitfree/internal/types"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "hierarchy:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("hierarchy", flag.ContinueOnError)
+	witnesses := fs.Bool("witnesses", false, "print the full Section 5.1/5.2 witnesses per type")
+	audit := fs.Bool("audit", false, "lint every zoo spec: declared flags vs computed behavior")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *audit {
+		failures := 0
+		for _, e := range hierarchy.Zoo() {
+			err := types.Audit(e.Spec, e.Inits[0], 64)
+			status := "ok"
+			if err != nil {
+				status = err.Error()
+				failures++
+			}
+			fmt.Printf("  %-18s %s\n", e.Spec.Name, status)
+		}
+		if failures > 0 {
+			return fmt.Errorf("%d specs failed the audit", failures)
+		}
+		fmt.Println("all zoo specs pass the audit")
+		return nil
+	}
+
+	cs, err := hierarchy.ClassifyZoo()
+	if err != nil {
+		return err
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "TYPE\tOBLIVIOUS\tDETERMINISTIC\tTRIVIAL\tCONSENSUS#\th_m\tTHEOREM 5")
+	for _, c := range cs {
+		fmt.Fprintf(w, "%s\t%v\t%v\t%v\t%s\t%s\t%s\n",
+			c.Name, c.Oblivious, c.Deterministic, c.Trivial, c.Consensus, c.HM, c.Theorem5)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+
+	if *witnesses {
+		fmt.Println()
+		fmt.Println("Witnesses (how each non-trivial deterministic type implements a one-use bit):")
+		for _, c := range cs {
+			if c.Pair == nil {
+				continue
+			}
+			fmt.Printf("  %-18s %v\n", c.Name+":", c.Pair)
+			if c.ObliviousWitness != nil {
+				fmt.Printf("  %-18s %v\n", "", "Section 5.1 form: "+c.ObliviousWitness.String())
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestRunTable(t *testing.T) {
+	if err := run(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWitnesses(t *testing.T) {
+	if err := run([]string{"-witnesses"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAudit(t *testing.T) {
+	if err := run([]string{"-audit"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-nope"}); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}

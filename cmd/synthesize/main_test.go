@@ -1,0 +1,33 @@
+package main
+
+import "testing"
+
+func TestRunFindsProtocol(t *testing.T) {
+	if err := run([]string{"-objects", "cas", "-depth", "1", "-symmetric"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-objects", "sticky", "-depth", "2", "-symmetric"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRefutes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive search")
+	}
+	if err := run([]string{"-objects", "tas", "-depth", "3"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBudget(t *testing.T) {
+	if err := run([]string{"-objects", "tas+bits", "-depth", "3", "-budget", "100"}); err != nil {
+		t.Fatal(err) // budget exhaustion is reported, not an error
+	}
+}
+
+func TestRunUnknownSet(t *testing.T) {
+	if err := run([]string{"-objects", "ghost"}); err == nil {
+		t.Fatal("unknown object set accepted")
+	}
+}

@@ -1,0 +1,69 @@
+// Faulttolerance: what "wait-free" buys you. Wait-freedom means every
+// process finishes in a bounded number of its own steps no matter what the
+// others do — including crashing at the worst possible moment. This
+// example takes the queue-based consensus protocol, runs it through the
+// Theorem 5 register-elimination pipeline, and then crashes one process at
+// EVERY possible step of the register-free protocol: the survivor always
+// decides, validly.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"waitfree"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	report, err := waitfree.EliminateRegisters(
+		waitfree.Queue2Consensus(), waitfree.ExploreOptions{}, 3)
+	if err != nil {
+		return err
+	}
+	out := report.Output
+	fmt.Printf("register-free protocol: %v\n", out)
+	fmt.Printf("longest execution: %d object accesses\n\n", report.OutputReport.Depth)
+
+	maxSteps := report.OutputReport.Depth
+	survived, crashed := 0, 0
+	for victim := 0; victim < 2; victim++ {
+		for crashAfter := 0; crashAfter <= maxSteps; crashAfter++ {
+			runner, err := waitfree.NewRunner(out,
+				waitfree.NewCrashScheduler(map[int]int{victim: crashAfter}), nil)
+			if err != nil {
+				return err
+			}
+			scripts := [][]waitfree.Invocation{
+				{waitfree.Propose(0)}, {waitfree.Propose(1)},
+			}
+			outcome, err := runner.Run(scripts, nil)
+			if err != nil {
+				return err
+			}
+			if outcome.Crashed[victim] {
+				crashed++
+			}
+			survivor := 1 - victim
+			if len(outcome.Responses[survivor]) != 1 {
+				return fmt.Errorf("victim=%d crash@%d: survivor did not decide", victim, crashAfter)
+			}
+			d := outcome.Responses[survivor][0]
+			if d.Val != 0 && d.Val != 1 {
+				return fmt.Errorf("victim=%d crash@%d: invalid decision %v", victim, crashAfter, d)
+			}
+			survived++
+		}
+	}
+	fmt.Printf("ran %d crash scenarios (%d actually crashed a process mid-protocol)\n", survived, crashed)
+	fmt.Println("the survivor decided a valid value in every single one — wait-freedom at work.")
+	fmt.Println("\n(The same protocol was also verified exhaustively over all interleavings")
+	fmt.Println("by the explorer; crash tolerance follows from wait-freedom because a crash")
+	fmt.Println("is indistinguishable from a process that is merely very slow.)")
+	return nil
+}

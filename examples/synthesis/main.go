@@ -1,0 +1,70 @@
+// Synthesis: the hierarchy separations, discovered by machine. Bounded
+// protocol synthesis searches over ALL deterministic 2-process protocols
+// with a few accesses per process. It finds consensus protocols where the
+// hierarchy says they exist (one compare-and-swap, one augmented queue)
+// and exhaustively refutes them where it says they don't (one test-and-set
+// alone — the h_1 = 1 side of the story whose h_m = 2 side the Theorem 5
+// pipeline constructs).
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"waitfree"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Positive: one augmented queue suffices; synthesis rediscovers
+	// enqueue-your-proposal-then-peek on its own.
+	aq := []waitfree.SynthObject{{
+		Name: "aq", Spec: waitfree.NewAugmentedQueue(2, 2, 2), Init: waitfree.QueueStateOf(),
+	}}
+	opts := waitfree.SynthOptions{Depth: 2, Symmetric: true}
+	st, stats, err := waitfree.SynthesizeProtocol(aq, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("augmented queue: protocol found after %d assignments:\n%s\n",
+		stats.Assignments, st.Format(aq))
+
+	// Re-verify it with the independent exhaustive checker.
+	im := waitfree.StrategyImplementation("synthesized-augqueue", aq, st, opts)
+	report, err := waitfree.CheckConsensus(im, waitfree.ExploreOptions{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("re-verification: %s\n\n", report.Summary())
+
+	// Negative: one test-and-set object alone. The loser learns that it
+	// lost but can never learn what the winner proposed — and the search
+	// proves no protocol with up to 3 accesses per process exists.
+	tas := []waitfree.SynthObject{{
+		Name: "tas", Spec: waitfree.NewTestAndSet(2), Init: 0,
+	}}
+	_, stats, err = waitfree.SynthesizeProtocol(tas, waitfree.SynthOptions{Depth: 3})
+	if errors.Is(err, waitfree.ErrNoProtocol) {
+		fmt.Printf("one test-and-set alone: NO protocol exists within 3 accesses per process\n")
+		fmt.Printf("(exhausted after %d assignments — h_1(test-and-set) = 1)\n\n", stats.Assignments)
+	} else if err != nil {
+		return err
+	}
+
+	// The h_m side: many test-and-set objects DO solve consensus without
+	// registers — the Theorem 5 pipeline builds the protocol.
+	pipeline, err := waitfree.EliminateRegisters(waitfree.TAS2Consensus(), waitfree.ExploreOptions{}, 3)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("the Theorem 5 pipeline: %s\n", pipeline.Summary())
+	fmt.Println("\nso: h_1(tas) = 1 < h_1^r(tas) = 2 = h_m(tas) — registers matter for one")
+	fmt.Println("object and stop mattering for many, exactly as the paper proves.")
+	return nil
+}

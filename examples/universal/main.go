@@ -1,0 +1,95 @@
+// Universal: why consensus numbers matter. Herlihy's universality theorem
+// (the context of Section 2.3) says a type that solves n-process consensus
+// implements EVERY type for n processes. This example runs the universal
+// construction — consensus cells driving replicated state machines — to
+// give four goroutines a wait-free linearizable FIFO queue and a wait-free
+// counter, types that have no simple lock-free realization of their own.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"sync"
+
+	"waitfree"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const procs = 4
+
+	// A wait-free shared counter: every fetch-and-add response is unique —
+	// the construction hands out exactly the values 0..N-1.
+	ctr, err := waitfree.NewUniversal(waitfree.NewFetchAdd(procs), 0, procs, 1024)
+	if err != nil {
+		return err
+	}
+	var mu sync.Mutex
+	var got []int
+	var wg sync.WaitGroup
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				resp, err := ctr.Apply(p, waitfree.Inv("faa", 1))
+				if err != nil {
+					log.Printf("p%d: %v", p, err)
+					return
+				}
+				mu.Lock()
+				got = append(got, resp.Val)
+				mu.Unlock()
+			}
+		}(p)
+	}
+	wg.Wait()
+	sort.Ints(got)
+	dups := 0
+	for i := 1; i < len(got); i++ {
+		if got[i] == got[i-1] {
+			dups++
+		}
+	}
+	fmt.Printf("universal counter: %d increments by %d goroutines, %d duplicates, max=%d\n",
+		len(got), procs, dups, got[len(got)-1])
+
+	// A wait-free shared queue: producers enqueue tagged values,
+	// consumers drain; nothing is lost or duplicated.
+	q, err := waitfree.NewUniversal(waitfree.NewQueue(procs, 10, 64), waitfree.QueueStateOf(), procs, 1024)
+	if err != nil {
+		return err
+	}
+	for p := 0; p < 2; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				if _, err := q.Apply(p, waitfree.Inv("enq", p*5+i%5)); err != nil {
+					log.Printf("p%d: %v", p, err)
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	drained := 0
+	for {
+		resp, err := q.Apply(3, waitfree.Inv("deq"))
+		if err != nil {
+			return err
+		}
+		if resp.Label == "empty" {
+			break
+		}
+		drained++
+	}
+	fmt.Printf("universal queue: 10 enqueued concurrently, %d drained\n", drained)
+	fmt.Println("every operation above was wait-free and linearizable — powered by consensus.")
+	return nil
+}

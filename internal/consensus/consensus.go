@@ -1,0 +1,513 @@
+// Package consensus is a library of wait-free binary consensus protocols,
+// written as implementations over the type zoo (packages types and
+// program). These are the canonical protocols of Herlihy's hierarchy that
+// Bazzi, Neiger, and Peterson's audience has in mind: each announces its
+// proposal in single-reader single-writer bits, elects a winner through one
+// read-modify-write object, and adopts the winner's announcement.
+//
+// The register-using protocols here are the inputs to the Theorem 5
+// register-elimination pipeline (package core); the register-free ones
+// (compare-and-swap, sticky cell) are what the pipeline's outputs look
+// like by construction.
+package consensus
+
+import (
+	"waitfree/internal/program"
+	"waitfree/internal/types"
+)
+
+// electionState is the comparable machine state of the announce/elect/
+// adopt protocols.
+type electionState struct {
+	PC int
+	V  int
+}
+
+// Election describes the winner-election step of a 2-process protocol: the
+// spec and initial state of the election object, the invocation each
+// process performs on it, and the predicate recognizing the winner's
+// response.
+type Election struct {
+	Name string
+	Spec *types.Spec
+	Init types.State
+	// Inv yields process p's election invocation when proposing v.
+	Inv func(p, v int) types.Invocation
+	// Won reports whether the election response means process p won.
+	Won func(p int, r types.Response) bool
+}
+
+// Object indices of the 2-process election protocols.
+const (
+	electObj   = 0
+	prefer0Obj = 1
+	prefer1Obj = 2
+)
+
+// TwoProcess builds the 2-process announce/elect/adopt consensus
+// implementation for the given election: process p writes its proposal to
+// its own SRSW prefer bit, performs the election, and decides its own
+// proposal if it won or the other's announcement if it lost.
+func TwoProcess(e Election) *program.Implementation {
+	machine := func(p int) program.Machine {
+		own := prefer0Obj + p
+		other := prefer0Obj + (1 - p)
+		return program.FuncMachine{
+			StartFn: func(inv types.Invocation, _ any) any {
+				return electionState{PC: 0, V: inv.A}
+			},
+			NextFn: func(state any, resp types.Response) (program.Action, any) {
+				s := state.(electionState)
+				switch s.PC {
+				case 0:
+					return program.InvokeAction(own, types.Write(s.V)), electionState{PC: 1, V: s.V}
+				case 1:
+					return program.InvokeAction(electObj, e.Inv(p, s.V)), electionState{PC: 2, V: s.V}
+				case 2:
+					if e.Won(p, resp) {
+						return program.ReturnAction(types.ValOf(s.V), nil), s
+					}
+					return program.InvokeAction(other, types.Read), electionState{PC: 3, V: s.V}
+				default:
+					return program.ReturnAction(types.ValOf(resp.Val), nil), s
+				}
+			},
+		}
+	}
+	return &program.Implementation{
+		Name:   e.Name,
+		Target: types.Consensus(2),
+		Procs:  2,
+		Objects: []program.ObjectDecl{
+			{Name: "elect", Spec: e.Spec, Init: e.Init, PortOf: program.AllPorts(2)},
+			// prefer0 is written by process 0 and read by process 1;
+			// prefer1 symmetrically.
+			{Name: "prefer0", Spec: types.SRSWBit(), Init: 0, PortOf: program.PairPorts(2, 1, 0)},
+			{Name: "prefer1", Spec: types.SRSWBit(), Init: 0, PortOf: program.PairPorts(2, 0, 1)},
+		},
+		Machines: []program.Machine{machine(0), machine(1)},
+	}
+}
+
+// TAS2 is 2-process consensus from one test-and-set bit plus two SRSW
+// bits: the first test-and-set wins.
+func TAS2() *program.Implementation {
+	return TwoProcess(Election{
+		Name: "tas-2consensus",
+		Spec: types.TestAndSet(2),
+		Init: 0,
+		Inv:  func(_, _ int) types.Invocation { return types.TAS },
+		Won:  func(_ int, r types.Response) bool { return r == types.ValOf(0) },
+	})
+}
+
+// Queue2 is 2-process consensus from one FIFO queue (initialized with a
+// single token) plus two SRSW bits: the process that dequeues the token
+// wins; the other finds the queue empty.
+func Queue2() *program.Implementation {
+	return TwoProcess(Election{
+		Name: "queue-2consensus",
+		Spec: types.Queue(2, 2, 2),
+		Init: types.QueueState(1),
+		Inv:  func(_, _ int) types.Invocation { return types.Deq },
+		Won:  func(_ int, r types.Response) bool { return r == types.ValOf(1) },
+	})
+}
+
+// Stack2 is 2-process consensus from one stack (initialized with a single
+// token) plus two SRSW bits.
+func Stack2() *program.Implementation {
+	return TwoProcess(Election{
+		Name: "stack-2consensus",
+		Spec: types.Stack(2, 2, 2),
+		Init: types.QueueState(1),
+		Inv:  func(_, _ int) types.Invocation { return types.Pop },
+		Won:  func(_ int, r types.Response) bool { return r == types.ValOf(1) },
+	})
+}
+
+// FAA2 is 2-process consensus from one fetch-and-add counter plus two SRSW
+// bits: the process that observes 0 when adding 1 wins.
+func FAA2() *program.Implementation {
+	return TwoProcess(Election{
+		Name: "faa-2consensus",
+		Spec: types.FetchAdd(2),
+		Init: 0,
+		Inv:  func(_, _ int) types.Invocation { return types.Inv(types.OpFAA, 1) },
+		Won:  func(_ int, r types.Response) bool { return r == types.ValOf(0) },
+	})
+}
+
+// Swap2 is 2-process consensus from one swap register plus two SRSW bits:
+// the process whose swap(1) returns the initial 0 wins.
+func Swap2() *program.Implementation {
+	return TwoProcess(Election{
+		Name: "swap-2consensus",
+		Spec: types.Swap(2, 2),
+		Init: 0,
+		Inv:  func(_, _ int) types.Invocation { return types.Inv(types.OpSwap, 1) },
+		Won:  func(_ int, r types.Response) bool { return r == types.ValOf(0) },
+	})
+}
+
+// WeakLeader2 is 2-process consensus from one nondeterministic WeakLeader
+// object plus two SRSW bits, witnessing h_m^r(WeakLeader) >= 2 (Section 6
+// context: Jayanti's separation of h_m from h_m^r needs such a
+// nondeterministic type).
+//
+// Because the adversary chooses which of the object's first two accesses
+// wins, a process that accesses the object once can lose before the
+// eventual winner has announced anything (the naive announce/elect/adopt
+// pattern is incorrect here — the execution-tree explorer exhibits the
+// counterexample). Instead each process accesses the object twice:
+//
+//   - Exactly one of the first two accesses overall wins, so exactly one
+//     process ever sees a win: a unique leader is always elected.
+//   - A process that loses both its accesses made the second of them as
+//     access #3 or later, so the winner's winning access — which is among
+//     accesses #1-#2 and is preceded by the winner's announcement —
+//     happened strictly earlier. The loser therefore reliably reads the
+//     winner's announcement.
+func WeakLeader2() *program.Implementation {
+	machine := func(p int) program.Machine {
+		own := prefer0Obj + p
+		other := prefer0Obj + (1 - p)
+		return program.FuncMachine{
+			StartFn: func(inv types.Invocation, _ any) any {
+				return electionState{PC: 0, V: inv.A}
+			},
+			NextFn: func(state any, resp types.Response) (program.Action, any) {
+				s := state.(electionState)
+				switch s.PC {
+				case 0:
+					return program.InvokeAction(own, types.Write(s.V)), electionState{PC: 1, V: s.V}
+				case 1:
+					return program.InvokeAction(electObj, types.TAS), electionState{PC: 2, V: s.V}
+				case 2:
+					if resp.Label == types.LabelWin {
+						return program.ReturnAction(types.ValOf(s.V), nil), s
+					}
+					return program.InvokeAction(electObj, types.TAS), electionState{PC: 3, V: s.V}
+				case 3:
+					if resp.Label == types.LabelWin {
+						return program.ReturnAction(types.ValOf(s.V), nil), s
+					}
+					return program.InvokeAction(other, types.Read), electionState{PC: 4, V: s.V}
+				default:
+					return program.ReturnAction(types.ValOf(resp.Val), nil), s
+				}
+			},
+		}
+	}
+	return &program.Implementation{
+		Name:   "weakleader-2consensus",
+		Target: types.Consensus(2),
+		Procs:  2,
+		Objects: []program.ObjectDecl{
+			{Name: "elect", Spec: types.WeakLeader(2), Init: 0, PortOf: program.AllPorts(2)},
+			{Name: "prefer0", Spec: types.SRSWBit(), Init: 0, PortOf: program.PairPorts(2, 1, 0)},
+			{Name: "prefer1", Spec: types.SRSWBit(), Init: 0, PortOf: program.PairPorts(2, 0, 1)},
+		},
+		Machines: []program.Machine{machine(0), machine(1)},
+	}
+}
+
+// casState is the machine state of the CAS protocol.
+type casState struct {
+	PC int
+	V  int
+}
+
+// casBottom is the "undecided" value of the CAS protocol's object.
+const casBottom = 2
+
+// CAS builds register-free n-process consensus from a single
+// compare-and-swap object: cas(bottom, v) and decide the object's first
+// installed value.
+func CAS(procs int) *program.Implementation {
+	machine := program.FuncMachine{
+		StartFn: func(inv types.Invocation, _ any) any {
+			return casState{PC: 0, V: inv.A}
+		},
+		NextFn: func(state any, resp types.Response) (program.Action, any) {
+			s := state.(casState)
+			if s.PC == 0 {
+				return program.InvokeAction(0, types.Inv(types.OpCAS, casBottom, s.V)), casState{PC: 1, V: s.V}
+			}
+			if resp.Val == casBottom {
+				return program.ReturnAction(types.ValOf(s.V), nil), s
+			}
+			return program.ReturnAction(types.ValOf(resp.Val), nil), s
+		},
+	}
+	machines := make([]program.Machine, procs)
+	for p := range machines {
+		machines[p] = machine
+	}
+	return &program.Implementation{
+		Name:   "cas-consensus",
+		Target: types.Consensus(procs),
+		Procs:  procs,
+		Objects: []program.ObjectDecl{{
+			Name:   "cas",
+			Spec:   types.CompareSwap(procs, 3),
+			Init:   casBottom,
+			PortOf: program.AllPorts(procs),
+		}},
+		Machines: machines,
+	}
+}
+
+// Sticky builds register-free n-process consensus from a single sticky
+// cell: stick the proposal, then read the cell's fixed value.
+func Sticky(procs int) *program.Implementation {
+	machine := program.FuncMachine{
+		StartFn: func(inv types.Invocation, _ any) any {
+			return casState{PC: 0, V: inv.A}
+		},
+		NextFn: func(state any, resp types.Response) (program.Action, any) {
+			s := state.(casState)
+			switch s.PC {
+			case 0:
+				return program.InvokeAction(0, types.Inv(types.OpStick, s.V)), casState{PC: 1, V: s.V}
+			case 1:
+				return program.InvokeAction(0, types.Read), casState{PC: 2, V: s.V}
+			default:
+				return program.ReturnAction(types.ValOf(resp.Val), nil), s
+			}
+		},
+	}
+	machines := make([]program.Machine, procs)
+	for p := range machines {
+		machines[p] = machine
+	}
+	return &program.Implementation{
+		Name:   "sticky-consensus",
+		Target: types.Consensus(procs),
+		Procs:  procs,
+		Objects: []program.ObjectDecl{{
+			Name:   "sticky",
+			Spec:   types.StickyCell(procs, 2),
+			Init:   types.StickyUnset,
+			PortOf: program.AllPorts(procs),
+		}},
+		Machines: machines,
+	}
+}
+
+// AugQueue builds register-free n-process consensus from a single
+// augmented (peekable) queue: enqueue the proposal, then peek — the first
+// enqueued proposal is every process's decision (Herlihy's consensus-
+// number-infinity example).
+func AugQueue(procs int) *program.Implementation {
+	machine := program.FuncMachine{
+		StartFn: func(inv types.Invocation, _ any) any {
+			return casState{PC: 0, V: inv.A}
+		},
+		NextFn: func(state any, resp types.Response) (program.Action, any) {
+			s := state.(casState)
+			switch s.PC {
+			case 0:
+				return program.InvokeAction(0, types.Enq(s.V)), casState{PC: 1, V: s.V}
+			case 1:
+				return program.InvokeAction(0, types.Peek), casState{PC: 2, V: s.V}
+			default:
+				return program.ReturnAction(types.ValOf(resp.Val), nil), s
+			}
+		},
+	}
+	machines := make([]program.Machine, procs)
+	for p := range machines {
+		machines[p] = machine
+	}
+	return &program.Implementation{
+		Name:   "augqueue-consensus",
+		Target: types.Consensus(procs),
+		Procs:  procs,
+		Objects: []program.ObjectDecl{{
+			Name:   "augq",
+			Spec:   types.AugmentedQueue(procs, 2, procs),
+			Init:   types.QueueState(),
+			PortOf: program.AllPorts(procs),
+		}},
+		Machines: machines,
+	}
+}
+
+// NaiveRegister2 is a deliberately incorrect 2-process protocol over
+// registers only (announce, read the other, decide the minimum announced
+// value). Registers cannot solve 2-process consensus (FLP/LA/CIL, cited in
+// the paper's Theorem 5 proof); the explorer exhibits the agreement
+// violation. It is used by tests, examples, and documentation.
+func NaiveRegister2() *program.Implementation {
+	machine := func(p int) program.Machine {
+		own := p
+		other := 1 - p
+		return program.FuncMachine{
+			StartFn: func(inv types.Invocation, _ any) any {
+				return electionState{PC: 0, V: inv.A}
+			},
+			NextFn: func(state any, resp types.Response) (program.Action, any) {
+				s := state.(electionState)
+				switch s.PC {
+				case 0:
+					// Announce proposal+1 (0 means "no announcement yet").
+					return program.InvokeAction(own, types.Write(s.V+1)), electionState{PC: 1, V: s.V}
+				case 1:
+					return program.InvokeAction(other, types.Read), electionState{PC: 2, V: s.V}
+				default:
+					if resp.Val == 0 {
+						// Other process not announced: decide own value.
+						return program.ReturnAction(types.ValOf(s.V), nil), s
+					}
+					otherV := resp.Val - 1
+					if otherV < s.V {
+						return program.ReturnAction(types.ValOf(otherV), nil), s
+					}
+					return program.ReturnAction(types.ValOf(s.V), nil), s
+				}
+			},
+		}
+	}
+	return &program.Implementation{
+		Name:   "naive-register-2consensus",
+		Target: types.Consensus(2),
+		Procs:  2,
+		Objects: []program.ObjectDecl{
+			{Name: "ann0", Spec: types.Register(2, 3), Init: 0, PortOf: program.AllPorts(2)},
+			{Name: "ann1", Spec: types.Register(2, 3), Init: 0, PortOf: program.AllPorts(2)},
+		},
+		Machines: []program.Machine{machine(0), machine(1)},
+	}
+}
+
+// RegisterUsing lists the 2-process protocols that use SRSW-bit registers
+// alongside one election object: the inputs of the Theorem 5 pipeline.
+func RegisterUsing() []*program.Implementation {
+	return []*program.Implementation{TAS2(), Queue2(), Stack2(), FAA2(), Swap2()}
+}
+
+// FetchCons builds register-free n-process consensus from a single
+// fetch-and-cons object, with ONE access per process: cons the proposal;
+// if the previous list was empty you were first (decide your own value),
+// otherwise the first-ever consed element — the tail of the returned
+// list — is the winner's proposal.
+func FetchCons(procs int) *program.Implementation {
+	machine := program.FuncMachine{
+		StartFn: func(inv types.Invocation, _ any) any {
+			return casState{PC: 0, V: inv.A}
+		},
+		NextFn: func(state any, resp types.Response) (program.Action, any) {
+			s := state.(casState)
+			if s.PC == 0 {
+				return program.InvokeAction(0, types.Cons(s.V)), casState{PC: 1, V: s.V}
+			}
+			prev := types.DecodeList(resp.Val)
+			if len(prev) == 0 {
+				return program.ReturnAction(types.ValOf(s.V), nil), s
+			}
+			return program.ReturnAction(types.ValOf(prev[len(prev)-1]), nil), s
+		},
+	}
+	machines := make([]program.Machine, procs)
+	for p := range machines {
+		machines[p] = machine
+	}
+	return &program.Implementation{
+		Name:   "fetchcons-consensus",
+		Target: types.Consensus(procs),
+		Procs:  procs,
+		Objects: []program.ObjectDecl{{
+			Name:   "list",
+			Spec:   types.FetchAndCons(procs, 2, procs),
+			Init:   "",
+			PortOf: program.AllPorts(procs),
+		}},
+		Machines: machines,
+	}
+}
+
+// NoisySticky2 builds register-free 2-process consensus from a single
+// NONDETERMINISTIC noisy-sticky cell: stick the proposal, then read — the
+// cell is faithful once stuck, so the adversarial unstuck reads are never
+// exercised. It witnesses h_m(NoisySticky) >= 2 and is the substrate for
+// the Theorem 5 third-case pipeline (Section 5.3).
+func NoisySticky2() *program.Implementation {
+	machine := program.FuncMachine{
+		StartFn: func(inv types.Invocation, _ any) any {
+			return casState{PC: 0, V: inv.A}
+		},
+		NextFn: func(state any, resp types.Response) (program.Action, any) {
+			s := state.(casState)
+			switch s.PC {
+			case 0:
+				return program.InvokeAction(0, types.Inv(types.OpStick, s.V)), casState{PC: 1, V: s.V}
+			case 1:
+				return program.InvokeAction(0, types.Read), casState{PC: 2, V: s.V}
+			default:
+				return program.ReturnAction(types.ValOf(resp.Val), nil), s
+			}
+		},
+	}
+	return &program.Implementation{
+		Name:   "noisysticky-consensus",
+		Target: types.Consensus(2),
+		Procs:  2,
+		Objects: []program.ObjectDecl{{
+			Name:   "noisy",
+			Spec:   types.NoisySticky(2, 2),
+			Init:   types.StickyUnset,
+			PortOf: program.AllPorts(2),
+		}},
+		Machines: []program.Machine{machine, machine},
+	}
+}
+
+// NoisySticky2R is an (artificially) register-using 2-process consensus
+// protocol over the nondeterministic noisy-sticky type: the usual
+// announce/elect/adopt shape with the sticky election. It is the input for
+// demonstrating the Theorem 5 pipeline's h_m >= 2 route: its registers are
+// eliminated via one-use bits realized from the REGISTER-FREE NoisySticky2
+// consensus substrate (Section 5.3), since the type's nondeterminism rules
+// out the Section 5.2 witness machinery.
+func NoisySticky2R() *program.Implementation {
+	machine := func(p int) program.Machine {
+		own := prefer0Obj + p
+		other := prefer0Obj + (1 - p)
+		return program.FuncMachine{
+			StartFn: func(inv types.Invocation, _ any) any {
+				return electionState{PC: 0, V: inv.A}
+			},
+			NextFn: func(state any, resp types.Response) (program.Action, any) {
+				s := state.(electionState)
+				switch s.PC {
+				case 0:
+					return program.InvokeAction(own, types.Write(s.V)), electionState{PC: 1, V: s.V}
+				case 1:
+					// Stick own id to elect a winner.
+					return program.InvokeAction(electObj, types.Inv(types.OpStick, p)), electionState{PC: 2, V: s.V}
+				case 2:
+					return program.InvokeAction(electObj, types.Read), electionState{PC: 3, V: s.V}
+				case 3:
+					if resp.Val == p { // we won the election
+						return program.ReturnAction(types.ValOf(s.V), nil), s
+					}
+					return program.InvokeAction(other, types.Read), electionState{PC: 4, V: s.V}
+				default:
+					return program.ReturnAction(types.ValOf(resp.Val), nil), s
+				}
+			},
+		}
+	}
+	return &program.Implementation{
+		Name:   "noisysticky-2consensus-r",
+		Target: types.Consensus(2),
+		Procs:  2,
+		Objects: []program.ObjectDecl{
+			{Name: "elect", Spec: types.NoisySticky(2, 2), Init: types.StickyUnset, PortOf: program.AllPorts(2)},
+			{Name: "prefer0", Spec: types.SRSWBit(), Init: 0, PortOf: program.PairPorts(2, 1, 0)},
+			{Name: "prefer1", Spec: types.SRSWBit(), Init: 0, PortOf: program.PairPorts(2, 0, 1)},
+		},
+		Machines: []program.Machine{machine(0), machine(1)},
+	}
+}

@@ -1,0 +1,109 @@
+package consensus
+
+import (
+	"waitfree/internal/program"
+	"waitfree/internal/types"
+)
+
+// This file provides a 3-process register-using protocol, so the Theorem 5
+// pipeline is exercised beyond n = 2: processes announce their proposals
+// in pairwise SRSW bits, elect a winner ID through one compare-and-swap
+// object, and losers read the winner's announcement.
+
+// casIDBottom is the "no winner yet" value of the election object (values
+// 0..2 are process ids).
+const casIDBottom = 3
+
+// cas3State is the protocol's machine state.
+type cas3State struct {
+	PC int
+	V  int
+	W  int // winner id, learned at the election step
+}
+
+// annIdx returns the object index of announce[i][j] (written by process i,
+// read by process j) in the CASRegister3 object table (the election
+// object sits at index 0).
+func annIdx(i, j int) int {
+	col := j
+	if j > i {
+		col--
+	}
+	return 1 + i*2 + col
+}
+
+// CASRegister3 builds 3-process binary consensus from one compare-and-swap
+// object plus six SRSW announcement bits: process p writes its proposal
+// into announce[p][q] for both peers q, installs its ID with
+// cas(bottom, p), and — if some other process w won — reads announce[w][p]
+// to adopt the winner's proposal.
+func CASRegister3() *program.Implementation {
+	const procs = 3
+	machine := func(p int) program.Machine {
+		peers := make([]int, 0, 2)
+		for q := 0; q < procs; q++ {
+			if q != p {
+				peers = append(peers, q)
+			}
+		}
+		return program.FuncMachine{
+			StartFn: func(inv types.Invocation, _ any) any {
+				return cas3State{PC: 0, V: inv.A}
+			},
+			NextFn: func(state any, resp types.Response) (program.Action, any) {
+				s := state.(cas3State)
+				switch s.PC {
+				case 0:
+					return program.InvokeAction(annIdx(p, peers[0]), types.Write(s.V)),
+						cas3State{PC: 1, V: s.V}
+				case 1:
+					return program.InvokeAction(annIdx(p, peers[1]), types.Write(s.V)),
+						cas3State{PC: 2, V: s.V}
+				case 2:
+					return program.InvokeAction(0, types.Inv(types.OpCAS, casIDBottom, p)),
+						cas3State{PC: 3, V: s.V}
+				case 3:
+					w := resp.Val
+					if w == casIDBottom {
+						w = p // our cas installed our id
+					}
+					if w == p {
+						return program.ReturnAction(types.ValOf(s.V), nil), s
+					}
+					return program.InvokeAction(annIdx(w, p), types.Read),
+						cas3State{PC: 4, V: s.V, W: w}
+				default:
+					return program.ReturnAction(types.ValOf(resp.Val), nil), s
+				}
+			},
+		}
+	}
+
+	objects := make([]program.ObjectDecl, 0, 7)
+	objects = append(objects, program.ObjectDecl{
+		Name:   "elect",
+		Spec:   types.CompareSwap(procs, 4),
+		Init:   casIDBottom,
+		PortOf: program.AllPorts(procs),
+	})
+	for i := 0; i < procs; i++ {
+		for j := 0; j < procs; j++ {
+			if i == j {
+				continue
+			}
+			objects = append(objects, program.ObjectDecl{
+				Name:   "ann" + string(rune('0'+i)) + string(rune('0'+j)),
+				Spec:   types.SRSWBit(),
+				Init:   0,
+				PortOf: program.PairPorts(procs, j, i),
+			})
+		}
+	}
+	return &program.Implementation{
+		Name:     "cas-register-3consensus",
+		Target:   types.Consensus(procs),
+		Procs:    procs,
+		Objects:  objects,
+		Machines: []program.Machine{machine(0), machine(1), machine(2)},
+	}
+}

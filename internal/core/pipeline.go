@@ -1,0 +1,305 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"waitfree/internal/explore"
+	"waitfree/internal/hierarchy"
+	"waitfree/internal/onebit"
+	"waitfree/internal/program"
+	"waitfree/internal/types"
+)
+
+// Errors reported by the pipeline.
+var (
+	// ErrNotWaitFree: the input failed verification, so no access bounds
+	// exist (the Section 4.2 Koenig argument needs wait-freedom).
+	ErrNotWaitFree = errors.New("core: input implementation is not a correct wait-free consensus implementation")
+	// ErrUnsupportedRegister: the implementation uses a register type other
+	// than the SRSW bit. Section 4.1 reduces all registers to SRSW bits;
+	// express the input over types.SRSWBit (see package registers for the
+	// executable chain).
+	ErrUnsupportedRegister = errors.New("core: registers must be SRSW bits (reduce via the Section 4.1 chain)")
+	// ErrNoTypeObjects: the implementation has no non-register objects, so
+	// there is no type T to realize one-use bits from.
+	ErrNoTypeObjects = errors.New("core: no non-register objects to infer the type T from")
+)
+
+// registerSpecName matches the objects that step 2 eliminates.
+const registerSpecName = "srsw-bit"
+
+// oneUseSpecName matches the objects that step 3 eliminates.
+const oneUseSpecName = "one-use-bit"
+
+// targetValues returns the proposal-value range of the implementation's
+// consensus target: 2 for the paper's binary T_{c,n}, or k for a
+// multi-valued target.
+func targetValues(im *program.Implementation) int {
+	if im.Target != nil && im.Target.Name == "multi-consensus" {
+		if k := len(im.Target.Alphabet); k >= 2 {
+			return k
+		}
+	}
+	return 2
+}
+
+// Bound runs the Section 4.2 analysis: it explores all execution trees of
+// the consensus implementation and returns the report carrying the uniform
+// depth bound D and the exact per-object, per-operation access bounds.
+// The input must verify (agreement, validity, wait-freedom); otherwise
+// ErrNotWaitFree. Multi-valued consensus targets are handled with k^n
+// trees.
+func Bound(im *program.Implementation, opts explore.Options) (*explore.ConsensusReport, error) {
+	report, err := explore.ConsensusK(im, targetValues(im), opts)
+	if err != nil {
+		return nil, err
+	}
+	if !report.OK() {
+		return report, fmt.Errorf("%w: %s", ErrNotWaitFree, report.Summary())
+	}
+	return report, nil
+}
+
+// RegisterBound carries one register's Section 4.2 access bounds.
+type RegisterBound struct {
+	Obj  int // object index in the input implementation
+	Name string
+	R, W int // read and write bounds (the paper's r_b and w_b)
+	Init int
+}
+
+// RegisterBounds extracts the SRSW-bit registers of im and their bounds
+// from a Bound report. Registers that are never read or never written in
+// any execution still get bounds of at least 1 so that the Section 4.3
+// geometry is well-formed.
+func RegisterBounds(im *program.Implementation, report *explore.ConsensusReport) ([]RegisterBound, error) {
+	var out []RegisterBound
+	for i := range im.Objects {
+		decl := &im.Objects[i]
+		if decl.Spec.Name != registerSpecName {
+			if decl.Spec.Name == "register" || decl.Spec.Name == "bit" {
+				return nil, fmt.Errorf("%w: object %d (%s) has type %q", ErrUnsupportedRegister, i, decl.Name, decl.Spec.Name)
+			}
+			continue
+		}
+		init, ok := decl.Init.(int)
+		if !ok {
+			return nil, fmt.Errorf("core: register %d (%s) has non-integer initial state %v", i, decl.Name, decl.Init)
+		}
+		rb := report.OpAccess[i][types.OpRead]
+		wb := report.OpAccess[i][types.OpWrite]
+		if rb == 0 {
+			rb = 1
+		}
+		if wb == 0 {
+			wb = 1
+		}
+		out = append(out, RegisterBound{Obj: i, Name: decl.Name, R: rb, W: wb, Init: init})
+	}
+	return out, nil
+}
+
+// registerParties returns the reader and writer process of an SRSW bit.
+func registerParties(decl *program.ObjectDecl) (readerProc, writerProc int, err error) {
+	readerProc, writerProc = -1, -1
+	for p, port := range decl.PortOf {
+		switch port {
+		case types.SRSWBitReaderPort:
+			readerProc = p
+		case types.SRSWBitWriterPort:
+			writerProc = p
+		}
+	}
+	if readerProc < 0 || writerProc < 0 {
+		return 0, 0, fmt.Errorf("core: register %s lacks a reader or writer process", decl.Name)
+	}
+	return readerProc, writerProc, nil
+}
+
+// RegistersToOneUseBits performs step 2 (Section 4.3): every SRSW-bit
+// register becomes an (w_b+1) x r_b array of one-use bits, and the paper's
+// read and write routines are spliced into the affected processes.
+func RegistersToOneUseBits(im *program.Implementation, bounds []RegisterBound) (*program.Implementation, error) {
+	selected := make(map[int]replacement, len(bounds))
+	for _, b := range bounds {
+		decl := &im.Objects[b.Obj]
+		readerProc, writerProc, err := registerParties(decl)
+		if err != nil {
+			return nil, err
+		}
+		array := onebit.Array{R: b.R, W: b.W, Init: b.Init} // Base set per process below
+		selected[b.Obj] = replacement{
+			Decls: array.Decls(im.Procs, readerProc, writerProc),
+			MachinesFor: func(p, base int) map[string]program.Machine {
+				a := array
+				a.Base = base
+				switch p {
+				case readerProc:
+					return map[string]program.Machine{types.OpRead: onebit.ReaderMachine(a)}
+				case writerProc:
+					return map[string]program.Machine{types.OpWrite: onebit.WriterMachine(a)}
+				default:
+					return nil // process never touches this register
+				}
+			},
+		}
+	}
+	return replaceObjects(im, im.Name+"+onebits", selected)
+}
+
+// OneUseBitsToType performs step 3 (Sections 5.1/5.2): every one-use bit
+// becomes a single object of the non-trivial deterministic type spec,
+// initialized at the witness pair's start state, with reads running the
+// pair's sequence and writes its distinguishing invocation.
+func OneUseBitsToType(im *program.Implementation, spec *types.Spec, pair *hierarchy.Pair) (*program.Implementation, error) {
+	selected := make(map[int]replacement)
+	for i := range im.Objects {
+		decl := &im.Objects[i]
+		if decl.Spec.Name != oneUseSpecName {
+			continue
+		}
+		readerProc, writerProc := -1, -1
+		for p, port := range decl.PortOf {
+			switch port {
+			case 1:
+				readerProc = p
+			case 2:
+				writerProc = p
+			}
+		}
+		if readerProc < 0 || writerProc < 0 {
+			return nil, fmt.Errorf("core: one-use bit %s lacks a reader or writer process", decl.Name)
+		}
+		selected[i] = replacement{
+			Decls: []program.ObjectDecl{onebit.PairDecl(spec, pair, im.Procs, readerProc, writerProc)},
+			MachinesFor: func(p, base int) map[string]program.Machine {
+				switch p {
+				case readerProc:
+					return map[string]program.Machine{types.OpRead: onebit.PairReaderMachine(pair, base)}
+				case writerProc:
+					return map[string]program.Machine{types.OpWrite: onebit.PairWriterMachine(pair, base)}
+				default:
+					return nil
+				}
+			},
+		}
+	}
+	return replaceObjects(im, im.Name+"+type", selected)
+}
+
+// InferType returns the unique non-register, non-one-use-bit object type
+// of the implementation together with the initial states its objects use —
+// the T whose objects will realize the one-use bits.
+func InferType(im *program.Implementation) (*types.Spec, []types.State, error) {
+	var spec *types.Spec
+	var inits []types.State
+	for i := range im.Objects {
+		decl := &im.Objects[i]
+		if decl.Spec.Name == registerSpecName || decl.Spec.Name == oneUseSpecName ||
+			decl.Spec.Name == srswRegisterSpecName {
+			continue
+		}
+		if spec == nil {
+			spec = decl.Spec
+		} else if spec.Name != decl.Spec.Name {
+			return nil, nil, fmt.Errorf("core: multiple candidate types (%q and %q); pass T explicitly",
+				spec.Name, decl.Spec.Name)
+		}
+		inits = append(inits, decl.Init)
+	}
+	if spec == nil {
+		return nil, nil, ErrNoTypeObjects
+	}
+	return spec, inits, nil
+}
+
+// Report is the full record of one register-elimination run, the data
+// behind Experiments E6 and E7.
+type Report struct {
+	Input  *program.Implementation
+	Output *program.Implementation
+
+	// InputReport is the Section 4.2 analysis of the input (D, bounds).
+	InputReport *explore.ConsensusReport
+	// OutputReport verifies the output (agreement, validity, wait-free).
+	OutputReport *explore.ConsensusReport
+
+	Bounds []RegisterBound
+	// Pair is the Section 5.2 witness used to realize one-use bits.
+	Pair *hierarchy.Pair
+	// TypeName is the name of the type T realizing the one-use bits.
+	TypeName string
+
+	// Accounting.
+	RegistersEliminated int
+	OneUseBitsUsed      int
+	TypeObjectsAdded    int
+}
+
+// Summary renders the report's headline numbers.
+func (r *Report) Summary() string {
+	return fmt.Sprintf("%s: D=%d, %d registers -> %d one-use bits -> %d %s objects; output D=%d, ok=%v",
+		r.Input.Name, r.InputReport.Depth, r.RegistersEliminated, r.OneUseBitsUsed,
+		r.TypeObjectsAdded, r.TypeName, r.OutputReport.Depth, r.OutputReport.OK())
+}
+
+// EliminateRegisters runs the full Theorem 5 pipeline on a consensus
+// implementation over SRSW-bit registers and objects of one non-trivial
+// deterministic type, verifying both endpoints. opts configures both
+// explorations (Memoize is recommended for larger protocols). maxK bounds
+// the Section 5.2 witness search.
+func EliminateRegisters(im *program.Implementation, opts explore.Options, maxK int) (*Report, error) {
+	// Section 4.1 at the machine level: multi-valued SRSW registers are
+	// first compiled into SRSW bits (a no-op if there are none).
+	compiled, err := CompileSRSWRegisters(im)
+	if err != nil {
+		return nil, err
+	}
+	inputReport, err := Bound(compiled, opts)
+	if err != nil {
+		return nil, err
+	}
+	bounds, err := RegisterBounds(compiled, inputReport)
+	if err != nil {
+		return nil, err
+	}
+	spec, inits, err := InferType(compiled)
+	if err != nil {
+		return nil, err
+	}
+	pair, err := hierarchy.FindPair(spec, inits, maxK)
+	if err != nil {
+		return nil, fmt.Errorf("core: type %q cannot realize one-use bits: %w", spec.Name, err)
+	}
+
+	step1, err := RegistersToOneUseBits(compiled, bounds)
+	if err != nil {
+		return nil, err
+	}
+	out, err := OneUseBitsToType(step1, spec, pair)
+	if err != nil {
+		return nil, err
+	}
+	outputReport, err := explore.ConsensusK(out, targetValues(im), opts)
+	if err != nil {
+		return nil, err
+	}
+
+	report := &Report{
+		Input:               im,
+		Output:              out,
+		InputReport:         inputReport,
+		OutputReport:        outputReport,
+		Bounds:              bounds,
+		Pair:                pair,
+		TypeName:            spec.Name,
+		RegistersEliminated: len(bounds),
+		OneUseBitsUsed:      step1.CountObjects(oneUseSpecName),
+		TypeObjectsAdded:    out.CountObjects(spec.Name) - im.CountObjects(spec.Name),
+	}
+	if !outputReport.OK() {
+		return report, fmt.Errorf("core: transformed implementation failed verification: %s", outputReport.Summary())
+	}
+	return report, nil
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"fmt"
+
+	"waitfree/internal/explore"
+	"waitfree/internal/onebit"
+	"waitfree/internal/program"
+	"waitfree/internal/types"
+)
+
+// This file implements the THIRD case of Theorem 5 — the h_m(T) >= 2 route
+// (Section 5.3). When T is nondeterministic, the Section 5.2 witness
+// machinery does not apply; instead, every one-use bit is realized from a
+// REGISTER-FREE 2-process consensus implementation over objects of T (the
+// h_m >= 2 witness): the bit's reader proposes 0, its writer proposes 1.
+
+// OneUseBitsToConsensus performs the Section 5.3 replacement: every
+// one-use bit becomes a private copy of the substrate's objects, with
+// reads running the substrate's process-0 program bound to propose(0) and
+// writes its process-1 program bound to propose(1).
+//
+// The substrate must be a REGISTER-FREE 2-process consensus implementation
+// (otherwise the output would smuggle registers back in).
+func OneUseBitsToConsensus(im *program.Implementation, substrate *program.Implementation) (*program.Implementation, error) {
+	if substrate.Procs != 2 {
+		return nil, fmt.Errorf("core: substrate has %d processes, need 2", substrate.Procs)
+	}
+	for i := range substrate.Objects {
+		name := substrate.Objects[i].Spec.Name
+		if name == registerSpecName || name == "register" || name == "bit" || name == oneUseSpecName {
+			return nil, fmt.Errorf("%w: substrate object %d has type %q", ErrUnsupportedRegister, i, name)
+		}
+	}
+	selected := make(map[int]replacement)
+	for i := range im.Objects {
+		decl := &im.Objects[i]
+		if decl.Spec.Name != oneUseSpecName {
+			continue
+		}
+		readerProc, writerProc := -1, -1
+		for p, port := range decl.PortOf {
+			switch port {
+			case 1:
+				readerProc = p
+			case 2:
+				writerProc = p
+			}
+		}
+		if readerProc < 0 || writerProc < 0 {
+			return nil, fmt.Errorf("core: one-use bit %s lacks a reader or writer process", decl.Name)
+		}
+		rp, wp := readerProc, writerProc
+		selected[i] = replacement{
+			Decls: substrateDecls(substrate, im.Procs, rp, wp),
+			MachinesFor: func(p, base int) map[string]program.Machine {
+				decls, read, write, err := onebit.FromConsensus(substrate, im.Procs, rp, wp, base)
+				_ = decls
+				if err != nil {
+					// Surface construction failures as nil machine maps;
+					// replaceObjects validation will reject the result.
+					return nil
+				}
+				switch p {
+				case rp:
+					return map[string]program.Machine{types.OpRead: read}
+				case wp:
+					return map[string]program.Machine{types.OpWrite: write}
+				default:
+					return nil
+				}
+			},
+		}
+	}
+	return replaceObjects(im, im.Name+"+consensus", selected)
+}
+
+// substrateDecls re-bases one private copy of the substrate's objects for
+// the host implementation.
+func substrateDecls(substrate *program.Implementation, procs, readerProc, writerProc int) []program.ObjectDecl {
+	decls, _, _, err := onebit.FromConsensus(substrate, procs, readerProc, writerProc, 0)
+	if err != nil {
+		return nil
+	}
+	return decls
+}
+
+// EliminateRegistersVia53 runs the full pipeline using the Section 5.3
+// route: Section 4.2 bounds, Section 4.3 one-use bits, and then the given
+// register-free consensus substrate (the h_m >= 2 witness for the
+// implementation's type) in place of the Section 5.2 witness. Both
+// endpoints are verified exhaustively.
+func EliminateRegistersVia53(im *program.Implementation, substrate *program.Implementation, opts explore.Options) (*Report, error) {
+	compiled, err := CompileSRSWRegisters(im)
+	if err != nil {
+		return nil, err
+	}
+	inputReport, err := Bound(compiled, opts)
+	if err != nil {
+		return nil, err
+	}
+	bounds, err := RegisterBounds(compiled, inputReport)
+	if err != nil {
+		return nil, err
+	}
+	step1, err := RegistersToOneUseBits(compiled, bounds)
+	if err != nil {
+		return nil, err
+	}
+	out, err := OneUseBitsToConsensus(step1, substrate)
+	if err != nil {
+		return nil, err
+	}
+	outputReport, err := explore.ConsensusK(out, targetValues(im), opts)
+	if err != nil {
+		return nil, err
+	}
+	typeName := "(substrate objects)"
+	if len(substrate.Objects) > 0 {
+		typeName = substrate.Objects[0].Spec.Name
+	}
+	report := &Report{
+		Input:               im,
+		Output:              out,
+		InputReport:         inputReport,
+		OutputReport:        outputReport,
+		Bounds:              bounds,
+		TypeName:            typeName,
+		RegistersEliminated: len(bounds),
+		OneUseBitsUsed:      step1.CountObjects(oneUseSpecName),
+		TypeObjectsAdded:    out.CountObjects(typeName) - im.CountObjects(typeName),
+	}
+	if !outputReport.OK() {
+		return report, fmt.Errorf("core: transformed implementation failed verification: %s", outputReport.Summary())
+	}
+	return report, nil
+}

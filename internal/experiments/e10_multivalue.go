@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+
+	"waitfree/internal/core"
+	"waitfree/internal/explore"
+	"waitfree/internal/multivalue"
+)
+
+// E10 is an extension experiment: the paper's consensus type T_{c,n} is
+// binary, and Herlihy's universality consumes multi-valued consensus; the
+// bit-by-bit construction closes the gap, and the Theorem 5 pipeline
+// composes with it. k-valued 2-process consensus is built from binary
+// consensus objects plus k-valued SRSW registers, the registers are
+// compiled to SRSW bits (Section 4.1 as machines, Vidyasankar encoding),
+// the bits to one-use bits (Section 4.3), and the one-use bits to binary
+// consensus-type objects (Section 5.2) — yielding k-valued consensus from
+// objects of the binary consensus type ALONE, verified over all k^2 trees.
+func E10() (*Table, error) {
+	t := &Table{
+		ID:    "E10",
+		Title: "Extension: multi-valued consensus, register-free via the full pipeline",
+		PaperClaim: "Binary consensus loses no generality (folklore the paper relies on), and " +
+			"Theorem 5 applies to implementations of any consensus target over a " +
+			"deterministic type: here T = the binary consensus type itself.",
+		Expectation: "Multi-valued construction verifies for each k; after elimination, " +
+			"every object is of the binary consensus type; output D grows by the " +
+			"simulation overhead.",
+		Columns: []string{"k", "roots (k^2)", "input D", "registers (unary bits)",
+			"one-use bits", "T=consensus objects", "output D", "output verified"},
+	}
+	allOK := true
+	for _, k := range []int{2, 3, 4} {
+		input := multivalue.FromBinarySRSW(k)
+		report, err := core.EliminateRegisters(input, explore.Options{Memoize: true}, 3)
+		if err != nil {
+			return nil, fmt.Errorf("E10 k=%d: %w", k, err)
+		}
+		ok := report.OutputReport.OK() && report.TypeName == "consensus"
+		for i := range report.Output.Objects {
+			if report.Output.Objects[i].Spec.Name != "consensus" {
+				ok = false
+			}
+		}
+		allOK = allOK && ok
+		t.Rows = append(t.Rows, []string{
+			strconv.Itoa(k), strconv.Itoa(report.OutputReport.Roots),
+			strconv.Itoa(report.InputReport.Depth), strconv.Itoa(report.RegistersEliminated),
+			strconv.Itoa(report.OneUseBitsUsed), strconv.Itoa(len(report.Output.Objects)),
+			strconv.Itoa(report.OutputReport.Depth), yn(ok),
+		})
+	}
+
+	// The plain (non-SRSW) construction at n = 3 as a breadth check.
+	mv3, err := explore.ConsensusK(multivalue.FromBinary(3, 3), 3, explore.Options{Memoize: true})
+	if err != nil {
+		return nil, fmt.Errorf("E10 n=3: %w", err)
+	}
+	allOK = allOK && mv3.OK()
+	t.Rows = append(t.Rows, []string{
+		"3 (n=3, construction only)", strconv.Itoa(mv3.Roots), strconv.Itoa(mv3.Depth),
+		"-", "-", "-", "-", yn(mv3.OK()),
+	})
+
+	t.Verdict = verdict(allOK,
+		"k-valued consensus reduced to binary-consensus-type objects alone, "+
+			"exhaustively verified; the pipeline composes across target types")
+	return t, nil
+}

@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+
+	"waitfree/internal/consensus"
+	"waitfree/internal/explore"
+	"waitfree/internal/linearize"
+	"waitfree/internal/onebit"
+	"waitfree/internal/program"
+	"waitfree/internal/types"
+)
+
+// E4 reproduces Sections 5.1/5.2: every non-trivial deterministic type
+// implements a one-use bit. For each zoo type: find the minimal witness
+// pair, build the derived one-use bit, and verify it by exploring all
+// interleavings of one read and one write against the one-use bit type.
+// Trivial types are confirmed to yield no witness.
+func E4() (*Table, error) {
+	t := &Table{
+		ID:    "E4",
+		Title: "One-use bits from non-trivial deterministic types (Sections 5.1/5.2)",
+		PaperClaim: "Any non-trivial deterministic type implements a one-use bit; minimal " +
+			"witnesses have the Lemma 4 shape (k reading invocations vs one writing " +
+			"invocation followed by the same k).",
+		Expectation: "A k=1 witness for every oblivious zoo type; k=2 for the port-aware " +
+			"latch-flag; no witness for trivial types; every derived bit linearizes.",
+		Columns: []string{"type", "oblivious", "trivial", "k", "witness", "derived bit linearizable"},
+	}
+	cases := []struct {
+		spec  *types.Spec
+		inits []types.State
+	}{
+		{types.TestAndSet(2), []types.State{0}},
+		{types.Register(2, 2), []types.State{0}},
+		{types.Queue(2, 2, 3), []types.State{types.QueueState()}},
+		{types.Stack(2, 2, 3), []types.State{types.QueueState()}},
+		{types.FetchAdd(2), []types.State{0}},
+		{types.Swap(2, 2), []types.State{0}},
+		{types.CompareSwap(2, 3), []types.State{2}},
+		{types.StickyCell(2, 2), []types.State{types.StickyUnset}},
+		{types.Toggle(2), []types.State{0}},
+		{types.LatchFlag(), []types.State{types.LatchFlagInit()}},
+		{types.Beacon(2), []types.State{0}},
+		{types.Blinker(2), []types.State{0}},
+		{types.IncOnly(2), []types.State{0}},
+	}
+	allOK := true
+	for _, tc := range cases {
+		im, pair, err := onebit.FromType(tc.spec, tc.inits, 3)
+		if err != nil {
+			// Expected for trivial types.
+			trivialOK := tc.spec.Name == "beacon" || tc.spec.Name == "blinker" || tc.spec.Name == "inc-only"
+			allOK = allOK && trivialOK
+			t.Rows = append(t.Rows, []string{tc.spec.Name, yn(tc.spec.Oblivious), "yes", "-",
+				"none (trivial)", "-"})
+			continue
+		}
+		ok, err := checkOneUseBit(im)
+		if err != nil {
+			return nil, fmt.Errorf("E4 %s: %w", tc.spec.Name, err)
+		}
+		allOK = allOK && ok
+		t.Rows = append(t.Rows, []string{tc.spec.Name, yn(tc.spec.Oblivious), "no",
+			strconv.Itoa(pair.K()), pair.String(), yn(ok)})
+	}
+	t.Verdict = verdict(allOK,
+		"witnesses found exactly where the paper predicts; every derived one-use bit "+
+			"is linearizable under all interleavings")
+	return t, nil
+}
+
+// E5 reproduces Section 5.3: any type with h_m(T) >= 2 implements a
+// one-use bit via a 2-process consensus object (reader proposes 0, writer
+// proposes 1) — including nondeterministic types, where the explorer also
+// branches over every adversary resolution.
+func E5() (*Table, error) {
+	t := &Table{
+		ID:    "E5",
+		Title: "One-use bits from 2-process consensus (Section 5.3)",
+		PaperClaim: "If h_m(T) >= 2, objects of T implement 2-process consensus, and a " +
+			"consensus object implements a one-use bit: read proposes 0, write proposes 1.",
+		Expectation: "The derived bit linearizes for every substrate, including the " +
+			"nondeterministic WeakLeader one.",
+		Columns: []string{"consensus substrate", "substrate objects", "interleavings", "linearizable"},
+	}
+	cases := []struct {
+		name string
+		mk   func() *program.Implementation
+	}{
+		{"cas-consensus (register-free)", func() *program.Implementation { return consensus.CAS(2) }},
+		{"sticky-consensus (register-free)", func() *program.Implementation { return consensus.Sticky(2) }},
+		{"tas-2consensus", consensus.TAS2},
+		{"weakleader-2consensus (nondeterministic)", consensus.WeakLeader2},
+	}
+	allOK := true
+	for _, tc := range cases {
+		sub := tc.mk()
+		im, err := onebit.FromConsensusImplementation(sub)
+		if err != nil {
+			return nil, fmt.Errorf("E5 %s: %w", tc.name, err)
+		}
+		ok, leaves, err := checkOneUseBitCounting(im)
+		if err != nil {
+			return nil, fmt.Errorf("E5 %s: %w", tc.name, err)
+		}
+		allOK = allOK && ok
+		t.Rows = append(t.Rows, []string{tc.name, strconv.Itoa(len(sub.Objects)),
+			strconv.FormatInt(leaves, 10), yn(ok)})
+	}
+	t.Verdict = verdict(allOK,
+		"every substrate yields a linearizable one-use bit; nondeterministic adversary "+
+			"resolutions are covered exhaustively")
+	return t, nil
+}
+
+func checkOneUseBit(im *program.Implementation) (bool, error) {
+	ok, _, err := checkOneUseBitCounting(im)
+	return ok, err
+}
+
+func checkOneUseBitCounting(im *program.Implementation) (bool, int64, error) {
+	ok := true
+	opts := explore.Options{
+		RecordHistory: true,
+		OnLeaf: func(l *explore.Leaf) error {
+			if _, err := linearize.Check(types.OneUseBit(), types.OneUseUnset, l.History); err != nil {
+				ok = false
+				return err
+			}
+			return nil
+		},
+	}
+	scripts := [][]types.Invocation{{types.Read}, {types.Write(1)}}
+	res, err := explore.Run(im, scripts, opts)
+	if err != nil {
+		return false, 0, err
+	}
+	if res.Violation != nil {
+		return false, res.Leaves, nil
+	}
+	return ok, res.Leaves, nil
+}

@@ -1,0 +1,80 @@
+// Package experiments is the reproduction harness: it re-derives, as
+// machine-checked tables, every result of Bazzi, Neiger, and Peterson
+// (PODC 1994). The paper is pure theory — it has no empirical tables or
+// figures — so the reproduction targets are its numbered constructions and
+// theorems, one experiment each (E1-E9, indexed in DESIGN.md). Each
+// experiment returns a Table whose rows are computed by exhaustive
+// exploration or stress execution, never asserted; EXPERIMENTS.md embeds
+// the generated output.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is one experiment's result.
+type Table struct {
+	ID         string
+	Title      string
+	PaperClaim string
+	Columns    []string
+	Rows       [][]string
+	// Expectation is the "shape" DESIGN.md predicts for this experiment.
+	Expectation string
+	// Verdict summarizes whether the computed rows bear the claim out.
+	Verdict string
+}
+
+// Failed reports whether the verdict indicates a reproduction failure.
+func (t *Table) Failed() bool { return strings.HasPrefix(t.Verdict, "FAILED") }
+
+// Markdown renders tables as a GitHub-flavored Markdown document body.
+func Markdown(tables []*Table) string {
+	var b strings.Builder
+	for _, t := range tables {
+		fmt.Fprintf(&b, "## %s — %s\n\n", t.ID, t.Title)
+		fmt.Fprintf(&b, "**Paper claim.** %s\n\n", t.PaperClaim)
+		fmt.Fprintf(&b, "**Expected shape.** %s\n\n", t.Expectation)
+		fmt.Fprintf(&b, "| %s |\n", strings.Join(t.Columns, " | "))
+		seps := make([]string, len(t.Columns))
+		for i := range seps {
+			seps[i] = "---"
+		}
+		fmt.Fprintf(&b, "|%s|\n", strings.Join(seps, "|"))
+		for _, row := range t.Rows {
+			fmt.Fprintf(&b, "| %s |\n", strings.Join(row, " | "))
+		}
+		fmt.Fprintf(&b, "\n**Measured verdict.** %s\n\n", t.Verdict)
+	}
+	return b.String()
+}
+
+// All runs every experiment in order.
+func All() ([]*Table, error) {
+	runs := []func() (*Table, error){E1, E2, E3, E4, E5, E6, E7, E8, E9, E10, E11}
+	tables := make([]*Table, 0, len(runs))
+	for _, run := range runs {
+		t, err := run()
+		if err != nil {
+			return tables, err
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+// verdict builds a REPRODUCED/FAILED verdict string.
+func verdict(ok bool, detail string) string {
+	if ok {
+		return "REPRODUCED — " + detail
+	}
+	return "FAILED — " + detail
+}
+
+func yn(ok bool) string {
+	if ok {
+		return "yes"
+	}
+	return "NO"
+}

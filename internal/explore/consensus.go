@@ -1,0 +1,211 @@
+package explore
+
+import (
+	"fmt"
+	"sort"
+
+	"waitfree/internal/program"
+	"waitfree/internal/types"
+)
+
+// ConsensusReport is the verdict of exhaustively checking a consensus
+// implementation over all proposal vectors (the paper's 2^n trees) and all
+// interleavings and nondeterministic resolutions within each tree.
+type ConsensusReport struct {
+	Procs int
+	Roots int
+
+	// Agreement: in every execution all processes decide the same value.
+	Agreement bool
+	// Validity: every decided value was proposed by some process.
+	Validity bool
+	// WaitFree: no execution exceeded the step budget or cycled.
+	WaitFree bool
+
+	// Depth is the maximum number of object accesses over all executions
+	// of all trees: the uniform bound D of Section 4.2.
+	Depth int
+	// MaxAccess[o] and OpAccess[o][op] are per-object access bounds over
+	// all executions of all trees (Section 4.2's r_b and w_b, computed
+	// exactly per object and operation).
+	MaxAccess []int
+	OpAccess  []map[string]int
+	// ProcSteps[p] bounds process p's own steps over all executions — the
+	// per-process form of wait-freedom.
+	ProcSteps []int
+
+	Nodes    int64
+	Leaves   int64
+	MemoHits int64
+
+	// Decisions lists the values decided in at least one execution.
+	Decisions []int
+
+	// Violation describes the first failure, with the proposal vector of
+	// the offending tree; nil if the implementation is correct.
+	Violation *Violation
+	// ViolationProposals is the proposal vector of the violating tree.
+	ViolationProposals []int
+}
+
+// OK reports whether the implementation passed all checks.
+func (r *ConsensusReport) OK() bool { return r.Agreement && r.Validity && r.WaitFree }
+
+// Summary renders a one-line verdict.
+func (r *ConsensusReport) Summary() string {
+	status := "OK"
+	if !r.OK() {
+		status = "FAIL"
+	}
+	return fmt.Sprintf("%s: procs=%d roots=%d D=%d nodes=%d leaves=%d agreement=%v validity=%v waitfree=%v",
+		status, r.Procs, r.Roots, r.Depth, r.Nodes, r.Leaves, r.Agreement, r.Validity, r.WaitFree)
+}
+
+// ProposalVector decodes bit p of mask as process p's proposal.
+func ProposalVector(mask, procs int) []int {
+	return ProposalVectorK(mask, procs, 2)
+}
+
+// ProposalVectorK decodes base-k digit p of mask as process p's proposal.
+func ProposalVectorK(mask, procs, k int) []int {
+	vec := make([]int, procs)
+	for p := 0; p < procs; p++ {
+		vec[p] = mask % k
+		mask /= k
+	}
+	return vec
+}
+
+// Consensus explores every execution of im from every binary proposal
+// vector and checks agreement, validity, and wait-freedom. Options.OnLeaf
+// and RecordHistory are reserved for the checker and must be unset.
+func Consensus(im *program.Implementation, opts Options) (*ConsensusReport, error) {
+	return ConsensusK(im, 2, opts)
+}
+
+// ConsensusK is the k-valued generalization of Consensus: processes may
+// propose any value in 0..k-1, giving k^n execution trees.
+func ConsensusK(im *program.Implementation, k int, opts Options) (*ConsensusReport, error) {
+	if opts.OnLeaf != nil || opts.RecordHistory {
+		return nil, fmt.Errorf("%w: Consensus drives OnLeaf and histories internally", ErrBadOptions)
+	}
+	if k < 2 {
+		return nil, fmt.Errorf("%w: need at least 2 proposal values, got %d", ErrBadScripts, k)
+	}
+	report := &ConsensusReport{
+		Procs:     im.Procs,
+		Agreement: true,
+		Validity:  true,
+		WaitFree:  true,
+		MaxAccess: make([]int, len(im.Objects)),
+		OpAccess:  make([]map[string]int, len(im.Objects)),
+		ProcSteps: make([]int, im.Procs),
+	}
+	for i := range report.OpAccess {
+		report.OpAccess[i] = make(map[string]int)
+	}
+	decided := make(map[int]bool)
+
+	roots := 1
+	for p := 0; p < im.Procs; p++ {
+		roots *= k
+	}
+	for mask := 0; mask < roots; mask++ {
+		report.Roots++
+		proposals := ProposalVectorK(mask, im.Procs, k)
+		scripts := make([][]types.Invocation, im.Procs)
+		for p := range scripts {
+			scripts[p] = []types.Invocation{types.Propose(proposals[p])}
+		}
+		treeOpts := opts
+		treeOpts.OnLeaf = func(l *Leaf) error {
+			return checkConsensusLeaf(l, proposals, decided)
+		}
+		res, err := Run(im, scripts, treeOpts)
+		if err != nil {
+			return nil, fmt.Errorf("proposals %v: %w", proposals, err)
+		}
+		mergeResult(report, res)
+		if res.Violation != nil {
+			report.Violation = res.Violation
+			report.ViolationProposals = proposals
+			switch res.Violation.Kind {
+			case KindDepthExceeded, KindCycle:
+				report.WaitFree = false
+			case KindLeafReject:
+				// checkConsensusLeaf prefixes the failed property.
+				if isValidityDetail(res.Violation.Detail) {
+					report.Validity = false
+				} else {
+					report.Agreement = false
+				}
+			}
+			break
+		}
+	}
+	for v := range decided {
+		report.Decisions = append(report.Decisions, v)
+	}
+	sort.Ints(report.Decisions)
+	return report, nil
+}
+
+func checkConsensusLeaf(l *Leaf, proposals []int, decided map[int]bool) error {
+	var first types.Response
+	for p, resps := range l.Responses {
+		if len(resps) == 0 {
+			return fmt.Errorf("agreement: process %d produced no response", p)
+		}
+		r := resps[len(resps)-1]
+		if r.Label != types.LabelVal {
+			return fmt.Errorf("agreement: process %d answered %v, not a value", p, r)
+		}
+		if p == 0 {
+			first = r
+		} else if r != first {
+			return fmt.Errorf("agreement: process 0 decided %v but process %d decided %v", first, p, r)
+		}
+	}
+	valid := false
+	for _, v := range proposals {
+		if first.Val == v {
+			valid = true
+			break
+		}
+	}
+	if !valid {
+		return fmt.Errorf("validity: decided %d, proposals %v", first.Val, proposals)
+	}
+	decided[first.Val] = true
+	return nil
+}
+
+func isValidityDetail(detail string) bool {
+	return len(detail) >= len("validity") && detail[:len("validity")] == "validity"
+}
+
+func mergeResult(report *ConsensusReport, res *Result) {
+	report.Nodes += res.Nodes
+	report.Leaves += res.Leaves
+	report.MemoHits += res.MemoHits
+	if res.Depth > report.Depth {
+		report.Depth = res.Depth
+	}
+	for o, v := range res.MaxAccess {
+		if v > report.MaxAccess[o] {
+			report.MaxAccess[o] = v
+		}
+	}
+	for o, ops := range res.OpAccess {
+		for op, v := range ops {
+			if v > report.OpAccess[o][op] {
+				report.OpAccess[o][op] = v
+			}
+		}
+	}
+	for p, v := range res.ProcSteps {
+		if v > report.ProcSteps[p] {
+			report.ProcSteps[p] = v
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package explore
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"waitfree/internal/program"
+	"waitfree/internal/types"
+)
+
+// This file renders the Section 4.2 execution trees as Graphviz DOT, so
+// the objects the paper reasons about — roots, branching per process,
+// leaves with decisions — can be looked at. Intended for small protocols;
+// rendering stops at a node budget.
+
+// ErrDotBudget reports a tree larger than the rendering budget.
+var ErrDotBudget = errors.New("explore: execution tree exceeds the DOT node budget")
+
+// Dot renders the execution tree of im under the given scripts as a DOT
+// digraph with at most maxNodes nodes. Leaves are double circles labeled
+// with the processes' final responses; edges are labeled proc:inv->resp.
+func Dot(im *program.Implementation, scripts [][]types.Invocation, opts Options, maxNodes int) (string, error) {
+	if err := im.Validate(); err != nil {
+		return "", err
+	}
+	if len(scripts) != im.Procs {
+		return "", fmt.Errorf("%w: %d scripts for %d processes", ErrBadScripts, len(scripts), im.Procs)
+	}
+	if opts.MaxDepth == 0 {
+		opts.MaxDepth = DefaultMaxDepth
+	}
+	e := &explorer{im: im, scripts: scripts, opts: opts}
+	e.responses = make([][]types.Response, im.Procs)
+	for p := range e.responses {
+		e.responses[p] = make([]types.Response, 0, 4)
+	}
+	root := &config{objs: im.InitialStates(), procs: make([]procState, im.Procs)}
+	for p := 0; p < im.Procs; p++ {
+		root.procs[p] = procState{Mem: nil}
+		if err := e.startNextOp(root, p, types.Response{}); err != nil {
+			return "", err
+		}
+	}
+
+	var b strings.Builder
+	b.WriteString("digraph executiontree {\n")
+	b.WriteString("  rankdir=TB;\n  node [shape=circle, fontsize=10];\n")
+	d := &dotBuilder{e: e, b: &b, budget: maxNodes}
+	if _, err := d.walk(root, 0); err != nil {
+		return "", err
+	}
+	b.WriteString("}\n")
+	return b.String(), nil
+}
+
+type dotBuilder struct {
+	e      *explorer
+	b      *strings.Builder
+	nextID int
+	budget int
+}
+
+func (d *dotBuilder) walk(c *config, depth int) (int, error) {
+	if d.nextID >= d.budget {
+		return 0, fmt.Errorf("%w: more than %d nodes", ErrDotBudget, d.budget)
+	}
+	id := d.nextID
+	d.nextID++
+
+	allDone := true
+	for p := range c.procs {
+		if !c.procs[p].Done {
+			allDone = false
+			break
+		}
+	}
+	if allDone {
+		labels := make([]string, len(c.procs))
+		for p := range c.procs {
+			labels[p] = fmt.Sprintf("p%d:%v", p, c.procs[p].Resp)
+		}
+		fmt.Fprintf(d.b, "  n%d [shape=doublecircle, label=\"%s\"];\n",
+			id, strings.Join(labels, "\\n"))
+		return id, nil
+	}
+	fmt.Fprintf(d.b, "  n%d [label=\"%s\"];\n", id, dotStateLabel(c))
+
+	for p := range c.procs {
+		if c.procs[p].Done {
+			continue
+		}
+		act := c.procs[p].Pending
+		decl := &d.e.im.Objects[act.Obj]
+		ts, err := decl.Spec.Apply(c.objs[act.Obj], decl.Port(p), act.Inv)
+		if err != nil {
+			return 0, err
+		}
+		for _, t := range ts {
+			child := c.clone()
+			child.objs[act.Obj] = t.Next
+			if err := d.e.startNextOp(child, p, t.Resp); err != nil {
+				return 0, err
+			}
+			childID, err := d.walk(child, depth+1)
+			if err != nil {
+				return 0, err
+			}
+			fmt.Fprintf(d.b, "  n%d -> n%d [label=\"p%d:%s.%v→%v\"];\n",
+				id, childID, p, decl.Name, act.Inv, t.Resp)
+		}
+	}
+	return id, nil
+}
+
+// dotStateLabel renders the object states compactly.
+func dotStateLabel(c *config) string {
+	parts := make([]string, len(c.objs))
+	for i, s := range c.objs {
+		parts[i] = types.StateKey(s)
+	}
+	return strings.Join(parts, ",")
+}

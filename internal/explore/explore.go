@@ -1,0 +1,573 @@
+// Package explore enumerates the execution trees of Section 4.2 of Bazzi,
+// Neiger, and Peterson (PODC 1994).
+//
+// Each node of a tree is a configuration of an implementation: the states
+// of the implementing objects plus the control state of every process's
+// program. A configuration's children are obtained by letting one process
+// execute one low-level operation (one object access); nondeterministic
+// objects additionally branch over their allowed transitions. Leaves are
+// configurations where every process has completed its script of target
+// operations.
+//
+// The explorer makes the paper's König's-lemma argument effective: for a
+// deterministic, wait-free implementation the tree is finite, and the
+// explorer computes its exact depth D and, more finely, per-object and
+// per-operation access bounds along any root-to-leaf path — the r_b and
+// w_b of Section 4.2. A cycle in the configuration graph (detected under
+// memoization) or a path exceeding the step budget is evidence against
+// wait-freedom and is reported as a violation together with the schedule
+// that exhibits it.
+package explore
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"waitfree/internal/hist"
+	"waitfree/internal/program"
+	"waitfree/internal/types"
+)
+
+// DefaultMaxDepth is the per-path step budget when Options.MaxDepth is 0.
+const DefaultMaxDepth = 4096
+
+// Options configures a Run.
+type Options struct {
+	// MaxDepth is the per-path object-access budget; exceeding it is
+	// reported as a wait-freedom violation. 0 means DefaultMaxDepth.
+	MaxDepth int
+	// Memoize deduplicates configurations reached by several paths. The
+	// paper's trees replicate such configurations; memoizing changes cost,
+	// never verdicts. Memoization also enables exact cycle detection.
+	// Incompatible with RecordHistory.
+	Memoize bool
+	// RecordHistory attaches the complete concurrent history of target
+	// operations to each Leaf, for linearizability checking.
+	RecordHistory bool
+	// OnLeaf, if set, is called at every leaf. Returning an error aborts
+	// exploration and surfaces as a KindLeafReject violation.
+	OnLeaf func(*Leaf) error
+}
+
+// Leaf describes one completed execution.
+type Leaf struct {
+	// Responses[p][k] is the response of process p's k-th target
+	// operation. Under memoization only the last operation's response per
+	// process is available (earlier ones are zero Responses for processes
+	// whose prefix was deduplicated).
+	Responses [][]types.Response
+	// Depth is the number of object accesses along this execution.
+	Depth int
+	// History is the concurrent history of target operations
+	// (RecordHistory mode only).
+	History hist.History
+	// Schedule is the access sequence of this execution.
+	Schedule []StepRecord
+}
+
+// StepRecord is one low-level operation of a schedule.
+type StepRecord struct {
+	Proc int
+	Obj  int
+	Inv  types.Invocation
+	Resp types.Response
+}
+
+// String renders the step as p<proc>:obj<obj>.<inv>-><resp>.
+func (s StepRecord) String() string {
+	return fmt.Sprintf("p%d:obj%d.%v->%v", s.Proc, s.Obj, s.Inv, s.Resp)
+}
+
+// FormatSchedule renders a schedule one step per line.
+func FormatSchedule(steps []StepRecord) string {
+	parts := make([]string, len(steps))
+	for i, s := range steps {
+		parts[i] = s.String()
+	}
+	return strings.Join(parts, "\n")
+}
+
+// ViolationKind classifies semantic findings.
+type ViolationKind int
+
+// Violation kinds.
+const (
+	// KindDepthExceeded: some execution exceeded the step budget.
+	KindDepthExceeded ViolationKind = iota + 1
+	// KindCycle: the configuration graph has a cycle, so some execution
+	// never terminates (the implementation is not wait-free).
+	KindCycle
+	// KindLeafReject: the OnLeaf callback rejected an execution.
+	KindLeafReject
+)
+
+func (k ViolationKind) String() string {
+	switch k {
+	case KindDepthExceeded:
+		return "step budget exceeded"
+	case KindCycle:
+		return "configuration cycle (not wait-free)"
+	case KindLeafReject:
+		return "execution rejected"
+	}
+	return "unknown violation"
+}
+
+// Violation is a semantic finding: evidence that the implementation is not
+// wait-free or that an execution failed the leaf check.
+type Violation struct {
+	Kind     ViolationKind
+	Detail   string
+	Schedule []StepRecord
+}
+
+// Error renders the violation (Violation is usable as an error value).
+func (v *Violation) Error() string {
+	return fmt.Sprintf("explore: %v: %s\nschedule:\n%s", v.Kind, v.Detail, FormatSchedule(v.Schedule))
+}
+
+// Result aggregates a Run.
+type Result struct {
+	Nodes    int64
+	Leaves   int64
+	MemoHits int64
+	// Depth is the maximum number of object accesses along any execution:
+	// the paper's bound D for this tree.
+	Depth int
+	// MaxAccess[o] is the maximum number of accesses to object o along
+	// any single execution.
+	MaxAccess []int
+	// OpAccess[o][op] is the maximum number of op-invocations on object o
+	// along any single execution (for registers: the r_b and w_b bounds).
+	OpAccess []map[string]int
+	// ProcSteps[p] is the maximum number of object accesses process p
+	// performs along any single execution: the per-process wait-freedom
+	// bound ("a finite number of its own steps").
+	ProcSteps []int
+	// Violation is non-nil if exploration found a semantic violation; the
+	// remaining fields then cover only the explored fragment.
+	Violation *Violation
+}
+
+// Structural errors.
+var (
+	ErrBadOptions = errors.New("explore: Memoize and RecordHistory are mutually exclusive")
+	ErrBadScripts = errors.New("explore: script shape does not match implementation")
+)
+
+// accKey indexes per-object, per-operation access counters. An empty Op
+// aggregates all operations on the object; negative Obj values -(p+1)
+// carry per-process step counters.
+type accKey struct {
+	Obj int
+	Op  string
+}
+
+// procKey returns the accKey carrying process p's step counter.
+func procKey(p int) accKey { return accKey{Obj: -(p + 1)} }
+
+// summary is the subtree aggregate computed bottom-up.
+type summary struct {
+	height int
+	nodes  int64
+	leaves int64
+	acc    map[accKey]int
+}
+
+// procState is one process's part of a configuration. All fields are
+// comparable values; machine states and memories must be pointer-free.
+type procState struct {
+	OpIdx   int
+	Done    bool
+	Mem     any
+	Mst     any
+	Pending program.Action
+	// Resp is the response of the last completed target operation; it is
+	// part of the configuration so that memoization never conflates
+	// executions with different outcomes.
+	Resp types.Response
+}
+
+type config struct {
+	objs  []types.State
+	procs []procState
+}
+
+func (c *config) clone() *config {
+	d := &config{
+		objs:  make([]types.State, len(c.objs)),
+		procs: make([]procState, len(c.procs)),
+	}
+	copy(d.objs, c.objs)
+	copy(d.procs, c.procs)
+	return d
+}
+
+func (c *config) key() string {
+	return fmt.Sprintf("%#v|%#v", c.objs, c.procs)
+}
+
+// Run explores all executions of im in which process p performs the target
+// invocations scripts[p], in order. It returns the tree's aggregate result;
+// semantic findings are reported in Result.Violation, structural problems
+// as errors.
+func Run(im *program.Implementation, scripts [][]types.Invocation, opts Options) (*Result, error) {
+	if err := im.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Memoize && opts.RecordHistory {
+		return nil, ErrBadOptions
+	}
+	if len(scripts) != im.Procs {
+		return nil, fmt.Errorf("%w: %d scripts for %d processes", ErrBadScripts, len(scripts), im.Procs)
+	}
+	if opts.MaxDepth == 0 {
+		opts.MaxDepth = DefaultMaxDepth
+	}
+	e := &explorer{
+		im:      im,
+		scripts: scripts,
+		opts:    opts,
+	}
+	if opts.Memoize {
+		e.memo = make(map[string]*summary)
+		e.color = make(map[string]int)
+	}
+	root := &config{
+		objs:  im.InitialStates(),
+		procs: make([]procState, im.Procs),
+	}
+	e.responses = make([][]types.Response, im.Procs)
+	for p := 0; p < im.Procs; p++ {
+		e.responses[p] = make([]types.Response, 0, len(scripts[p]))
+		root.procs[p] = procState{Mem: nil}
+		if err := e.startNextOp(root, p, types.Response{}); err != nil {
+			return nil, err
+		}
+	}
+	sum, err := e.dfs(root, 0)
+	res := &Result{
+		Nodes:     sum.nodes,
+		Leaves:    sum.leaves,
+		MemoHits:  e.memoHits,
+		Depth:     sum.height,
+		Violation: e.violation,
+	}
+	res.MaxAccess = make([]int, len(im.Objects))
+	res.OpAccess = make([]map[string]int, len(im.Objects))
+	res.ProcSteps = make([]int, im.Procs)
+	for i := range im.Objects {
+		res.OpAccess[i] = make(map[string]int)
+	}
+	for k, v := range sum.acc {
+		switch {
+		case k.Obj < 0:
+			res.ProcSteps[-(k.Obj + 1)] = v
+		case k.Op == "":
+			res.MaxAccess[k.Obj] = v
+		default:
+			res.OpAccess[k.Obj][k.Op] = v
+		}
+	}
+	if err != nil {
+		if errors.Is(err, errAbort) {
+			return res, nil
+		}
+		return nil, err
+	}
+	return res, nil
+}
+
+// errAbort unwinds the DFS after a violation was recorded.
+var errAbort = errors.New("explore: aborted")
+
+type explorer struct {
+	im      *program.Implementation
+	scripts [][]types.Invocation
+	opts    Options
+
+	memo     map[string]*summary
+	color    map[string]int // 1 = on stack, 2 = done
+	memoHits int64
+
+	// Path-local data (push/pop around recursion).
+	schedule  []StepRecord
+	responses [][]types.Response
+	history   hist.History
+	openOp    []int // per proc: index into history of the open op, -1 if none
+	clock     int
+
+	violation *Violation
+}
+
+// startNextOp advances process p past any number of operation boundaries:
+// it feeds resp to the machine and folds zero-access returns and starts
+// until the process either has a pending object access or is done. Local
+// steps consume no tree edges, matching the paper's counting of low-level
+// operations only.
+func (e *explorer) startNextOp(c *config, p int, resp types.Response) error {
+	ps := &c.procs[p]
+	m := e.im.Machines[p]
+	if ps.Done {
+		return nil
+	}
+	if ps.Mst == nil {
+		if ps.OpIdx >= len(e.scripts[p]) {
+			// Empty script: the process is done without taking a step.
+			ps.Done = true
+			return nil
+		}
+		// Entry point of the next target operation.
+		e.beginOp(c, p)
+	}
+	for {
+		if ps.Done {
+			return nil
+		}
+		act, next := m.Next(ps.Mst, resp)
+		ps.Mst = next
+		switch act.Kind {
+		case program.KindInvoke:
+			if act.Obj < 0 || act.Obj >= len(e.im.Objects) {
+				return fmt.Errorf("explore: process %d invoked unknown object %d", p, act.Obj)
+			}
+			if e.im.Objects[act.Obj].Port(p) == 0 {
+				return fmt.Errorf("explore: process %d has no port on object %d (%s)",
+					p, act.Obj, e.im.Objects[act.Obj].Name)
+			}
+			ps.Pending = act
+			return nil
+		case program.KindReturn:
+			e.endOp(c, p, act)
+			if ps.OpIdx >= len(e.scripts[p]) {
+				ps.Done = true
+				ps.Mst = nil
+				ps.Pending = program.Action{}
+				return nil
+			}
+			e.beginOp(c, p)
+			resp = types.Response{}
+		default:
+			return fmt.Errorf("explore: process %d produced invalid action kind %d", p, act.Kind)
+		}
+	}
+}
+
+func (e *explorer) beginOp(c *config, p int) {
+	ps := &c.procs[p]
+	inv := e.scripts[p][ps.OpIdx]
+	ps.Mst = e.im.Machines[p].Start(inv, ps.Mem)
+	if e.opts.RecordHistory {
+		if e.openOp == nil {
+			e.openOp = make([]int, e.im.Procs)
+			for i := range e.openOp {
+				e.openOp[i] = -1
+			}
+		}
+		e.openOp[p] = len(e.history)
+		e.history = append(e.history, hist.Op{
+			Proc:  p,
+			Port:  p + 1, // convention: process p holds target port p+1
+			Inv:   inv,
+			Begin: e.clock,
+			End:   hist.Pending,
+		})
+		e.clock++
+	}
+}
+
+func (e *explorer) endOp(c *config, p int, act program.Action) {
+	ps := &c.procs[p]
+	e.responses[p] = append(e.responses[p], act.Resp)
+	ps.Resp = act.Resp
+	ps.Mem = act.Mem
+	ps.OpIdx++
+	if e.opts.RecordHistory {
+		idx := e.openOp[p]
+		e.history[idx].Resp = act.Resp
+		e.history[idx].End = e.clock
+		e.openOp[p] = -1
+		e.clock++
+	}
+}
+
+func (e *explorer) dfs(c *config, depth int) (*summary, error) {
+	sum := &summary{nodes: 1, acc: make(map[accKey]int)}
+	allDone := true
+	for p := range c.procs {
+		if !c.procs[p].Done {
+			allDone = false
+			break
+		}
+	}
+	if allDone {
+		sum.leaves = 1
+		if err := e.leaf(c, depth); err != nil {
+			return sum, err
+		}
+		return sum, nil
+	}
+	if depth >= e.opts.MaxDepth {
+		e.violate(KindDepthExceeded, fmt.Sprintf("execution reached %d object accesses", depth))
+		return sum, errAbort
+	}
+
+	var key string
+	if e.opts.Memoize {
+		key = c.key()
+		if cached, ok := e.memo[key]; ok {
+			e.memoHits++
+			return cached, nil
+		}
+		if e.color[key] == 1 {
+			e.violate(KindCycle, "configuration repeats along one execution")
+			return sum, errAbort
+		}
+		e.color[key] = 1
+	}
+
+	for p := range c.procs {
+		if c.procs[p].Done {
+			continue
+		}
+		act := c.procs[p].Pending
+		decl := &e.im.Objects[act.Obj]
+		port := decl.Port(p)
+		ts, err := decl.Spec.Apply(c.objs[act.Obj], port, act.Inv)
+		if err != nil {
+			return sum, fmt.Errorf("process %d at depth %d: %w", p, depth, err)
+		}
+		for _, t := range ts {
+			child := c.clone()
+			child.objs[act.Obj] = t.Next
+
+			// Path-local bookkeeping with undo.
+			e.schedule = append(e.schedule, StepRecord{Proc: p, Obj: act.Obj, Inv: act.Inv, Resp: t.Resp})
+			respMark := len(e.responses[p])
+			histMark := len(e.history)
+			clockMark := e.clock
+			if e.opts.RecordHistory {
+				e.clock++ // the access itself is a clock event
+			}
+
+			err := e.startNextOp(child, p, t.Resp)
+			var childSum *summary
+			if err == nil {
+				childSum, err = e.dfs(child, depth+1)
+			}
+
+			if childSum != nil {
+				mergeChild(sum, childSum, act.Obj, act.Inv.Op, p)
+			}
+
+			// Undo path-local bookkeeping.
+			e.schedule = e.schedule[:len(e.schedule)-1]
+			e.responses[p] = e.responses[p][:respMark]
+			if e.opts.RecordHistory {
+				for i := histMark; i < len(e.history); i++ {
+					// Ops opened below are discarded wholesale.
+					if e.openOp[e.history[i].Proc] == i {
+						e.openOp[e.history[i].Proc] = -1
+					}
+				}
+				e.history = e.history[:histMark]
+				// Ops completed below histMark must be reopened.
+				for i := range e.history {
+					op := &e.history[i]
+					if op.End != hist.Pending && op.End >= clockMark {
+						op.End = hist.Pending
+						op.Resp = types.Response{}
+						e.openOp[op.Proc] = i
+					}
+				}
+				e.clock = clockMark
+			}
+
+			if err != nil {
+				if e.opts.Memoize {
+					e.color[key] = 0
+				}
+				return sum, err
+			}
+		}
+	}
+
+	if e.opts.Memoize {
+		e.color[key] = 2
+		e.memo[key] = sum
+	}
+	return sum, nil
+}
+
+// mergeChild folds a child subtree summary (reached via one access to obj
+// with operation op by process proc) into the parent summary.
+func mergeChild(parent, child *summary, obj int, op string, proc int) {
+	parent.nodes += child.nodes
+	parent.leaves += child.leaves
+	if h := child.height + 1; h > parent.height {
+		parent.height = h
+	}
+	// The edge access increments the child's per-path counters for
+	// (obj, op), (obj, ""), and the stepping process.
+	bump := map[accKey]int{
+		{Obj: obj, Op: op}: 1,
+		{Obj: obj, Op: ""}: 1,
+		procKey(proc):      1,
+	}
+	seen := make(map[accKey]bool, len(child.acc)+2)
+	for k, v := range child.acc {
+		adj := v + bump[k]
+		if adj > parent.acc[k] {
+			parent.acc[k] = adj
+		}
+		seen[k] = true
+	}
+	for k, b := range bump {
+		if seen[k] {
+			continue
+		}
+		if b > parent.acc[k] {
+			parent.acc[k] = b
+		}
+	}
+}
+
+func (e *explorer) leaf(c *config, depth int) error {
+	if e.opts.OnLeaf == nil {
+		return nil
+	}
+	leaf := &Leaf{
+		Depth:     depth,
+		Responses: make([][]types.Response, e.im.Procs),
+		Schedule:  append([]StepRecord(nil), e.schedule...),
+	}
+	for p := 0; p < e.im.Procs; p++ {
+		if e.opts.Memoize {
+			// Path data may be incomplete under memoization; surface the
+			// per-process final responses from the configuration itself.
+			leaf.Responses[p] = []types.Response{c.procs[p].Resp}
+		} else {
+			leaf.Responses[p] = append([]types.Response(nil), e.responses[p]...)
+		}
+	}
+	if e.opts.RecordHistory {
+		leaf.History = append(hist.History(nil), e.history...)
+	}
+	if err := e.opts.OnLeaf(leaf); err != nil {
+		e.violate(KindLeafReject, err.Error())
+		return errAbort
+	}
+	return nil
+}
+
+func (e *explorer) violate(kind ViolationKind, detail string) {
+	if e.violation != nil {
+		return
+	}
+	e.violation = &Violation{
+		Kind:     kind,
+		Detail:   detail,
+		Schedule: append([]StepRecord(nil), e.schedule...),
+	}
+}

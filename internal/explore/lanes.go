@@ -1,0 +1,58 @@
+package explore
+
+import (
+	"fmt"
+	"strings"
+
+	"waitfree/internal/program"
+)
+
+// FormatLanes renders a schedule as an ASCII sequence diagram with one
+// column per process — the natural way to read a counterexample. im (may
+// be nil) supplies object names; without it, objects print as obj<N>.
+func FormatLanes(steps []StepRecord, im *program.Implementation) string {
+	if len(steps) == 0 {
+		return "(empty schedule)"
+	}
+	procs := 0
+	for _, s := range steps {
+		if s.Proc+1 > procs {
+			procs = s.Proc + 1
+		}
+	}
+	cells := make([]string, len(steps))
+	width := 0
+	for i, s := range steps {
+		name := fmt.Sprintf("obj%d", s.Obj)
+		if im != nil && s.Obj >= 0 && s.Obj < len(im.Objects) {
+			name = im.Objects[s.Obj].Name
+		}
+		cells[i] = fmt.Sprintf("%s.%v->%v", name, s.Inv, s.Resp)
+		if len(cells[i]) > width {
+			width = len(cells[i])
+		}
+	}
+	if width < 8 {
+		width = 8
+	}
+
+	var b strings.Builder
+	b.WriteString("step  ")
+	for p := 0; p < procs; p++ {
+		fmt.Fprintf(&b, "%-*s", width+2, fmt.Sprintf("p%d", p))
+	}
+	b.WriteString("\n")
+	for i, s := range steps {
+		fmt.Fprintf(&b, "%4d  ", i+1)
+		for p := 0; p < procs; p++ {
+			cell := ""
+			if p == s.Proc {
+				cell = cells[i]
+			}
+			fmt.Fprintf(&b, "%-*s", width+2, cell)
+		}
+		b.WriteString(strings.TrimRight("", " "))
+		b.WriteString("\n")
+	}
+	return strings.TrimRight(b.String(), "\n")
+}

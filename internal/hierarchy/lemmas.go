@@ -1,0 +1,200 @@
+package hierarchy
+
+import (
+	"fmt"
+
+	"waitfree/internal/types"
+)
+
+// This file validates Lemmas 2-4 of Section 5.2 computationally. The
+// lemmas constrain the shape of a MINIMAL non-trivial pair (H1, H2):
+//
+//	Lemma 2: one of the histories consists only of the k invocations on
+//	         the reading port (no other-port activity).
+//	Lemma 3: the other history ends with those k invocations.
+//	Lemma 4: the other history is exactly one other-port invocation
+//	         followed by the k invocations; |H2| = k+1.
+//
+// FindPairUnrestricted searches over ALL pairs of sequential histories
+// with the same reading-port invocation subsequence — not just the Lemma 4
+// shape — and returns a pair minimizing |H1| + |H2|. Tests then check that
+// the minimum really has the lemma shape, which is exactly the paper's
+// claim instantiated on each zoo type.
+
+// GeneralHistory is a sequential history given as explicit port/invocation
+// steps (responses recomputed during runs).
+type GeneralHistory []PortInv
+
+// PortInv is one step of a GeneralHistory.
+type PortInv struct {
+	Port int
+	Inv  types.Invocation
+}
+
+// String renders the history compactly.
+func (h GeneralHistory) String() string {
+	s := ""
+	for i, pi := range h {
+		if i > 0 {
+			s += ";"
+		}
+		s += fmt.Sprintf("%v@%d", pi.Inv, pi.Port)
+	}
+	return s
+}
+
+// readSeq extracts the subsequence of invocations on the given port.
+func (h GeneralHistory) readSeq(port int) []types.Invocation {
+	var seq []types.Invocation
+	for _, pi := range h {
+		if pi.Port == port {
+			seq = append(seq, pi.Inv)
+		}
+	}
+	return seq
+}
+
+// run executes the history from q and returns the response of the LAST
+// invocation on readPort; ok is false if any step is illegal or no
+// invocation on readPort occurs.
+func (h GeneralHistory) run(spec *types.Spec, q types.State, readPort int) (types.Response, bool) {
+	var last types.Response
+	seen := false
+	for _, pi := range h {
+		ts := spec.Step(q, pi.Port, pi.Inv)
+		if len(ts) == 0 {
+			return types.Response{}, false
+		}
+		q = ts[0].Next
+		if pi.Port == readPort {
+			last = ts[0].Resp
+			seen = true
+		}
+	}
+	return last, seen
+}
+
+// GeneralPair is an unrestricted non-trivial pair found by
+// FindPairUnrestricted.
+type GeneralPair struct {
+	Q        types.State
+	ReadPort int
+	H1, H2   GeneralHistory
+	R1, R2   types.Response
+}
+
+// TotalLen is |H1| + |H2|, the quantity the lemmas minimize.
+func (p *GeneralPair) TotalLen() int { return len(p.H1) + len(p.H2) }
+
+// HasLemma4Shape reports whether the pair has the exact shape Lemmas 2-4
+// force on minimal pairs: one history is k reading-port invocations, the
+// other is one other-port invocation followed by the same k invocations.
+func (p *GeneralPair) HasLemma4Shape() bool {
+	h1, h2 := p.H1, p.H2
+	if len(h1) > len(h2) {
+		h1, h2 = h2, h1
+	}
+	k := len(h1)
+	if len(h2) != k+1 {
+		return false
+	}
+	for _, pi := range h1 {
+		if pi.Port != p.ReadPort {
+			return false
+		}
+	}
+	if h2[0].Port == p.ReadPort {
+		return false
+	}
+	for i, pi := range h2[1:] {
+		if pi.Port != p.ReadPort || pi.Inv != h1[i].Inv {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the pair.
+func (p *GeneralPair) String() string {
+	return fmt.Sprintf("q=%v port=%d H1=[%v]->%v H2=[%v]->%v",
+		p.Q, p.ReadPort, p.H1, p.R1, p.H2, p.R2)
+}
+
+// FindPairUnrestricted enumerates ALL sequential histories of length at
+// most maxLen from each initial state and returns a non-trivial pair
+// minimizing |H1| + |H2| (ties broken arbitrarily), or ErrNoWitness. Two
+// histories form a pair when they share the same invocation subsequence on
+// some reading port but their last reading-port responses differ.
+//
+// The search is exponential in maxLen and is meant for validating the
+// Section 5.2 lemmas on small types, not for production use — FindPair is
+// the efficient, lemma-backed search.
+func FindPairUnrestricted(spec *types.Spec, inits []types.State, maxLen int) (*GeneralPair, error) {
+	if !spec.Deterministic {
+		return nil, fmt.Errorf("%w: %q", ErrNondeterministic, spec.Name)
+	}
+	var best *GeneralPair
+	for _, init := range expandInits(spec, inits) {
+		for readPort := 1; readPort <= spec.Ports; readPort++ {
+			findPairsAtPort(spec, init, readPort, maxLen, &best)
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("%w: no unrestricted pair for %q with |H| <= %d", ErrNoWitness, spec.Name, maxLen)
+	}
+	return best, nil
+}
+
+// groupKey identifies histories comparable as a pair: same reading-port
+// invocation subsequence (rendered) and same state/port context.
+type groupKey struct {
+	seq string
+}
+
+// candidate is one legal history with its return value.
+type candidate struct {
+	h GeneralHistory
+	r types.Response
+}
+
+func findPairsAtPort(spec *types.Spec, init types.State, readPort, maxLen int, best **GeneralPair) {
+	groups := make(map[groupKey][]candidate)
+	var h GeneralHistory
+
+	var rec func(q types.State, depth int)
+	rec = func(q types.State, depth int) {
+		if r, seen := h.run(spec, init, readPort); seen {
+			// Record this history under its reading-port subsequence.
+			_ = r
+			key := groupKey{seq: fmt.Sprintf("%v", h.readSeq(readPort))}
+			cand := candidate{h: append(GeneralHistory(nil), h...), r: r}
+			for _, prev := range groups[key] {
+				if prev.r != cand.r {
+					total := len(prev.h) + len(cand.h)
+					if *best == nil || total < (*best).TotalLen() {
+						*best = &GeneralPair{
+							Q: init, ReadPort: readPort,
+							H1: prev.h, H2: cand.h, R1: prev.r, R2: cand.r,
+						}
+					}
+				}
+			}
+			groups[key] = append(groups[key], cand)
+		}
+		if depth == maxLen {
+			return
+		}
+		for port := 1; port <= spec.Ports; port++ {
+			for _, inv := range spec.Alphabet {
+				ts := spec.Step(q, port, inv)
+				if len(ts) == 0 {
+					continue
+				}
+				h = append(h, PortInv{Port: port, Inv: inv})
+				rec(ts[0].Next, depth+1)
+				h = h[:len(h)-1]
+			}
+		}
+	}
+	rec(init, 0)
+}

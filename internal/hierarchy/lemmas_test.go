@@ -1,0 +1,131 @@
+package hierarchy
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"waitfree/internal/types"
+)
+
+// TestLemma4ShapeOnZoo is the computational validation of Lemmas 2-4: for
+// every non-trivial deterministic zoo type, search over ALL pairs of
+// histories (not just the lemma shape) and check that a minimal pair has
+// exactly the shape the lemmas force — one history is the k reading-port
+// invocations, the other is a single other-port invocation followed by the
+// same k invocations.
+func TestLemma4ShapeOnZoo(t *testing.T) {
+	cases := []struct {
+		name   string
+		spec   *types.Spec
+		inits  []types.State
+		maxLen int
+	}{
+		{"register", types.Register(2, 2), []types.State{0}, 4},
+		{"tas", types.TestAndSet(2), []types.State{0}, 4},
+		{"queue", types.Queue(2, 2, 3), []types.State{types.QueueState()}, 4},
+		{"stack", types.Stack(2, 2, 3), []types.State{types.QueueState()}, 4},
+		{"faa", types.FetchAdd(2), []types.State{0}, 4},
+		{"swap", types.Swap(2, 2), []types.State{0}, 4},
+		{"sticky-cell", types.StickyCell(2, 2), []types.State{types.StickyUnset}, 4},
+		{"toggle", types.Toggle(2), []types.State{0}, 4},
+		{"latch-flag", types.LatchFlag(), []types.State{types.LatchFlagInit()}, 5},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p, err := FindPairUnrestricted(tc.spec, tc.inits, tc.maxLen)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !p.HasLemma4Shape() {
+				t.Fatalf("minimal pair does not have the Lemma 4 shape: %v", p)
+			}
+			// Cross-check with the shape-restricted search: total lengths
+			// must agree (2k+1 for reading sequence length k).
+			shaped, err := FindPair(tc.spec, tc.inits, tc.maxLen)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := 2*shaped.K() + 1; p.TotalLen() != want {
+				t.Errorf("unrestricted minimum |H1|+|H2| = %d, shaped search implies %d",
+					p.TotalLen(), want)
+			}
+		})
+	}
+}
+
+// TestUnrestrictedSearchAgreesOnTriviality: the unrestricted search finds
+// no pair exactly when the type is trivial.
+func TestUnrestrictedSearchAgreesOnTriviality(t *testing.T) {
+	for _, spec := range []*types.Spec{types.Beacon(2), types.Blinker(2), types.IncOnly(2)} {
+		if _, err := FindPairUnrestricted(spec, []types.State{0}, 4); !errors.Is(err, ErrNoWitness) {
+			t.Errorf("%s: err = %v, want ErrNoWitness", spec.Name, err)
+		}
+	}
+}
+
+func TestUnrestrictedRejectsNondeterministic(t *testing.T) {
+	if _, err := FindPairUnrestricted(types.WeakLeader(2), []types.State{0}, 3); !errors.Is(err, ErrNondeterministic) {
+		t.Fatalf("err = %v, want ErrNondeterministic", err)
+	}
+}
+
+func TestGeneralPairFormatting(t *testing.T) {
+	p, err := FindPairUnrestricted(types.TestAndSet(2), []types.State{0}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := p.String()
+	if !strings.Contains(s, "H1=") || !strings.Contains(s, "H2=") {
+		t.Errorf("String() = %q", s)
+	}
+	if p.ReadPort < 1 || p.ReadPort > 2 {
+		t.Errorf("read port = %d", p.ReadPort)
+	}
+}
+
+func TestHasLemma4ShapeRejectsWrongShapes(t *testing.T) {
+	probe := types.Inv(types.OpTAS)
+	// Both histories pure: not the shape.
+	same := &GeneralPair{
+		ReadPort: 1,
+		H1:       GeneralHistory{{Port: 1, Inv: probe}},
+		H2:       GeneralHistory{{Port: 1, Inv: probe}},
+	}
+	if same.HasLemma4Shape() {
+		t.Error("equal-length pure histories accepted")
+	}
+	// H2 of length k+2: not the shape.
+	long := &GeneralPair{
+		ReadPort: 1,
+		H1:       GeneralHistory{{Port: 1, Inv: probe}},
+		H2: GeneralHistory{
+			{Port: 2, Inv: probe}, {Port: 2, Inv: probe}, {Port: 1, Inv: probe},
+		},
+	}
+	if long.HasLemma4Shape() {
+		t.Error("k+2-length H2 accepted")
+	}
+	// H2 starting on the read port: not the shape.
+	wrongPort := &GeneralPair{
+		ReadPort: 1,
+		H1:       GeneralHistory{{Port: 1, Inv: probe}},
+		H2: GeneralHistory{
+			{Port: 1, Inv: probe}, {Port: 1, Inv: probe},
+		},
+	}
+	if wrongPort.HasLemma4Shape() {
+		t.Error("read-port-first H2 accepted")
+	}
+	// The real shape.
+	good := &GeneralPair{
+		ReadPort: 1,
+		H1:       GeneralHistory{{Port: 1, Inv: probe}},
+		H2: GeneralHistory{
+			{Port: 2, Inv: probe}, {Port: 1, Inv: probe},
+		},
+	}
+	if !good.HasLemma4Shape() {
+		t.Error("lemma shape rejected")
+	}
+}

@@ -1,0 +1,161 @@
+package hierarchy
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"waitfree/internal/types"
+)
+
+// Pair is the Section 5.2 structure that lets any non-trivial
+// deterministic type (port-aware allowed) implement a one-use bit: per
+// Lemmas 2-4, a minimal non-trivial pair consists of a start state Q, a
+// sequence Seq of k invocations on the reading port, and one invocation IW
+// on the writing port such that running Seq alone returns R1 while running
+// IW followed by Seq returns R2 != R1 (return value = last response on the
+// reading port).
+//
+// The derived one-use bit initializes an object to Q; a read runs Seq on
+// ReadPort and answers 0 iff the final response is R1 (any other value
+// means the writer's IW has intervened); a write runs IW on WritePort.
+type Pair struct {
+	Q         types.State
+	Seq       []types.Invocation
+	IW        types.Invocation
+	ReadPort  int
+	WritePort int
+	R1        types.Response
+	R2        types.Response
+}
+
+// String renders the pair for reports.
+func (p *Pair) String() string {
+	seq := make([]string, len(p.Seq))
+	for i, inv := range p.Seq {
+		seq[i] = inv.String()
+	}
+	return fmt.Sprintf("q=%v; H1=[%s]@port%d -> %v; H2=%v@port%d then H1 -> %v",
+		p.Q, strings.Join(seq, ";"), p.ReadPort, p.R1, p.IW, p.WritePort, p.R2)
+}
+
+// K returns the length of the reading sequence.
+func (p *Pair) K() int { return len(p.Seq) }
+
+// StartStateLimit bounds how many reachable states the pair searches use
+// as candidate start states. Section 2.2 lets an implementation initialize
+// an object to ANY state of the type, and the paper's minimality argument
+// quantifies over all start states, so the searches expand the given
+// initial states to their (bounded) reachable closure.
+const StartStateLimit = 64
+
+// expandInits returns the reachable closure of the given states, bounded;
+// truncation of unbounded state spaces is fine for a witness search.
+func expandInits(spec *types.Spec, inits []types.State) []types.State {
+	seen := make(map[types.State]bool)
+	var out []types.State
+	for _, init := range inits {
+		states, err := types.Reachable(spec, init, StartStateLimit)
+		if err != nil && !errors.Is(err, types.ErrStateSpaceTooLarge) {
+			states = []types.State{init}
+		}
+		for _, q := range states {
+			if !seen[q] {
+				seen[q] = true
+				out = append(out, q)
+			}
+		}
+	}
+	return out
+}
+
+// FindPair searches for a minimal non-trivial pair with k <= maxK, over
+// all ordered (reading, writing) port combinations and over every start
+// state reachable from the given initial states. Lemmas 2-4 guarantee that
+// if any non-trivial pair exists, a pair of exactly this shape exists
+// (with minimal total length), so the bounded search is complete up to
+// maxK and StartStateLimit.
+//
+// Pairs are searched in increasing k, so the returned pair has the
+// smallest reading sequence within the bound.
+func FindPair(spec *types.Spec, inits []types.State, maxK int) (*Pair, error) {
+	if !spec.Deterministic {
+		return nil, fmt.Errorf("%w: %q", ErrNondeterministic, spec.Name)
+	}
+	starts := expandInits(spec, inits)
+	for k := 1; k <= maxK; k++ {
+		for _, init := range starts {
+			for readPort := 1; readPort <= spec.Ports; readPort++ {
+				for writePort := 1; writePort <= spec.Ports; writePort++ {
+					if writePort == readPort {
+						continue
+					}
+					if p := findPairAt(spec, init, readPort, writePort, k); p != nil {
+						return p, nil
+					}
+				}
+			}
+		}
+	}
+	return nil, fmt.Errorf("%w: no non-trivial pair for %q with k <= %d", ErrNoWitness, spec.Name, maxK)
+}
+
+// findPairAt enumerates all invocation sequences of length exactly k on
+// readPort from init and compares the plain run with every IW-prefixed
+// run.
+func findPairAt(spec *types.Spec, init types.State, readPort, writePort, k int) *Pair {
+	seq := make([]types.Invocation, k)
+	var rec func(depth int, plain types.State, last types.Response) *Pair
+	rec = func(depth int, plain types.State, last types.Response) *Pair {
+		if depth == k {
+			// H1 = seq with return value last. Try every writer invocation.
+			for _, iw := range spec.Alphabet {
+				step := spec.Step(init, writePort, iw)
+				if len(step) == 0 {
+					continue
+				}
+				q2 := step[0].Next
+				r2, legal := runSeq(spec, q2, readPort, seq)
+				if legal && r2 != last {
+					return &Pair{
+						Q:         init,
+						Seq:       append([]types.Invocation(nil), seq...),
+						IW:        iw,
+						ReadPort:  readPort,
+						WritePort: writePort,
+						R1:        last,
+						R2:        r2,
+					}
+				}
+			}
+			return nil
+		}
+		for _, inv := range spec.Alphabet {
+			ts := spec.Step(plain, readPort, inv)
+			if len(ts) == 0 {
+				continue // H1 must be legal throughout
+			}
+			seq[depth] = inv
+			if p := rec(depth+1, ts[0].Next, ts[0].Resp); p != nil {
+				return p
+			}
+		}
+		return nil
+	}
+	return rec(0, init, types.Response{})
+}
+
+// runSeq runs the invocation sequence on the given port and returns the
+// last response; legal is false if some step is illegal.
+func runSeq(spec *types.Spec, q types.State, port int, seq []types.Invocation) (types.Response, bool) {
+	var last types.Response
+	for _, inv := range seq {
+		ts := spec.Step(q, port, inv)
+		if len(ts) == 0 {
+			return types.Response{}, false
+		}
+		q = ts[0].Next
+		last = ts[0].Resp
+	}
+	return last, true
+}

@@ -1,0 +1,131 @@
+package hierarchy
+
+import (
+	"errors"
+	"fmt"
+
+	"waitfree/internal/types"
+)
+
+// Entry is one zoo member submitted for classification: a type, the
+// initial states implementations of it may use, and its consensus number
+// as established in the literature (Herlihy 91 and successors). The
+// consensus number is carried as documentation; triviality and witnesses
+// are computed, not asserted.
+type Entry struct {
+	Spec  *types.Spec
+	Inits []types.State
+	// Consensus is the literature consensus number: "1", "2", or "inf".
+	Consensus string
+	// HM is the literature value of h_m: usually equal to Consensus by
+	// Theorem 5; "1" for the nondeterministic separating type.
+	HM string
+}
+
+// Classification is the computed profile of a zoo member.
+type Classification struct {
+	Name          string
+	Ports         int
+	Oblivious     bool
+	Deterministic bool
+	Trivial       bool
+	// Pair is the Section 5.2 witness (nil for trivial or nondeterministic
+	// types).
+	Pair *Pair
+	// ObliviousWitness is the simpler Section 5.1 witness, present only
+	// for oblivious non-trivial deterministic types.
+	ObliviousWitness *ObliviousWitness
+	// Consensus and HM echo the literature values from the Entry.
+	Consensus string
+	HM        string
+	// Theorem5 states what Theorem 5 concludes for this type.
+	Theorem5 string
+}
+
+// Classify computes the profile of a zoo entry. maxK bounds the Section
+// 5.2 pair search; limit bounds reachability queries.
+func Classify(e Entry, maxK, limit int) (*Classification, error) {
+	spec := e.Spec
+	c := &Classification{
+		Name:          spec.Name,
+		Ports:         spec.Ports,
+		Oblivious:     spec.Oblivious,
+		Deterministic: spec.Deterministic,
+		Consensus:     e.Consensus,
+		HM:            e.HM,
+	}
+	if !spec.Deterministic {
+		// Section 5 machinery does not apply; Theorem 5 applies only via
+		// the h_m >= 2 route.
+		switch {
+		case e.HM != "1":
+			c.Theorem5 = "h_m = h_m^r (Theorem 5: h_m >= 2)"
+		case e.Consensus != "1":
+			c.Theorem5 = "h_m < h_m^r possible (nondeterministic with h_m = 1: Jayanti-style separation)"
+		default:
+			c.Theorem5 = "Theorem 5 inapplicable (nondeterministic); both hierarchies at level 1"
+		}
+		return c, nil
+	}
+	pair, err := FindPair(spec, e.Inits, maxK)
+	switch {
+	case err == nil:
+		c.Pair = pair
+	case errors.Is(err, ErrNoWitness):
+		c.Trivial = true
+	default:
+		return nil, fmt.Errorf("classify %q: %w", spec.Name, err)
+	}
+	if spec.Oblivious && !c.Trivial {
+		w, err := FindObliviousWitness(spec, e.Inits, limit)
+		if err != nil && !errors.Is(err, ErrNoWitness) {
+			return nil, fmt.Errorf("classify %q: %w", spec.Name, err)
+		}
+		c.ObliviousWitness = w
+	}
+	c.Theorem5 = "h_m = h_m^r (Theorem 5: deterministic)"
+	return c, nil
+}
+
+// Zoo returns the classification entries for the full type zoo, with
+// literature consensus numbers. Small port counts and value ranges keep
+// the searches instant; the classifications do not depend on them.
+func Zoo() []Entry {
+	return []Entry{
+		{Spec: types.Register(2, 2), Inits: []types.State{0}, Consensus: "1", HM: "1"},
+		{Spec: types.SRSWBit(), Inits: []types.State{0}, Consensus: "1", HM: "1"},
+		{Spec: types.TestAndSet(2), Inits: []types.State{0}, Consensus: "2", HM: "2"},
+		{Spec: types.Swap(2, 2), Inits: []types.State{0}, Consensus: "2", HM: "2"},
+		{Spec: types.FetchAdd(2), Inits: []types.State{0}, Consensus: "2", HM: "2"},
+		{Spec: types.Queue(2, 2, 3), Inits: []types.State{types.QueueState(), types.QueueState(1)}, Consensus: "2", HM: "2"},
+		{Spec: types.Stack(2, 2, 3), Inits: []types.State{types.QueueState(), types.QueueState(1)}, Consensus: "2", HM: "2"},
+		{Spec: types.CompareSwap(2, 3), Inits: []types.State{2}, Consensus: "inf", HM: "inf"},
+		{Spec: types.StickyCell(2, 2), Inits: []types.State{types.StickyUnset}, Consensus: "inf", HM: "inf"},
+		{Spec: types.AugmentedQueue(2, 2, 3), Inits: []types.State{types.QueueState()}, Consensus: "inf", HM: "inf"},
+		{Spec: types.FetchAndCons(2, 2, 3), Inits: []types.State{""}, Consensus: "inf", HM: "inf"},
+		{Spec: types.StickyBit(2), Inits: []types.State{types.StickyUnset}, Consensus: "inf", HM: "inf"},
+		{Spec: types.Consensus(2), Inits: []types.State{types.ConsensusUndecided}, Consensus: "2", HM: "2"},
+		{Spec: types.OneUseBit(), Inits: []types.State{types.OneUseUnset}, Consensus: "1", HM: "1"},
+		{Spec: types.Toggle(2), Inits: []types.State{0}, Consensus: "1", HM: "1"},
+		{Spec: types.LatchFlag(), Inits: []types.State{types.LatchFlagInit()}, Consensus: "1", HM: "1"},
+		{Spec: types.Beacon(2), Inits: []types.State{0}, Consensus: "1", HM: "1"},
+		{Spec: types.Blinker(2), Inits: []types.State{0}, Consensus: "1", HM: "1"},
+		{Spec: types.IncOnly(2), Inits: []types.State{0}, Consensus: "1", HM: "1"},
+		{Spec: types.WeakLeader(2), Inits: []types.State{0}, Consensus: "2", HM: "1"},
+		{Spec: types.NoisySticky(2, 2), Inits: []types.State{types.StickyUnset}, Consensus: "inf", HM: "inf"},
+	}
+}
+
+// ClassifyZoo classifies every zoo entry with standard bounds.
+func ClassifyZoo() ([]*Classification, error) {
+	entries := Zoo()
+	out := make([]*Classification, 0, len(entries))
+	for _, e := range entries {
+		c, err := Classify(e, 3, 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}

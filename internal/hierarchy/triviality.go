@@ -1,0 +1,85 @@
+// Package hierarchy implements the type-classification machinery of
+// Sections 5 and 6 of Bazzi, Neiger, and Peterson (PODC 1994): deciding
+// triviality, finding the witnesses that let non-trivial deterministic
+// types implement one-use bits (the Section 5.1 oblivious witness and the
+// Section 5.2 minimal non-trivial pair), and reporting where zoo types sit
+// in Jayanti's wait-free hierarchies.
+package hierarchy
+
+import (
+	"errors"
+	"fmt"
+
+	"waitfree/internal/types"
+)
+
+// ErrNondeterministic reports an analysis that requires a deterministic
+// type (all of Section 5.1/5.2 does).
+var ErrNondeterministic = errors.New("hierarchy: analysis requires a deterministic type")
+
+// ErrNoWitness reports that no witness exists within the search bounds.
+var ErrNoWitness = errors.New("hierarchy: no witness found within bounds")
+
+// IsTrivialOblivious decides the Section 5.1 triviality condition for an
+// oblivious deterministic type over the fragment reachable from the given
+// initial states (bounded by limit states per reachability query):
+//
+//	T is trivial if for every state q and invocation i there is a response
+//	r_qi such that delta(q,i) responds r_qi and, for every state p
+//	reachable from q, delta(p,i) also responds r_qi.
+//
+// A trivial type, once initialized, returns the same response to each
+// occurrence of a given invocation; processes gain no information from it.
+func IsTrivialOblivious(spec *types.Spec, inits []types.State, limit int) (bool, error) {
+	if !spec.Deterministic {
+		return false, fmt.Errorf("%w: %q", ErrNondeterministic, spec.Name)
+	}
+	for _, init := range inits {
+		states, err := types.Reachable(spec, init, limit)
+		if err != nil && !errors.Is(err, types.ErrStateSpaceTooLarge) {
+			return false, err
+		}
+		// For unbounded state spaces the fragment is truncated and the
+		// verdict is "trivial up to the bound"; a non-trivial verdict is
+		// always exact.
+		for _, q := range states {
+			fromQ, err := types.Reachable(spec, q, limit)
+			if err != nil && !errors.Is(err, types.ErrStateSpaceTooLarge) {
+				return false, err
+			}
+			for _, inv := range spec.Alphabet {
+				ts := spec.Step(q, 1, inv)
+				if len(ts) == 0 {
+					continue // illegal at q: no response to pin
+				}
+				want := ts[0].Resp
+				for _, p := range fromQ {
+					ps := spec.Step(p, 1, inv)
+					if len(ps) == 0 {
+						continue
+					}
+					if ps[0].Resp != want {
+						return false, nil
+					}
+				}
+			}
+		}
+	}
+	return true, nil
+}
+
+// IsTrivial decides the general (Section 5.2) triviality condition up to
+// the given bounds: the type is reported trivial if no non-trivial pair
+// with |i-vector| <= maxK exists from any of the given initial states.
+// This is a bounded verdict: a type can in principle hide a pair beyond
+// the bound, but every zoo type that is non-trivial has a pair with k <= 2.
+func IsTrivial(spec *types.Spec, inits []types.State, maxK int) (bool, error) {
+	_, err := FindPair(spec, inits, maxK)
+	if err == nil {
+		return false, nil
+	}
+	if errors.Is(err, ErrNoWitness) {
+		return true, nil
+	}
+	return false, err
+}

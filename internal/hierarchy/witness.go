@@ -1,0 +1,74 @@
+package hierarchy
+
+import (
+	"errors"
+	"fmt"
+
+	"waitfree/internal/types"
+)
+
+// ObliviousWitness is the Section 5.1 structure that lets a non-trivial
+// oblivious deterministic type implement a one-use bit: a state Q, an
+// invocation I whose response at Q is RQ, and an invocation IW taking Q to
+// a state P (in one step) where I responds RP != RQ.
+//
+// The derived one-use bit initializes an object to Q; a read invokes I and
+// answers 0 iff the response is RQ; a write invokes IW.
+type ObliviousWitness struct {
+	Q  types.State
+	P  types.State
+	I  types.Invocation
+	IW types.Invocation
+	RQ types.Response
+	RP types.Response
+}
+
+// String renders the witness for reports.
+func (w *ObliviousWitness) String() string {
+	return fmt.Sprintf("q=%v --%v--> p=%v; %v answers %v at q, %v at p",
+		w.Q, w.IW, w.P, w.I, w.RQ, w.RP)
+}
+
+// FindObliviousWitness searches the reachable fragment (from the given
+// initial states, bounded by limit) for a Section 5.1 witness. The paper
+// notes that for a non-trivial type the distinguishing states p, q can be
+// chosen one step apart; the search looks exactly for that shape.
+func FindObliviousWitness(spec *types.Spec, inits []types.State, limit int) (*ObliviousWitness, error) {
+	if !spec.Deterministic {
+		return nil, fmt.Errorf("%w: %q", ErrNondeterministic, spec.Name)
+	}
+	for _, init := range inits {
+		states, err := types.Reachable(spec, init, limit)
+		if err != nil && !errors.Is(err, types.ErrStateSpaceTooLarge) {
+			return nil, err
+		}
+		// A truncated fragment is fine for a witness search: any witness
+		// found within it is valid.
+		for _, q := range states {
+			for _, i := range spec.Alphabet {
+				ts := spec.Step(q, 1, i)
+				if len(ts) == 0 {
+					continue
+				}
+				rq := ts[0].Resp
+				for _, iw := range spec.Alphabet {
+					step := spec.Step(q, 1, iw)
+					if len(step) == 0 {
+						continue
+					}
+					p := step[0].Next
+					ps := spec.Step(p, 1, i)
+					if len(ps) == 0 {
+						continue
+					}
+					if ps[0].Resp != rq {
+						return &ObliviousWitness{
+							Q: q, P: p, I: i, IW: iw, RQ: rq, RP: ps[0].Resp,
+						}, nil
+					}
+				}
+			}
+		}
+	}
+	return nil, fmt.Errorf("%w: no oblivious witness for %q", ErrNoWitness, spec.Name)
+}

@@ -1,0 +1,93 @@
+package hist
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"waitfree/internal/types"
+)
+
+func TestPrecedes(t *testing.T) {
+	a := Op{Begin: 0, End: 2}
+	b := Op{Begin: 3, End: 5}
+	c := Op{Begin: 1, End: 4}
+	p := Op{Begin: 1, End: Pending}
+	if !a.Precedes(b) {
+		t.Error("a should precede b")
+	}
+	if b.Precedes(a) {
+		t.Error("b should not precede a")
+	}
+	if a.Precedes(c) || c.Precedes(a) {
+		t.Error("a and c overlap; neither precedes")
+	}
+	if p.Precedes(b) {
+		t.Error("pending op precedes nothing")
+	}
+	if p.Complete() {
+		t.Error("pending op reported complete")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := History{
+		{Proc: 0, Begin: 0, End: 2},
+		{Proc: 0, Begin: 3, End: 4},
+		{Proc: 1, Begin: 1, End: 5},
+	}
+	if err := good.Validate(); err != nil {
+		t.Errorf("good history rejected: %v", err)
+	}
+
+	backwards := History{{Proc: 0, Begin: 5, End: 2}}
+	if err := backwards.Validate(); !errors.Is(err, ErrBadInterval) {
+		t.Errorf("backwards interval: err = %v", err)
+	}
+
+	overlapping := History{
+		{Proc: 0, Begin: 0, End: 3},
+		{Proc: 0, Begin: 2, End: 5},
+	}
+	if err := overlapping.Validate(); !errors.Is(err, ErrOverlapSelf) {
+		t.Errorf("self-overlap: err = %v", err)
+	}
+
+	pendingThenMore := History{
+		{Proc: 0, Begin: 0, End: Pending},
+		{Proc: 0, Begin: 2, End: 5},
+	}
+	if err := pendingThenMore.Validate(); !errors.Is(err, ErrOverlapSelf) {
+		t.Errorf("op after pending: err = %v", err)
+	}
+}
+
+func TestCompleteFilter(t *testing.T) {
+	h := History{
+		{Proc: 0, Begin: 0, End: 1},
+		{Proc: 1, Begin: 2, End: Pending},
+	}
+	c := h.Complete()
+	if len(c) != 1 || c[0].Proc != 0 {
+		t.Errorf("Complete() = %v", c)
+	}
+}
+
+func TestString(t *testing.T) {
+	h := History{
+		{Proc: 1, Port: 1, Inv: types.Read, Resp: types.ValOf(1), Begin: 4, End: 5},
+		{Proc: 0, Port: 2, Inv: types.Write(1), Resp: types.OK, Begin: 0, End: 2},
+	}
+	s := h.String()
+	if !strings.Contains(s, "p0[0,2] write(1)->ok") {
+		t.Errorf("String() = %q", s)
+	}
+	// Sorted by Begin: the write comes first.
+	if strings.Index(s, "p0") > strings.Index(s, "p1") {
+		t.Errorf("String() not sorted by Begin: %q", s)
+	}
+	pending := History{{Proc: 0, Begin: 0, End: Pending, Inv: types.Read}}
+	if !strings.Contains(pending.String(), "[0,?]") {
+		t.Errorf("pending String() = %q", pending.String())
+	}
+}

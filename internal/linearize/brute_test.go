@@ -1,0 +1,170 @@
+package linearize
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"waitfree/internal/hist"
+	"waitfree/internal/types"
+)
+
+// bruteCheck decides linearizability by enumerating every permutation of
+// the history and testing precedence-respect plus sequential legality. It
+// is exponential and exists only to cross-validate the real checker on
+// small random histories.
+func bruteCheck(spec *types.Spec, init types.State, h hist.History) bool {
+	n := len(h)
+	used := make([]bool, n)
+	order := make([]int, 0, n)
+	var rec func() bool
+	rec = func() bool {
+		if len(order) == n {
+			return legal(spec, init, h, order)
+		}
+		for i := 0; i < n; i++ {
+			if used[i] {
+				continue
+			}
+			// Respect precedence: all ops preceding i must already be in.
+			ok := true
+			for j := 0; j < n; j++ {
+				if !used[j] && j != i && h[j].Precedes(h[i]) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			used[i] = true
+			order = append(order, i)
+			if rec() {
+				return true
+			}
+			order = order[:len(order)-1]
+			used[i] = false
+		}
+		return false
+	}
+	return rec()
+}
+
+func legal(spec *types.Spec, init types.State, h hist.History, order []int) bool {
+	seq := make(types.SeqHistory, 0, len(order))
+	for _, i := range order {
+		seq = append(seq, types.SeqEvent{Port: h[i].Port, Inv: h[i].Inv, Resp: h[i].Resp})
+	}
+	_, err := seq.Validate(spec, init)
+	return err == nil
+}
+
+// TestCheckerMatchesBruteForce generates random small register histories —
+// including invalid ones — and cross-validates the Wing-Gong checker
+// against exhaustive permutation search.
+func TestCheckerMatchesBruteForce(t *testing.T) {
+	spec := types.Register(3, 3)
+	rng := rand.New(rand.NewSource(20240704))
+	agree, linearizable := 0, 0
+	for trial := 0; trial < 400; trial++ {
+		h := randomHistory(rng, 3, 6, 3)
+		_, err := Check(spec, 0, h)
+		got := err == nil
+		if err != nil && !errors.Is(err, ErrNotLinearizable) {
+			t.Fatalf("trial %d: unexpected error %v", trial, err)
+		}
+		want := bruteCheck(spec, 0, h)
+		if got != want {
+			t.Fatalf("trial %d: checker=%v brute=%v\nhistory: %v", trial, got, want, h)
+		}
+		agree++
+		if got {
+			linearizable++
+		}
+	}
+	if linearizable == 0 || linearizable == agree {
+		t.Errorf("degenerate sample: %d/%d linearizable", linearizable, agree)
+	}
+}
+
+// randomHistory builds a well-formed random register history: per-process
+// sequential, arbitrary overlaps across processes, random (often wrong)
+// read values.
+func randomHistory(rng *rand.Rand, procs, ops, k int) hist.History {
+	clock := 0
+	tick := func() int { clock++; return clock }
+	h := make(hist.History, 0, ops)
+	// Build per-proc chains with random interleaving: generate events as
+	// (proc, begin, end) with begin/end drawn in order per process.
+	pending := make([]int, procs) // last end per proc
+	for len(h) < ops {
+		p := rng.Intn(procs)
+		begin := tick()
+		if begin <= pending[p] {
+			begin = pending[p] + 1
+			clock = begin
+		}
+		// Let the op span a random number of ticks.
+		span := rng.Intn(3)
+		for i := 0; i < span; i++ {
+			tick()
+		}
+		end := tick()
+		pending[p] = end
+		var op hist.Op
+		if rng.Intn(2) == 0 {
+			op = hist.Op{Proc: p, Port: p + 1, Inv: types.Write(rng.Intn(k)), Resp: types.OK, Begin: begin, End: end}
+		} else {
+			op = hist.Op{Proc: p, Port: p + 1, Inv: types.Read, Resp: types.ValOf(rng.Intn(k)), Begin: begin, End: end}
+		}
+		h = append(h, op)
+	}
+	return h
+}
+
+// TestCheckerMatchesBruteForceOnQueue repeats the cross-validation on a
+// type with non-commuting operations.
+func TestCheckerMatchesBruteForceOnQueue(t *testing.T) {
+	spec := types.Queue(3, 2, 4)
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		h := randomQueueHistory(rng, 2, 5)
+		_, err := Check(spec, types.QueueState(), h)
+		got := err == nil
+		want := bruteCheck(spec, types.QueueState(), h)
+		if got != want {
+			t.Fatalf("trial %d: checker=%v brute=%v\nhistory: %v", trial, got, want, h)
+		}
+	}
+}
+
+func randomQueueHistory(rng *rand.Rand, procs, ops int) hist.History {
+	clock := 0
+	tick := func() int { clock++; return clock }
+	pending := make([]int, procs)
+	h := make(hist.History, 0, ops)
+	for len(h) < ops {
+		p := rng.Intn(procs)
+		begin := tick()
+		if begin <= pending[p] {
+			begin = pending[p] + 1
+			clock = begin
+		}
+		if rng.Intn(3) > 0 {
+			tick()
+		}
+		end := tick()
+		pending[p] = end
+		var op hist.Op
+		switch rng.Intn(3) {
+		case 0:
+			op = hist.Op{Proc: p, Port: p + 1, Inv: types.Enq(rng.Intn(2)), Resp: types.OK, Begin: begin, End: end}
+		case 1:
+			op = hist.Op{Proc: p, Port: p + 1, Inv: types.Deq, Resp: types.ValOf(rng.Intn(2)), Begin: begin, End: end}
+		default:
+			op = hist.Op{Proc: p, Port: p + 1, Inv: types.Deq, Resp: types.Response{Label: types.LabelEmpty}, Begin: begin, End: end}
+		}
+		h = append(h, op)
+	}
+	return h
+}

@@ -1,0 +1,159 @@
+// Package linearize decides linearizability of concurrent histories
+// against a sequential type specification, in the style of Wing and Gong.
+//
+// The checker searches for a total order of a history's operations that
+// respects real-time precedence and is a legal sequential history of the
+// type. It memoizes on (set of linearized operations, object state), which
+// makes it fast on register-like histories while remaining complete for
+// arbitrary (including nondeterministic) finite types.
+package linearize
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"waitfree/internal/hist"
+	"waitfree/internal/types"
+)
+
+// MaxOps bounds the history size the checker accepts (operations are
+// tracked in a 64-bit set).
+const MaxOps = 64
+
+// Errors reported by Check.
+var (
+	// ErrTooLarge reports a history with more than MaxOps operations.
+	ErrTooLarge = errors.New("linearize: history exceeds MaxOps operations")
+	// ErrNotLinearizable reports that no valid linearization exists.
+	ErrNotLinearizable = errors.New("linearize: history is not linearizable")
+)
+
+// Witness is a linearization order: indices into the checked history in
+// linearization order.
+type Witness []int
+
+// memoKey identifies a search node: the set of already-linearized
+// operations and the object state they produced.
+type memoKey struct {
+	done  uint64
+	state types.State
+}
+
+// Check decides whether h is linearizable with respect to spec starting
+// from init. Incomplete (pending) operations are not supported and must be
+// removed with History.Complete first. On success it returns a witness
+// linearization; on failure it returns ErrNotLinearizable.
+func Check(spec *types.Spec, init types.State, h hist.History) (Witness, error) {
+	if err := h.Validate(); err != nil {
+		return nil, err
+	}
+	if len(h) > MaxOps {
+		return nil, fmt.Errorf("%w: %d operations", ErrTooLarge, len(h))
+	}
+	ops := append(hist.History(nil), h...)
+	// Sorting by Begin keeps the candidate scan cache-friendly and makes
+	// witnesses deterministic.
+	idx := make([]int, len(ops))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return ops[idx[a]].Begin < ops[idx[b]].Begin })
+
+	c := &checker{spec: spec, ops: ops, order: idx, memo: make(map[memoKey]bool)}
+	var witness Witness
+	if !c.search(0, init, &witness) {
+		return nil, fmt.Errorf("%w: %v", ErrNotLinearizable, h)
+	}
+	// The witness was appended in reverse discovery order; it is built
+	// front-to-back below, so it is already in linearization order.
+	return witness, nil
+}
+
+type checker struct {
+	spec  *types.Spec
+	ops   hist.History
+	order []int // op indices sorted by Begin
+	memo  map[memoKey]bool
+}
+
+// search tries to extend a partial linearization. done is the set of
+// already-linearized ops (as a bitmask over c.ops indices); q is the state
+// they produced. It appends the chosen op indices to *witness on success.
+func (c *checker) search(done uint64, q types.State, witness *Witness) bool {
+	n := len(c.ops)
+	if bits.OnesCount64(done) == n {
+		return true
+	}
+	key := memoKey{done: done, state: q}
+	if failed, seen := c.memo[key]; seen && failed {
+		return false
+	}
+	// An op may linearize next iff every op that precedes it (in real
+	// time) is already linearized. Equivalently: its Begin is <= the
+	// minimal End among remaining ops.
+	minEnd := int(^uint(0) >> 1)
+	for _, i := range c.order {
+		if done&(1<<uint(i)) != 0 {
+			continue
+		}
+		if c.ops[i].End < minEnd {
+			minEnd = c.ops[i].End
+		}
+	}
+	for _, i := range c.order {
+		if done&(1<<uint(i)) != 0 {
+			continue
+		}
+		op := c.ops[i]
+		if op.Begin > minEnd {
+			// Every later candidate (sorted by Begin) is also blocked.
+			break
+		}
+		ts := c.spec.Step(q, op.Port, op.Inv)
+		for _, t := range ts {
+			if t.Resp != op.Resp {
+				continue
+			}
+			*witness = append(*witness, i)
+			if c.search(done|1<<uint(i), t.Next, witness) {
+				return true
+			}
+			*witness = (*witness)[:len(*witness)-1]
+		}
+	}
+	c.memo[key] = true
+	return false
+}
+
+// VerifyWitness replays a witness order and confirms it is a legal
+// sequential history with matching responses and real-time order. It is
+// used by tests to validate the checker against itself. Nondeterministic
+// branching is handled by delegating the sequential-legality check to
+// types.SeqHistory.Validate, which forks over matching branches.
+func VerifyWitness(spec *types.Spec, init types.State, h hist.History, w Witness) error {
+	if len(w) != len(h) {
+		return fmt.Errorf("linearize: witness covers %d of %d ops", len(w), len(h))
+	}
+	seen := make(map[int]bool, len(w))
+	seq := make(types.SeqHistory, 0, len(w))
+	for pos, i := range w {
+		if i < 0 || i >= len(h) || seen[i] {
+			return fmt.Errorf("linearize: witness index %d invalid at position %d", i, pos)
+		}
+		seen[i] = true
+		op := h[i]
+		// Real-time order: no later-linearized op may precede op.
+		for _, j := range w[pos+1:] {
+			if h[j].Precedes(op) {
+				return fmt.Errorf("linearize: witness violates precedence: %v before %v", op, h[j])
+			}
+		}
+		seq = append(seq, types.SeqEvent{Port: op.Port, Inv: op.Inv, Resp: op.Resp})
+	}
+	if _, err := seq.Validate(spec, init); err != nil {
+		return fmt.Errorf("linearize: witness is not sequentially legal: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,124 @@
+package onebit
+
+import (
+	"errors"
+	"sync/atomic"
+)
+
+// This file is the direct concurrent form of the Section 4.3 construction,
+// used by stress tests and benchmarks: a bounded-use single-reader
+// single-writer bit over an (w+1) x r array of one-use bit cells.
+
+// Errors reported when the declared bounds are exceeded.
+var (
+	ErrReadBudget  = errors.New("onebit: read bound exhausted")
+	ErrWriteBudget = errors.New("onebit: write bound exhausted")
+)
+
+// cell is a hardware one-use bit: honest uses write it at most once and
+// read it at most once.
+type cell struct {
+	v atomic.Int32
+}
+
+// BoundedBit is a single-reader, single-writer bit supporting at most R
+// reads and W writes, built from (W+1)*R one-use bits. The reader and the
+// writer must each be a single goroutine.
+type BoundedBit struct {
+	r, w int
+	init int
+	bits []cell // row-major (W+1) x R
+
+	// writer-owned locals
+	iw  int
+	cur int
+
+	// reader-owned locals
+	ir, jr int
+
+	// restartScan, when set, makes each read rescan rows from 1 instead of
+	// resuming from ir — the ablation variant of DESIGN.md. The one-use
+	// discipline still holds (each read uses a fresh column), and the bit
+	// is still REGULAR, but atomicity is lost: a write whose row flip
+	// straddles two reads can be seen by the earlier read and missed by
+	// the later one (new/old inversion). The paper's resuming reader is
+	// load-bearing for atomicity, not just cheaper.
+	restartScan bool
+}
+
+// NewBoundedBit builds the construction with read bound r, write bound w,
+// and initial value init.
+func NewBoundedBit(r, w, init int) *BoundedBit {
+	return &BoundedBit{
+		r:    r,
+		w:    w,
+		init: init & 1,
+		bits: make([]cell, (w+1)*r),
+		iw:   1,
+		cur:  init & 1,
+		ir:   1,
+		jr:   1,
+	}
+}
+
+// NewBoundedBitRestartScan builds the ablation variant whose reader
+// rescans from row 1 on every read. See the restartScan field: the variant
+// is regular but NOT atomic under concurrent writes.
+func NewBoundedBitRestartScan(r, w, init int) *BoundedBit {
+	b := NewBoundedBit(r, w, init)
+	b.restartScan = true
+	return b
+}
+
+// flipPrefix flips only the first cols one-use bits of the current write
+// row WITHOUT completing the write — a test hook that freezes a write
+// mid-row, used to demonstrate the restart-scan variant's new/old
+// inversion deterministically.
+func (b *BoundedBit) flipPrefix(cols int) {
+	for j := 1; j <= cols && j <= b.r; j++ {
+		b.at(b.iw, j).v.Store(1)
+	}
+}
+
+func (b *BoundedBit) at(i, j int) *cell {
+	return &b.bits[(i-1)*b.r+(j-1)]
+}
+
+// Write sets the bit's value (writer goroutine only). Writes that do not
+// change the value touch no one-use bits, matching the paper's assumption
+// that the bit is written only when changing.
+func (b *BoundedBit) Write(x int) error {
+	x &= 1
+	if x == b.cur {
+		return nil
+	}
+	if b.iw > b.w {
+		return ErrWriteBudget
+	}
+	for j := 1; j <= b.r; j++ {
+		b.at(b.iw, j).v.Store(1)
+	}
+	b.iw++
+	b.cur = x
+	return nil
+}
+
+// Read returns the bit's value (reader goroutine only).
+func (b *BoundedBit) Read() (int, error) {
+	if b.jr > b.r {
+		return 0, ErrReadBudget
+	}
+	i := b.ir
+	if b.restartScan {
+		i = 1
+	}
+	for b.at(i, b.jr).v.Load() == 1 {
+		i++
+	}
+	b.ir = i
+	b.jr++
+	return (b.init + i - 1) % 2, nil
+}
+
+// Bits reports how many one-use bits the construction uses.
+func (b *BoundedBit) Bits() int { return len(b.bits) }

@@ -1,0 +1,74 @@
+package onebit
+
+import (
+	"fmt"
+
+	"waitfree/internal/program"
+	"waitfree/internal/types"
+)
+
+// This file implements Section 5.3: a one-use bit from any implementation
+// of 2-process consensus (which in turn may be built from objects of any
+// type T with h_m(T) >= 2, even a nondeterministic one).
+//
+// The reader proposes 0 ("read precedes write"); the writer proposes 1
+// ("write precedes read"). If the consensus value is 0 the write cannot
+// have completely preceded the read, so the read linearizes first and
+// returns 0; symmetrically for 1. All reads return the same response,
+// which the one-use bit's nondeterministic DEAD-read specification
+// permits.
+
+// FromConsensus splices a 2-process consensus implementation into a
+// one-use bit: it returns the object declarations (the consensus
+// implementation's objects, re-based at objBase and re-ported so that
+// readerProc plays the consensus implementation's process 0 and writerProc
+// its process 1) plus the reader and writer machines.
+//
+// procs is the total process count of the host implementation.
+func FromConsensus(sub *program.Implementation, procs, readerProc, writerProc, objBase int) ([]program.ObjectDecl, program.Machine, program.Machine, error) {
+	if sub.Procs != 2 {
+		return nil, nil, nil, fmt.Errorf("onebit: consensus substrate has %d processes, need 2", sub.Procs)
+	}
+	if err := sub.Validate(); err != nil {
+		return nil, nil, nil, fmt.Errorf("onebit: consensus substrate: %w", err)
+	}
+	decls := make([]program.ObjectDecl, len(sub.Objects))
+	for i := range sub.Objects {
+		src := &sub.Objects[i]
+		ports := make([]int, procs)
+		ports[readerProc] = src.Port(0)
+		ports[writerProc] = src.Port(1)
+		decls[i] = program.ObjectDecl{
+			Name:   fmt.Sprintf("%s/%s", sub.Name, src.Name),
+			Spec:   src.Spec,
+			Init:   src.Init,
+			PortOf: ports,
+		}
+	}
+	read := program.MapResponse(
+		program.Bind(program.Offset(sub.Machines[0], objBase), types.Propose(0)),
+		func(r types.Response) types.Response { return types.ValOf(r.Val) },
+	)
+	write := program.MapResponse(
+		program.Bind(program.Offset(sub.Machines[1], objBase), types.Propose(1)),
+		func(types.Response) types.Response { return types.OK },
+	)
+	return decls, read, write, nil
+}
+
+// FromConsensusImplementation builds a standalone 2-process implementation
+// of the one-use bit type over the given consensus substrate: process 0
+// reads, process 1 writes. It is the unit under test for Experiment E5.
+func FromConsensusImplementation(sub *program.Implementation) (*program.Implementation, error) {
+	decls, read, write, err := FromConsensus(sub, 2, 0, 1, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &program.Implementation{
+		Name:     fmt.Sprintf("one-use-bit-from-%s", sub.Name),
+		Target:   types.OneUseBit(),
+		Procs:    2,
+		Objects:  decls,
+		Machines: []program.Machine{read, write},
+	}, nil
+}

@@ -1,0 +1,133 @@
+package onebit
+
+import (
+	"fmt"
+
+	"waitfree/internal/hierarchy"
+	"waitfree/internal/program"
+	"waitfree/internal/types"
+)
+
+// This file implements Sections 5.1 and 5.2: a one-use bit from a single
+// object of any non-trivial deterministic type, driven by the witnesses
+// found by package hierarchy.
+//
+// The reading process runs the pair's invocation sequence on the reading
+// port and answers 0 iff the final response is H1's return value R1; any
+// other value means the writer's invocation has intervened (the paper
+// notes the reader may observe a value that is neither R1 nor R2 when the
+// operations interleave — that still indicates the writer has written, so
+// 1 is returned). The writing process performs the single invocation IW on
+// the writing port.
+
+// pairReadState is the reader machine's state: the index of the next
+// invocation of the pair's sequence.
+type pairReadState struct {
+	Idx int
+}
+
+// PairReaderMachine returns the Section 5.2 read routine over the object
+// at index obj.
+func PairReaderMachine(p *hierarchy.Pair, obj int) program.Machine {
+	k := p.K()
+	return program.FuncMachine{
+		StartFn: func(_ types.Invocation, mem any) any {
+			_ = mem // a one-use bit needs no persistent state
+			return pairReadState{}
+		},
+		NextFn: func(state any, resp types.Response) (program.Action, any) {
+			s, ok := state.(pairReadState)
+			if !ok {
+				panic("onebit: PairReaderMachine driven with foreign state")
+			}
+			if s.Idx == k {
+				if resp == p.R1 {
+					return program.ReturnAction(types.ValOf(0), nil), s
+				}
+				return program.ReturnAction(types.ValOf(1), nil), s
+			}
+			next := pairReadState{Idx: s.Idx + 1}
+			return program.InvokeAction(obj, p.Seq[s.Idx]), next
+		},
+	}
+}
+
+// PairWriterMachine returns the Section 5.2 write routine: one invocation
+// of IW on the writing port.
+func PairWriterMachine(p *hierarchy.Pair, obj int) program.Machine {
+	return program.FuncMachine{
+		StartFn: func(_ types.Invocation, _ any) any { return pairReadState{} },
+		NextFn: func(state any, _ types.Response) (program.Action, any) {
+			s, ok := state.(pairReadState)
+			if !ok {
+				panic("onebit: PairWriterMachine driven with foreign state")
+			}
+			if s.Idx == 0 {
+				return program.InvokeAction(obj, p.IW), pairReadState{Idx: 1}
+			}
+			return program.ReturnAction(types.OK, nil), s
+		},
+	}
+}
+
+// PairDecl returns the object declaration realizing the one-use bit: one
+// object of the witnessed type initialized to the pair's start state, with
+// the reader process on the pair's reading port and the writer process on
+// its writing port.
+func PairDecl(spec *types.Spec, p *hierarchy.Pair, procs, readerProc, writerProc int) program.ObjectDecl {
+	ports := make([]int, procs)
+	ports[readerProc] = p.ReadPort
+	ports[writerProc] = p.WritePort
+	return program.ObjectDecl{
+		Name:   fmt.Sprintf("onebit<%s>", spec.Name),
+		Spec:   spec,
+		Init:   p.Q,
+		PortOf: ports,
+	}
+}
+
+// FromType builds a standalone 2-process implementation of the one-use bit
+// type from a single object of the given non-trivial deterministic type:
+// process 0 reads, process 1 writes. It searches for the witness itself
+// (bounded by maxK) and is the unit under test for Experiment E4.
+func FromType(spec *types.Spec, inits []types.State, maxK int) (*program.Implementation, *hierarchy.Pair, error) {
+	p, err := hierarchy.FindPair(spec, inits, maxK)
+	if err != nil {
+		return nil, nil, fmt.Errorf("one-use bit from %q: %w", spec.Name, err)
+	}
+	im := &program.Implementation{
+		Name:     fmt.Sprintf("one-use-bit-from-%s", spec.Name),
+		Target:   types.OneUseBit(),
+		Procs:    2,
+		Objects:  []program.ObjectDecl{PairDecl(spec, p, 2, 0, 1)},
+		Machines: []program.Machine{PairReaderMachine(p, 0), PairWriterMachine(p, 0)},
+	}
+	return im, p, nil
+}
+
+// FromObliviousWitness builds the SIMPLER Section 5.1 form of the one-use
+// bit, available for oblivious deterministic types: the read is a single
+// invocation I (answering 0 iff the response is RQ), the write a single
+// invocation IW. It is the k = 1 special case of the Section 5.2
+// machinery, included in its published form.
+func FromObliviousWitness(spec *types.Spec, w *hierarchy.ObliviousWitness) *program.Implementation {
+	// Reuse the pair machinery with the witness recast as a k = 1 pair;
+	// obliviousness makes the port assignment irrelevant, so the standard
+	// reader-on-1 / writer-on-2 convention applies.
+	p := &hierarchy.Pair{
+		Q:         w.Q,
+		Seq:       []types.Invocation{w.I},
+		IW:        w.IW,
+		ReadPort:  1,
+		WritePort: 2,
+		R1:        w.RQ,
+		R2:        w.RP,
+	}
+	return &program.Implementation{
+		Name:     fmt.Sprintf("one-use-bit-from-%s(5.1)", spec.Name),
+		Target:   types.OneUseBit(),
+		Procs:    2,
+		Objects:  []program.ObjectDecl{PairDecl(spec, p, 2, 0, 1)},
+		Machines: []program.Machine{PairReaderMachine(p, 0), PairWriterMachine(p, 0)},
+	}
+}

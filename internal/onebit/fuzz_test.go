@@ -1,0 +1,66 @@
+package onebit
+
+import (
+	"testing"
+
+	"waitfree/internal/program"
+	"waitfree/internal/types"
+)
+
+// FuzzBitArraySequential decodes fuzzer bytes into an alternating-party
+// operation sequence over the Section 4.3 machine implementation and
+// checks it against the trivial model (a read returns the last written
+// value). Run with -fuzz to explore; the seed corpus runs in plain tests.
+func FuzzBitArraySequential(f *testing.F) {
+	f.Add([]byte{0x01, 0x80, 0x00, 0x81})
+	f.Add([]byte{0xff, 0xfe, 0x00, 0x01, 0x02})
+	f.Add([]byte{0x80, 0x80, 0x80})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 || len(data) > 12 {
+			return
+		}
+		// Count reads and changing writes to size the array exactly.
+		reads, writes := 0, 0
+		model := 0
+		for _, b := range data {
+			if b&0x80 != 0 {
+				if int(b&1) != model {
+					writes++
+					model = int(b & 1)
+				}
+			} else {
+				reads++
+			}
+		}
+		if reads == 0 {
+			reads = 1
+		}
+		if writes == 0 {
+			writes = 1
+		}
+		im := Implementation(reads, writes, 0)
+		states := im.InitialStates()
+		var readerMem, writerMem any
+		model = 0
+		for i, b := range data {
+			if b&0x80 != 0 {
+				x := int(b & 1)
+				res, err := program.Solo(im, states, 1, types.Write(x), writerMem, 1000)
+				if err != nil {
+					t.Fatalf("op %d write(%d): %v", i, x, err)
+				}
+				writerMem = res.Mem
+				model = x
+			} else {
+				res, err := program.Solo(im, states, 0, types.Read, readerMem, 1000)
+				if err != nil {
+					t.Fatalf("op %d read: %v", i, err)
+				}
+				if res.Resp != types.ValOf(model) {
+					t.Fatalf("op %d read = %v, model %d", i, res.Resp, model)
+				}
+				readerMem = res.Mem
+			}
+		}
+	})
+}

@@ -1,0 +1,80 @@
+package program
+
+import "waitfree/internal/types"
+
+// This file provides machine combinators used when implementations are
+// composed or rewritten: shifting object indices when one implementation's
+// objects are spliced into another's object table, fixing the target
+// invocation, and mapping final responses. All combinators pass machine
+// states and memories through unchanged, preserving comparability.
+
+// offsetMachine shifts every Invoke action's object index by delta.
+type offsetMachine struct {
+	inner Machine
+	delta int
+}
+
+var _ Machine = offsetMachine{}
+
+// Offset returns m with all object indices shifted by delta.
+func Offset(m Machine, delta int) Machine {
+	if delta == 0 {
+		return m
+	}
+	return offsetMachine{inner: m, delta: delta}
+}
+
+func (o offsetMachine) Start(inv types.Invocation, mem any) any { return o.inner.Start(inv, mem) }
+
+func (o offsetMachine) Next(state any, resp types.Response) (Action, any) {
+	act, next := o.inner.Next(state, resp)
+	if act.Kind == KindInvoke {
+		act.Obj += o.delta
+	}
+	return act, next
+}
+
+// bindMachine fixes the target invocation passed to Start.
+type bindMachine struct {
+	inner Machine
+	inv   types.Invocation
+}
+
+var _ Machine = bindMachine{}
+
+// Bind returns m started with the fixed invocation inv, regardless of the
+// target invocation the caller was given. It is used when a machine for
+// one target operation (for example propose(0)) implements a differently
+// named operation (for example read).
+func Bind(m Machine, inv types.Invocation) Machine {
+	return bindMachine{inner: m, inv: inv}
+}
+
+func (b bindMachine) Start(_ types.Invocation, mem any) any { return b.inner.Start(b.inv, mem) }
+
+func (b bindMachine) Next(state any, resp types.Response) (Action, any) {
+	return b.inner.Next(state, resp)
+}
+
+// mapRespMachine rewrites the final response.
+type mapRespMachine struct {
+	inner Machine
+	f     func(types.Response) types.Response
+}
+
+var _ Machine = mapRespMachine{}
+
+// MapResponse returns m with its final response passed through f.
+func MapResponse(m Machine, f func(types.Response) types.Response) Machine {
+	return mapRespMachine{inner: m, f: f}
+}
+
+func (m mapRespMachine) Start(inv types.Invocation, mem any) any { return m.inner.Start(inv, mem) }
+
+func (m mapRespMachine) Next(state any, resp types.Response) (Action, any) {
+	act, next := m.inner.Next(state, resp)
+	if act.Kind == KindReturn {
+		act.Resp = m.f(act.Resp)
+	}
+	return act, next
+}

@@ -1,0 +1,129 @@
+package program
+
+import (
+	"testing"
+
+	"waitfree/internal/types"
+)
+
+// probe drives a machine against a single fetch-and-add object using the
+// Solo driver and reports the final response.
+func probe(t *testing.T, m Machine, inv types.Invocation) types.Response {
+	t.Helper()
+	im := &Implementation{
+		Name:   "combinator-probe",
+		Target: types.Register(1, 100),
+		Procs:  1,
+		Objects: []ObjectDecl{
+			{Name: "pad", Spec: types.FetchAdd(1), Init: 0, PortOf: []int{1}},
+			{Name: "ctr", Spec: types.FetchAdd(1), Init: 10, PortOf: []int{1}},
+		},
+		Machines: []Machine{m},
+	}
+	res, err := Solo(im, im.InitialStates(), 0, inv, nil, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Resp
+}
+
+// faaOnce invokes faa(delta) on object 0 and returns the old value.
+func faaOnce(delta int) Machine {
+	type st struct{ PC int }
+	return FuncMachine{
+		StartFn: func(_ types.Invocation, _ any) any { return st{} },
+		NextFn: func(state any, resp types.Response) (Action, any) {
+			s := state.(st)
+			if s.PC == 0 {
+				return InvokeAction(0, types.Inv(types.OpFAA, delta)), st{PC: 1}
+			}
+			return ReturnAction(resp, nil), s
+		},
+	}
+}
+
+func TestOffsetShiftsObjectIndices(t *testing.T) {
+	// Unshifted, the machine hits object 0 (init 0); shifted by 1 it hits
+	// object 1 (init 10).
+	if got := probe(t, faaOnce(1), types.Read); got != types.ValOf(0) {
+		t.Fatalf("unshifted response = %v", got)
+	}
+	if got := probe(t, Offset(faaOnce(1), 1), types.Read); got != types.ValOf(10) {
+		t.Fatalf("shifted response = %v", got)
+	}
+	// Offset(m, 0) is the identity (same machine value).
+	m := faaOnce(1)
+	if Offset(m, 0) == nil {
+		t.Fatal("nil from zero offset")
+	}
+}
+
+func TestBindFixesInvocation(t *testing.T) {
+	// A machine that echoes its Start invocation's argument.
+	echo := FuncMachine{
+		StartFn: func(inv types.Invocation, _ any) any { return inv.A },
+		NextFn: func(state any, _ types.Response) (Action, any) {
+			return ReturnAction(types.ValOf(state.(int)), nil), state
+		},
+	}
+	if got := probe(t, echo, types.Write(7)); got != types.ValOf(7) {
+		t.Fatalf("unbound echo = %v", got)
+	}
+	bound := Bind(echo, types.Write(42))
+	if got := probe(t, bound, types.Write(7)); got != types.ValOf(42) {
+		t.Fatalf("bound echo = %v, want val(42)", got)
+	}
+}
+
+func TestMapResponseRewritesReturn(t *testing.T) {
+	m := MapResponse(faaOnce(1), func(r types.Response) types.Response {
+		return types.ValOf(r.Val + 100)
+	})
+	if got := probe(t, m, types.Read); got != types.ValOf(100) {
+		t.Fatalf("mapped response = %v, want val(100)", got)
+	}
+}
+
+func TestCombinatorsCompose(t *testing.T) {
+	m := MapResponse(
+		Bind(Offset(faaOnce(1), 1), types.Read),
+		func(r types.Response) types.Response { return types.ValOf(r.Val * 2) },
+	)
+	// Hits object 1 (init 10), observes 10, doubles to 20.
+	if got := probe(t, m, types.Write(3)); got != types.ValOf(20) {
+		t.Fatalf("composed response = %v, want val(20)", got)
+	}
+}
+
+func TestCombinatorsPreserveMemory(t *testing.T) {
+	// A machine that increments its persistent memory each run.
+	counter := FuncMachine{
+		StartFn: func(_ types.Invocation, mem any) any {
+			n, _ := mem.(int)
+			return n + 1
+		},
+		NextFn: func(state any, _ types.Response) (Action, any) {
+			return ReturnAction(types.ValOf(state.(int)), state), state
+		},
+	}
+	wrapped := MapResponse(Offset(Bind(counter, types.Read), 1), func(r types.Response) types.Response {
+		return r
+	})
+	im := &Implementation{
+		Name:     "mem-probe",
+		Target:   types.Register(1, 100),
+		Procs:    1,
+		Machines: []Machine{wrapped},
+	}
+	var mem any
+	for want := 1; want <= 3; want++ {
+		res, err := Solo(im, nil, 0, types.Read, mem, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Resp != types.ValOf(want) {
+			t.Fatalf("run %d: %v", want, res.Resp)
+		}
+		mem = res.Mem
+	}
+}

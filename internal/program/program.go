@@ -1,0 +1,123 @@
+// Package program represents the implementations of Section 2.2 of Bazzi,
+// Neiger, and Peterson (PODC 1994): deterministic programs, one per process
+// and per invocation of a target type, operating on a set of typed shared
+// objects.
+//
+// A program is a Machine: a resumable deterministic step function. Each
+// step either invokes an operation on a shared object (one "low-level
+// operation" in the paper's execution trees) or returns a response for the
+// target invocation. Machine states are comparable Go values, which lets
+// the execution-tree explorer (package explore) deduplicate configurations
+// and lets transformed machines nest states when implementations are
+// rewritten (package core).
+//
+// Processes may keep local data between target operations (for example the
+// reader of the Section 4.3 construction keeps its row index across reads).
+// That data is the machine's persistent memory: an opaque comparable value
+// handed to Start and returned through the final Return action.
+package program
+
+import (
+	"fmt"
+
+	"waitfree/internal/types"
+)
+
+// Kind discriminates machine actions.
+type Kind int
+
+// Machine action kinds.
+const (
+	KindInvoke Kind = iota + 1
+	KindReturn
+)
+
+// Action is one step of a machine: either an invocation on a shared object
+// (KindInvoke: Obj and Inv are set) or the completion of the target
+// operation (KindReturn: Resp carries the target response and Mem the
+// process's updated persistent memory).
+type Action struct {
+	Kind Kind
+	Obj  int
+	Inv  types.Invocation
+	Resp types.Response
+	Mem  any
+}
+
+// InvokeAction builds an object invocation action.
+func InvokeAction(obj int, inv types.Invocation) Action {
+	return Action{Kind: KindInvoke, Obj: obj, Inv: inv}
+}
+
+// ReturnAction builds a completion action carrying the target response and
+// the persistent memory to retain for the process's next target operation.
+func ReturnAction(resp types.Response, mem any) Action {
+	return Action{Kind: KindReturn, Resp: resp, Mem: mem}
+}
+
+// String renders the action for diagnostics.
+func (a Action) String() string {
+	switch a.Kind {
+	case KindInvoke:
+		return fmt.Sprintf("invoke obj%d.%v", a.Obj, a.Inv)
+	case KindReturn:
+		return fmt.Sprintf("return %v", a.Resp)
+	}
+	return "invalid action"
+}
+
+// Machine is the deterministic program run by one process to implement one
+// target invocation (Section 2.2's P_jk). Implementations are driven as:
+//
+//	s := m.Start(inv, mem)
+//	act, s := m.Next(s, types.Response{}) // first action
+//	for act.Kind == KindInvoke {
+//	    resp := ...apply act.Inv to object act.Obj...
+//	    act, s = m.Next(s, resp)
+//	}
+//	// act.Resp is the target response; act.Mem the new persistent memory.
+//
+// Start receives the target invocation and the process's persistent memory
+// (nil before the first operation). Next receives the response to the
+// machine's previous Invoke action; the Response zero value is passed on
+// the first call after Start. All returned states must be comparable.
+type Machine interface {
+	Start(inv types.Invocation, mem any) any
+	Next(state any, resp types.Response) (Action, any)
+}
+
+// FuncMachine adapts a pair of functions to the Machine interface. It is
+// the idiomatic way to write protocol machines: define a small comparable
+// state struct and switch on it in NextFn.
+type FuncMachine struct {
+	StartFn func(inv types.Invocation, mem any) any
+	NextFn  func(state any, resp types.Response) (Action, any)
+}
+
+var _ Machine = FuncMachine{}
+
+// Start implements Machine.
+func (m FuncMachine) Start(inv types.Invocation, mem any) any { return m.StartFn(inv, mem) }
+
+// Next implements Machine.
+func (m FuncMachine) Next(state any, resp types.Response) (Action, any) {
+	return m.NextFn(state, resp)
+}
+
+// Const returns a machine that completes immediately with the given
+// response, performing no object accesses and preserving memory.
+type constState struct{ mem any }
+
+// ConstMachine completes immediately with resp.
+func ConstMachine(resp types.Response) Machine {
+	return FuncMachine{
+		StartFn: func(_ types.Invocation, mem any) any { return constState{mem: mem} },
+		NextFn: func(state any, _ types.Response) (Action, any) {
+			s, ok := state.(constState)
+			if !ok {
+				panic("program: ConstMachine driven with foreign state")
+			}
+			return ReturnAction(resp, s.mem), state
+		},
+	}
+}

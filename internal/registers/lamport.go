@@ -1,0 +1,90 @@
+package registers
+
+// This file implements the regular layers of the Section 4.1 chain, after
+// Lamport, "On interprocess communication II" (1986).
+
+// LamportMRBit is a multi-reader regular bit built from one SRSW regular
+// bit per reader: the writer writes each reader's copy in turn; each
+// reader reads only its own copy. If the base bits are regular, so is the
+// result (reads overlapping the multi-bit write see either value, but
+// always a value that was recently written).
+type LamportMRBit struct {
+	copies []Bit
+}
+
+var _ MultiReaderBit = (*LamportMRBit)(nil)
+
+// NewLamportMRBit builds the construction for the given number of readers
+// over fresh base bits from newBit.
+func NewLamportMRBit(readers, init int, newBit func(init int) Bit) *LamportMRBit {
+	copies := make([]Bit, readers)
+	for i := range copies {
+		copies[i] = newBit(init)
+	}
+	return &LamportMRBit{copies: copies}
+}
+
+// Read implements MultiReaderBit: reader r reads its own copy.
+func (b *LamportMRBit) Read(reader int) int { return b.copies[reader].Read() }
+
+// Write implements MultiReaderBit: write every reader's copy.
+func (b *LamportMRBit) Write(v int) {
+	for _, c := range b.copies {
+		c.Write(v)
+	}
+}
+
+// BaseBits reports how many SRSW bits the construction uses.
+func (b *LamportMRBit) BaseBits() int { return len(b.copies) }
+
+// LamportMultiReg is a single-writer, multi-reader, k-valued regular
+// register in Lamport's unary encoding: bit j is set when the value may be
+// j; Write(v) sets bit v and then clears all lower bits (downward), and
+// Read scans upward returning the first set bit. With regular base bits
+// the register is regular.
+type LamportMultiReg struct {
+	bits []MultiReaderBit
+}
+
+var _ MultiReaderReg = (*LamportMultiReg)(nil)
+
+// NewLamportMultiReg builds the k-valued register over fresh multi-reader
+// bits from newBit, initialized to init.
+func NewLamportMultiReg(k, init int, newBit func(init int) MultiReaderBit) *LamportMultiReg {
+	bits := make([]MultiReaderBit, k)
+	for j := range bits {
+		b := 0
+		if j == init {
+			b = 1
+		}
+		bits[j] = newBit(b)
+	}
+	return &LamportMultiReg{bits: bits}
+}
+
+// Read implements MultiReaderReg: return the lowest set bit. The upward
+// scan finds a set bit within the array: a write sets bit v before
+// clearing lower bits, so whenever a reader misses a bit through an
+// overlapping clear, a higher bit was already set, and each such miss
+// refers the reader strictly upward (Lamport's termination argument).
+func (r *LamportMultiReg) Read(reader int) int {
+	for j := 0; j < len(r.bits); j++ {
+		if r.bits[j].Read(reader) == 1 {
+			return j
+		}
+	}
+	// Unreachable under the invariant above; returning the top value keeps
+	// the reader total without panicking.
+	return len(r.bits) - 1
+}
+
+// Write implements MultiReaderReg.
+func (r *LamportMultiReg) Write(v int) {
+	r.bits[v].Write(1)
+	for j := v - 1; j >= 0; j-- {
+		r.bits[j].Write(0)
+	}
+}
+
+// Values reports the register's value range.
+func (r *LamportMultiReg) Values() int { return len(r.bits) }

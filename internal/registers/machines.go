@@ -1,0 +1,146 @@
+package registers
+
+import (
+	"fmt"
+
+	"waitfree/internal/program"
+	"waitfree/internal/types"
+)
+
+// This file expresses the Lamport layers of the Section 4.1 chain as
+// machines (package program), so the execution-tree explorer can check
+// them EXHAUSTIVELY on small instances. The Lamport constructions promise
+// regularity, not atomicity, so their leaf histories are checked against
+// the single-writer regularity condition rather than linearizability.
+
+// LamportMRBitMachines builds the multi-reader regular bit from one SRSW
+// bit per reader, as an implementation of the (regular) bit type for
+// readers+1 processes: process 0..readers-1 read, process readers writes.
+//
+// Object layout: copy[r] is reader r's SRSW bit (reader r on port 1, the
+// writer on port 2).
+func LamportMRBitMachines(readers, init int) *program.Implementation {
+	procs := readers + 1
+	writerProc := readers
+	objects := make([]program.ObjectDecl, readers)
+	for r := 0; r < readers; r++ {
+		objects[r] = program.ObjectDecl{
+			Name:   fmt.Sprintf("copy%d", r),
+			Spec:   types.SRSWBit(),
+			Init:   init,
+			PortOf: program.PairPorts(procs, r, writerProc),
+		}
+	}
+
+	// Reader r's machine: read own copy.
+	readerMachine := func(r int) program.Machine {
+		type st struct{ PC int }
+		return program.FuncMachine{
+			StartFn: func(_ types.Invocation, _ any) any { return st{} },
+			NextFn: func(state any, resp types.Response) (program.Action, any) {
+				s := state.(st)
+				if s.PC == 0 {
+					return program.InvokeAction(r, types.Read), st{PC: 1}
+				}
+				return program.ReturnAction(resp, nil), s
+			},
+		}
+	}
+	// Writer machine: write every copy in turn.
+	type wst struct {
+		PC int
+		V  int
+	}
+	writerMachine := program.FuncMachine{
+		StartFn: func(inv types.Invocation, _ any) any { return wst{V: inv.A & 1} },
+		NextFn: func(state any, _ types.Response) (program.Action, any) {
+			s := state.(wst)
+			if s.PC < readers {
+				return program.InvokeAction(s.PC, types.Write(s.V)), wst{PC: s.PC + 1, V: s.V}
+			}
+			return program.ReturnAction(types.OK, nil), s
+		},
+	}
+
+	machines := make([]program.Machine, procs)
+	for r := 0; r < readers; r++ {
+		machines[r] = readerMachine(r)
+	}
+	machines[writerProc] = writerMachine
+	return &program.Implementation{
+		Name:     fmt.Sprintf("lamport-mrbit(readers=%d)", readers),
+		Target:   types.Bit(procs),
+		Procs:    procs,
+		Objects:  objects,
+		Machines: machines,
+	}
+}
+
+// LamportMultiRegMachines builds the k-valued regular register from
+// multi-reader bits (here: one SRSW bit per reader per value level, i.e.
+// the two Lamport layers composed) for one reader and one writer — the
+// smallest instance that exercises the unary upscan against concurrent
+// downward clears.
+//
+// Object layout: bit[j] for value level j (reader on port 1, writer on
+// port 2). Write(v): set bit[v], clear bit[v-1..0]. Read: upscan for the
+// first set bit.
+func LamportMultiRegMachines(k, init int) *program.Implementation {
+	objects := make([]program.ObjectDecl, k)
+	for j := 0; j < k; j++ {
+		b := 0
+		if j == init {
+			b = 1
+		}
+		objects[j] = program.ObjectDecl{
+			Name:   fmt.Sprintf("level%d", j),
+			Spec:   types.SRSWBit(),
+			Init:   b,
+			PortOf: program.PairPorts(2, 0, 1),
+		}
+	}
+	type rst struct {
+		PC int
+		J  int
+	}
+	reader := program.FuncMachine{
+		StartFn: func(_ types.Invocation, _ any) any { return rst{} },
+		NextFn: func(state any, resp types.Response) (program.Action, any) {
+			s := state.(rst)
+			if s.PC == 1 {
+				if resp.Val == 1 || s.J == k-1 {
+					return program.ReturnAction(types.ValOf(s.J), nil), s
+				}
+				s.J++
+			}
+			return program.InvokeAction(s.J, types.Read), rst{PC: 1, J: s.J}
+		},
+	}
+	type wst struct {
+		PC  int
+		V   int
+		Clr int
+	}
+	writer := program.FuncMachine{
+		StartFn: func(inv types.Invocation, _ any) any {
+			return wst{V: inv.A, Clr: inv.A - 1}
+		},
+		NextFn: func(state any, _ types.Response) (program.Action, any) {
+			s := state.(wst)
+			if s.PC == 0 {
+				return program.InvokeAction(s.V, types.Write(1)), wst{PC: 1, V: s.V, Clr: s.Clr}
+			}
+			if s.Clr >= 0 {
+				return program.InvokeAction(s.Clr, types.Write(0)), wst{PC: 1, V: s.V, Clr: s.Clr - 1}
+			}
+			return program.ReturnAction(types.OK, nil), s
+		},
+	}
+	return &program.Implementation{
+		Name:     fmt.Sprintf("lamport-multireg(k=%d)", k),
+		Target:   types.SRSWRegister(k),
+		Procs:    2,
+		Objects:  objects,
+		Machines: []program.Machine{reader, writer},
+	}
+}

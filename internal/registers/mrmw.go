@@ -1,0 +1,88 @@
+package registers
+
+// This file implements the top layer of the Section 4.1 chain: a
+// multi-writer, multi-reader, multi-value atomic register from
+// single-writer multi-reader atomic registers, via the timestamp-maximum
+// construction (Vitanyi-Awerbuch style; the paper cites Peterson-Burns'
+// bounded equivalent — see DESIGN.md for the substitution).
+
+// wTag is a value tagged with a timestamp and the writer that produced it;
+// (TS, ID) pairs are totally ordered lexicographically.
+type wTag struct {
+	Val int
+	TS  int
+	ID  int
+}
+
+func (a wTag) after(b wTag) bool {
+	if a.TS != b.TS {
+		return a.TS > b.TS
+	}
+	return a.ID > b.ID
+}
+
+// MRMWAtomic is an m-writer, n-reader, multi-value atomic register.
+//
+// Each writer owns one MRSW atomic register (from mrsw.go), readable by
+// every party — writers read all registers during their collect phase, so
+// writers are readers of each other's registers too. To write, a writer
+// collects all registers, picks a timestamp greater than every timestamp
+// it saw (ties broken by writer id), and installs the tagged value in its
+// own register. To read, a reader collects all registers and returns the
+// value with the maximal (timestamp, id) tag.
+type MRMWAtomic struct {
+	writers int
+	readers int
+	regs    []*MRSWAtomicG[wTag]
+}
+
+var _ MultiWriterReg = (*MRMWAtomic)(nil)
+
+// NewMRMWAtomic builds the register for the given numbers of writers and
+// readers, initialized to init. Every per-writer register carries the
+// initial value at timestamp 0, so the pre-write maximum is init whichever
+// register wins the tie-break.
+func NewMRMWAtomic(writers, readers, init int) *MRMWAtomic {
+	parties := writers + readers
+	r := &MRMWAtomic{writers: writers, readers: readers}
+	r.regs = make([]*MRSWAtomicG[wTag], writers)
+	for w := range r.regs {
+		r.regs[w] = NewMRSWAtomicG(parties, wTag{Val: init, TS: 0, ID: w})
+	}
+	return r
+}
+
+// collect scans all per-writer registers as the given party and returns
+// the maximal tag seen.
+func (r *MRMWAtomic) collect(party int) wTag {
+	best := r.regs[0].Read(party)
+	for w := 1; w < r.writers; w++ {
+		if got := r.regs[w].Read(party); got.after(best) {
+			best = got
+		}
+	}
+	return best
+}
+
+// Write implements MultiWriterReg for the given writer index. Writers
+// occupy parties 0..writers-1 in the per-register reader spaces.
+func (r *MRMWAtomic) Write(writer int, v int) {
+	best := r.collect(writer)
+	r.regs[writer].Write(wTag{Val: v, TS: best.TS + 1, ID: writer})
+}
+
+// Read implements MultiWriterReg for the given reader index. Readers
+// occupy parties writers..writers+readers-1.
+func (r *MRMWAtomic) Read(reader int) int {
+	return r.collect(r.writers + reader).Val
+}
+
+// BaseCells reports how many SRSW cells the construction uses across its
+// per-writer registers.
+func (r *MRMWAtomic) BaseCells() int {
+	total := 0
+	for _, reg := range r.regs {
+		total += reg.BaseCells()
+	}
+	return total
+}

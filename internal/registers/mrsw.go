@@ -1,0 +1,125 @@
+package registers
+
+import "sync/atomic"
+
+// This file implements the multi-reader atomic layer: a single-writer,
+// multi-reader atomic register from single-reader, single-writer atomic
+// registers, via the classic reader-announcement construction with
+// sequence numbers (Attiya-Welch style; the paper cites Burns-Peterson's
+// bounded equivalent — see DESIGN.md for the substitution).
+//
+// The construction is generic in its payload so that the multi-writer
+// layer (mrmw.go) can stack on top of genuinely atomic multi-reader
+// registers carrying tagged values.
+
+// stamped is a timestamped payload, the content of the construction's
+// SRSW cells.
+type stamped[T any] struct {
+	Val T
+	TS  int
+}
+
+// srswCell is a single-reader, single-writer atomic register holding a
+// stamped payload. It stands for the product of the lower chain layers.
+type srswCell[T any] struct {
+	p atomic.Pointer[stamped[T]]
+}
+
+func newSRSWCell[T any](init stamped[T]) *srswCell[T] {
+	c := &srswCell[T]{}
+	v := init
+	c.p.Store(&v)
+	return c
+}
+
+func (c *srswCell[T]) load() stamped[T]   { return *c.p.Load() }
+func (c *srswCell[T]) store(v stamped[T]) { c.p.Store(&v) }
+
+// MRSWAtomicG is a single-writer, n-reader atomic register with payload T.
+//
+// The writer keeps one SRSW cell per reader (wv[r], written by the writer,
+// read by reader r). Each reader additionally announces the freshest value
+// it has returned in SRSW cells report[i][j] (written by reader i, read by
+// reader j), so that a later read by another reader never returns an older
+// value — which is exactly what upgrades per-reader regularity to
+// atomicity.
+type MRSWAtomicG[T any] struct {
+	readers int
+	ts      int // writer-local sequence number
+	wv      []*srswCell[T]
+	report  [][]*srswCell[T]
+}
+
+// NewMRSWAtomicG builds the register for the given number of readers,
+// initialized to init.
+func NewMRSWAtomicG[T any](readers int, init T) *MRSWAtomicG[T] {
+	r := &MRSWAtomicG[T]{
+		readers: readers,
+		wv:      make([]*srswCell[T], readers),
+		report:  make([][]*srswCell[T], readers),
+	}
+	zero := stamped[T]{Val: init, TS: 0}
+	for i := range r.wv {
+		r.wv[i] = newSRSWCell(zero)
+		r.report[i] = make([]*srswCell[T], readers)
+		for j := range r.report[i] {
+			r.report[i][j] = newSRSWCell(zero)
+		}
+	}
+	return r
+}
+
+// Write installs v (single writer).
+func (r *MRSWAtomicG[T]) Write(v T) {
+	r.ts++
+	cur := stamped[T]{Val: v, TS: r.ts}
+	for _, c := range r.wv {
+		c.store(cur)
+	}
+}
+
+// Read returns the freshest value visible to the given reader.
+func (r *MRSWAtomicG[T]) Read(reader int) T {
+	best := r.wv[reader].load()
+	for j := 0; j < r.readers; j++ {
+		if j == reader {
+			continue
+		}
+		if got := r.report[j][reader].load(); got.TS > best.TS {
+			best = got
+		}
+	}
+	for j := 0; j < r.readers; j++ {
+		if j == reader {
+			continue
+		}
+		r.report[reader][j].store(best)
+	}
+	return best.Val
+}
+
+// BaseCells reports how many SRSW cells the construction uses.
+func (r *MRSWAtomicG[T]) BaseCells() int { return r.readers + r.readers*r.readers }
+
+// MRSWAtomic is the int-valued register of the chain: a single-writer,
+// multi-reader, multi-value atomic register.
+type MRSWAtomic struct {
+	g *MRSWAtomicG[int]
+}
+
+var _ MultiReaderReg = (*MRSWAtomic)(nil)
+
+// NewMRSWAtomic builds the register for the given number of readers,
+// initialized to init.
+func NewMRSWAtomic(readers, init int) *MRSWAtomic {
+	return &MRSWAtomic{g: NewMRSWAtomicG[int](readers, init)}
+}
+
+// Write implements MultiReaderReg (single writer).
+func (r *MRSWAtomic) Write(v int) { r.g.Write(v) }
+
+// Read implements MultiReaderReg.
+func (r *MRSWAtomic) Read(reader int) int { return r.g.Read(reader) }
+
+// BaseCells reports how many SRSW cells the construction uses.
+func (r *MRSWAtomic) BaseCells() int { return r.g.BaseCells() }

@@ -1,0 +1,65 @@
+package registers
+
+// This file implements the atomic single-reader multi-value layer, after
+// Vidyasankar's classic construction of a k-valued atomic register from
+// atomic bits (upscan to the first set bit, then downscan confirming the
+// lowest stable set bit).
+
+// Vidyasankar is a single-writer, single-reader, k-valued atomic register
+// built from k SRSW atomic bits in unary encoding.
+//
+// Write(v): set bit v, then clear bits v-1 .. 0 downward.
+// Read: scan up to the first set bit j; then scan down from j-1 to 0 and
+// return the lowest bit found set during the downscan (or j if none).
+//
+// The downscan is what upgrades Lamport's regular construction to an
+// atomic one: it guarantees that the sequence of values returned by
+// consecutive reads never exhibits a new/old inversion.
+type Vidyasankar struct {
+	bits []Bit
+}
+
+var _ Bit = (*Vidyasankar)(nil) // with k=2 it is itself an atomic bit
+
+// NewVidyasankar builds the k-valued register over fresh SRSW atomic bits
+// from newBit, initialized to init.
+func NewVidyasankar(k, init int, newBit func(init int) Bit) *Vidyasankar {
+	bits := make([]Bit, k)
+	for j := range bits {
+		b := 0
+		if j == init {
+			b = 1
+		}
+		bits[j] = newBit(b)
+	}
+	return &Vidyasankar{bits: bits}
+}
+
+// Read returns the register's value (single reader).
+func (r *Vidyasankar) Read() int {
+	j := 0
+	for j < len(r.bits)-1 && r.bits[j].Read() == 0 {
+		j++
+	}
+	v := j
+	for i := j - 1; i >= 0; i-- {
+		if r.bits[i].Read() == 1 {
+			v = i
+		}
+	}
+	return v
+}
+
+// Write sets the register's value (single writer).
+func (r *Vidyasankar) Write(v int) {
+	r.bits[v].Write(1)
+	for j := v - 1; j >= 0; j-- {
+		r.bits[j].Write(0)
+	}
+}
+
+// BaseBits reports how many SRSW bits the construction uses.
+func (r *Vidyasankar) BaseBits() int { return len(r.bits) }
+
+// Values reports the register's value range.
+func (r *Vidyasankar) Values() int { return len(r.bits) }

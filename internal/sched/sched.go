@@ -1,0 +1,179 @@
+// Package sched provides schedulers for the concurrent runtime (package
+// runtime). A scheduler gates every low-level object access of every
+// process, which makes interleavings reproducible (seeded schedules) and
+// lets tests inject stopping failures (the paper's motivation for
+// wait-freedom: implementations must tolerate any number of crashes).
+package sched
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+)
+
+// Scheduler gates process steps.
+//
+// Next blocks until process p may perform its next object access and
+// reports whether p is still alive; false means p has crashed and must
+// stop silently. Done signals that p has finished all of its work (or
+// observed its crash) and will not call Next again. Both methods are
+// called from the process goroutines and must be safe for concurrent use.
+type Scheduler interface {
+	Next(p int) bool
+	Done(p int)
+}
+
+// Free is the trivial scheduler: every step proceeds immediately and the
+// interleaving is whatever the Go runtime produces.
+type Free struct{}
+
+var _ Scheduler = Free{}
+
+// Next implements Scheduler.
+func (Free) Next(int) bool { return true }
+
+// Done implements Scheduler.
+func (Free) Done(int) {}
+
+// Crash stops chosen processes after a fixed number of steps, leaving the
+// others free-running. It is used to test that implementations tolerate
+// stopping failures.
+type Crash struct {
+	mu    sync.Mutex
+	after map[int]int
+	taken map[int]int
+}
+
+var _ Scheduler = (*Crash)(nil)
+
+// NewCrash returns a scheduler that crashes process p after after[p] steps
+// (processes absent from the map never crash). A value of 0 crashes the
+// process before its first access.
+func NewCrash(after map[int]int) *Crash {
+	limits := make(map[int]int, len(after))
+	for p, n := range after {
+		limits[p] = n
+	}
+	return &Crash{after: limits, taken: make(map[int]int)}
+}
+
+// Next implements Scheduler.
+func (c *Crash) Next(p int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	limit, crashes := c.after[p]
+	if crashes && c.taken[p] >= limit {
+		return false
+	}
+	c.taken[p]++
+	return true
+}
+
+// Done implements Scheduler.
+func (c *Crash) Done(int) {}
+
+// Token serializes all processes into one global order chosen pseudo-
+// randomly from a seed: at each point, one waiting live process is picked
+// uniformly and allowed one step. Given deterministic programs and
+// deterministic objects, the whole execution is a reproducible function of
+// the seed. Token also supports crash injection.
+type Token struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	rng     *rand.Rand
+	waiting map[int]chan bool
+	done    map[int]bool
+	crashAt map[int]int
+	steps   map[int]int
+	procs   int
+	stopped bool
+}
+
+var _ Scheduler = (*Token)(nil)
+
+// NewToken returns a Token scheduler over procs processes with the given
+// seed. crashAt (may be nil) crashes process p after crashAt[p] steps.
+func NewToken(procs int, seed int64, crashAt map[int]int) *Token {
+	t := &Token{
+		rng:     rand.New(rand.NewSource(seed)),
+		waiting: make(map[int]chan bool),
+		done:    make(map[int]bool),
+		crashAt: make(map[int]int),
+		steps:   make(map[int]int),
+		procs:   procs,
+	}
+	for p, n := range crashAt {
+		t.crashAt[p] = n
+	}
+	t.cond = sync.NewCond(&t.mu)
+	go t.dispatch()
+	return t
+}
+
+// Next implements Scheduler.
+func (t *Token) Next(p int) bool {
+	t.mu.Lock()
+	if limit, crashes := t.crashAt[p]; crashes && t.steps[p] >= limit {
+		t.mu.Unlock()
+		return false
+	}
+	grant := make(chan bool, 1)
+	t.waiting[p] = grant
+	t.cond.Broadcast()
+	t.mu.Unlock()
+	return <-grant
+}
+
+// Done implements Scheduler.
+func (t *Token) Done(p int) {
+	t.mu.Lock()
+	t.done[p] = true
+	t.cond.Broadcast()
+	t.mu.Unlock()
+}
+
+// Stop shuts the dispatcher down; pending Next calls are released as
+// crashes. Call it after the run completes.
+func (t *Token) Stop() {
+	t.mu.Lock()
+	t.stopped = true
+	t.cond.Broadcast()
+	t.mu.Unlock()
+}
+
+// dispatch grants one waiting process at a time, chosen at random, until
+// every process is done or the scheduler is stopped.
+func (t *Token) dispatch() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for {
+		if t.stopped {
+			for p, grant := range t.waiting {
+				delete(t.waiting, p)
+				grant <- false
+			}
+			return
+		}
+		if len(t.done) == t.procs {
+			return
+		}
+		if len(t.waiting)+len(t.done) < t.procs {
+			// Wait until every live process has parked at its next step;
+			// only then is the random choice a deterministic function of
+			// the seed (processes between steps do only local work and
+			// will park or finish).
+			t.cond.Wait()
+			continue
+		}
+		candidates := make([]int, 0, len(t.waiting))
+		for p := range t.waiting {
+			candidates = append(candidates, p)
+		}
+		sort.Ints(candidates)
+		p := candidates[t.rng.Intn(len(candidates))]
+		grant := t.waiting[p]
+		delete(t.waiting, p)
+		t.steps[p]++
+		grant <- true
+	}
+}

@@ -1,0 +1,95 @@
+package stress
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"waitfree/internal/hist"
+	"waitfree/internal/registers"
+	"waitfree/internal/types"
+)
+
+func TestRecorderClockMonotone(t *testing.T) {
+	r := NewRecorder()
+	prev := 0
+	for i := 0; i < 100; i++ {
+		v := r.Tick()
+		if v <= prev {
+			t.Fatalf("clock not monotone: %d then %d", prev, v)
+		}
+		prev = v
+	}
+}
+
+func TestRecorderConcurrentTicksDistinct(t *testing.T) {
+	r := NewRecorder()
+	var mu sync.Mutex
+	seen := make(map[int]bool)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				v := r.Tick()
+				mu.Lock()
+				if seen[v] {
+					t.Errorf("duplicate tick %d", v)
+				}
+				seen[v] = true
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestCheckAtomicOnAtomicRegister(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		reg := registers.NewMRMWAtomic(2, 2, 0)
+		rec := Run(RegisterUnderTest{Write: reg.Write, Read: reg.Read}, Config{
+			Writers: 2, Readers: 2, Values: 8, OpsPerParty: 7, Seed: seed,
+		})
+		if err := rec.CheckAtomic(8, 0); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestCheckRegularAcceptsRegularRejectsGarbage(t *testing.T) {
+	// A history with a stale-but-overlapping read is regular.
+	r := NewRecorder()
+	wBegin := r.Tick()
+	rBegin := r.Tick()
+	r.Record(historyOp(1, types.Read, types.ValOf(0), rBegin, r.Tick()))
+	r.Record(historyOp(0, types.Write(1), types.OK, wBegin, r.Tick()))
+	if err := r.CheckRegular(0); err != nil {
+		t.Fatalf("regular history rejected: %v", err)
+	}
+	// A read returning a never-written, non-initial value is not regular.
+	bad := NewRecorder()
+	b := bad.Tick()
+	bad.Record(historyOp(1, types.Read, types.ValOf(7), b, bad.Tick()))
+	if err := bad.CheckRegular(0); err == nil {
+		t.Fatal("garbage read accepted as regular")
+	} else if !strings.Contains(err.Error(), "not regular") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestOpRecordsArbitraryInvocations(t *testing.T) {
+	r := NewRecorder()
+	resp := r.Op(2, 3, types.TAS, func() types.Response { return types.ValOf(0) })
+	if resp != types.ValOf(0) {
+		t.Fatalf("Op returned %v", resp)
+	}
+	h := r.History()
+	if len(h) != 1 || h[0].Proc != 2 || h[0].Port != 3 || h[0].Inv != types.TAS {
+		t.Fatalf("recorded op = %+v", h)
+	}
+}
+
+func historyOp(proc int, inv types.Invocation, resp types.Response, begin, end int) hist.Op {
+	return hist.Op{Proc: proc, Port: 1, Inv: inv, Resp: resp, Begin: begin, End: end}
+}

@@ -1,0 +1,67 @@
+package types
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Audit cross-checks a Spec's declared flags against its computed
+// behavior over the fragment reachable from init: the Deterministic flag
+// must match the absence of branching transitions, the Oblivious flag must
+// match port-independence, every alphabet invocation must be legal in at
+// least one reachable state, and transitions must stay inside legal
+// responses. It is the lint that keeps the type zoo honest — a Spec whose
+// flags lie poisons every analysis built on them (triviality, witness
+// search, the explorer's branching).
+func Audit(spec *Spec, init State, limit int) error {
+	if spec.Name == "" {
+		return errors.New("types: spec has no name")
+	}
+	if spec.Ports < 1 {
+		return fmt.Errorf("types: %q has %d ports", spec.Name, spec.Ports)
+	}
+	if len(spec.Alphabet) == 0 {
+		return fmt.Errorf("types: %q has an empty alphabet", spec.Name)
+	}
+	if spec.Step == nil {
+		return fmt.Errorf("types: %q has no transition function", spec.Name)
+	}
+
+	detErr := CheckDeterministic(spec, init, limit)
+	switch {
+	case spec.Deterministic && detErr != nil && !errors.Is(detErr, ErrStateSpaceTooLarge):
+		return fmt.Errorf("types: %q declares Deterministic but branches: %w", spec.Name, detErr)
+	case !spec.Deterministic && detErr == nil:
+		return fmt.Errorf("types: %q declares nondeterminism but never branches (from %v)", spec.Name, init)
+	}
+
+	oblErr := CheckOblivious(spec, init, limit)
+	switch {
+	case spec.Oblivious && oblErr != nil && !errors.Is(oblErr, ErrStateSpaceTooLarge):
+		return fmt.Errorf("types: %q declares Oblivious but is port-aware: %w", spec.Name, oblErr)
+	case !spec.Oblivious && oblErr == nil:
+		return fmt.Errorf("types: %q declares port-awareness but all ports agree (from %v)", spec.Name, init)
+	}
+
+	// Every alphabet invocation must be usable somewhere reachable.
+	states, err := Reachable(spec, init, limit)
+	if err != nil && !errors.Is(err, ErrStateSpaceTooLarge) {
+		return err
+	}
+	for _, inv := range spec.Alphabet {
+		used := false
+	scan:
+		for _, q := range states {
+			for port := 1; port <= spec.Ports; port++ {
+				if len(spec.Step(q, port, inv)) > 0 {
+					used = true
+					break scan
+				}
+			}
+		}
+		if !used {
+			return fmt.Errorf("types: %q alphabet entry %v is illegal in every reachable state", spec.Name, inv)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,100 @@
+package types
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAuditZoo lints every zoo member: declared flags must match computed
+// behavior. This is the regression net for the type definitions everything
+// else is built on.
+func TestAuditZoo(t *testing.T) {
+	cases := []struct {
+		spec *Spec
+		init State
+	}{
+		{Register(3, 3), 0},
+		{Bit(2), 0},
+		{SRSWBit(), 0},
+		{SRSWRegister(4), 0},
+		{TestAndSet(2), 0},
+		{Swap(2, 2), 0},
+		{FetchAdd(2), 0},
+		{CompareSwap(2, 3), 2},
+		{Queue(2, 2, 3), QueueState()},
+		{Stack(2, 2, 3), QueueState()},
+		{AugmentedQueue(2, 2, 3), QueueState()},
+		{StickyCell(2, 2), StickyUnset},
+		{StickyBit(2), StickyUnset},
+		{Consensus(2), ConsensusUndecided},
+		{MultiConsensus(2, 4), ConsensusUndecided},
+		{OneUseBit(), OneUseUnset},
+		{Toggle(2), 0},
+		{LatchFlag(), LatchFlagInit()},
+		{Beacon(2), 0},
+		{Blinker(2), 0},
+		{IncOnly(2), 0},
+		{WeakLeader(2), 0},
+	}
+	for _, tc := range cases {
+		if err := Audit(tc.spec, tc.init, 64); err != nil {
+			t.Errorf("%s: %v", tc.spec.Name, err)
+		}
+	}
+}
+
+func TestAuditCatchesLyingFlags(t *testing.T) {
+	// Declares Deterministic but branches.
+	lyingDet := OneUseBit()
+	lyingDet.Deterministic = true
+	if err := Audit(lyingDet, OneUseUnset, 32); err == nil || !strings.Contains(err.Error(), "branches") {
+		t.Errorf("lying Deterministic flag: err = %v", err)
+	}
+	// Declares nondeterministic but never branches.
+	lyingNondet := Register(2, 2)
+	lyingNondet.Deterministic = false
+	if err := Audit(lyingNondet, 0, 32); err == nil || !strings.Contains(err.Error(), "never branches") {
+		t.Errorf("lying nondeterminism flag: err = %v", err)
+	}
+	// Declares Oblivious but is port-aware.
+	lyingObl := SRSWBit()
+	lyingObl.Oblivious = true
+	if err := Audit(lyingObl, 0, 32); err == nil || !strings.Contains(err.Error(), "port-aware") {
+		t.Errorf("lying Oblivious flag: err = %v", err)
+	}
+	// Declares port-awareness but all ports agree.
+	lyingAware := Register(2, 2)
+	lyingAware.Oblivious = false
+	if err := Audit(lyingAware, 0, 32); err == nil || !strings.Contains(err.Error(), "ports agree") {
+		t.Errorf("lying port-awareness flag: err = %v", err)
+	}
+}
+
+func TestAuditCatchesStructuralProblems(t *testing.T) {
+	base := Register(2, 2)
+
+	anon := *base
+	anon.Name = ""
+	if err := Audit(&anon, 0, 32); err == nil {
+		t.Error("nameless spec accepted")
+	}
+
+	noPorts := *base
+	noPorts.Ports = 0
+	if err := Audit(&noPorts, 0, 32); err == nil {
+		t.Error("portless spec accepted")
+	}
+
+	noAlpha := *base
+	noAlpha.Alphabet = nil
+	if err := Audit(&noAlpha, 0, 32); err == nil {
+		t.Error("alphabetless spec accepted")
+	}
+
+	deadInv := *base
+	deadInv.Alphabet = append([]Invocation{}, base.Alphabet...)
+	deadInv.Alphabet = append(deadInv.Alphabet, Inv("ghost"))
+	if err := Audit(&deadInv, 0, 32); err == nil || !strings.Contains(err.Error(), "illegal in every reachable state") {
+		t.Errorf("dead alphabet entry: err = %v", err)
+	}
+}

@@ -1,0 +1,110 @@
+package types
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrStateSpaceTooLarge reports that a bounded state-space analysis hit its
+// state budget before converging. Callers must treat the analysis result as
+// unknown rather than as a verdict.
+var ErrStateSpaceTooLarge = errors.New("types: state space exceeds analysis budget")
+
+// Reachable returns the set of states reachable from init via legal
+// invocations from the spec's Alphabet on any port, including init itself.
+// Exploration stops with ErrStateSpaceTooLarge once more than limit states
+// are discovered. The result order is breadth-first and deterministic for
+// deterministic alphabets.
+func Reachable(spec *Spec, init State, limit int) ([]State, error) {
+	seen := map[State]bool{init: true}
+	order := []State{init}
+	frontier := []State{init}
+	for len(frontier) > 0 {
+		var next []State
+		for _, q := range frontier {
+			for port := 1; port <= spec.Ports; port++ {
+				for _, inv := range spec.Alphabet {
+					for _, t := range spec.Step(q, port, inv) {
+						if seen[t.Next] {
+							continue
+						}
+						if len(order) >= limit {
+							return order, fmt.Errorf("%w: from %v (limit %d)", ErrStateSpaceTooLarge, init, limit)
+						}
+						seen[t.Next] = true
+						order = append(order, t.Next)
+						next = append(next, t.Next)
+					}
+				}
+			}
+		}
+		frontier = next
+	}
+	return order, nil
+}
+
+// CheckDeterministic verifies that every legal alphabet invocation from
+// every state reachable from init has exactly one allowed transition. It
+// returns nil if the (bounded) reachable fragment is deterministic.
+func CheckDeterministic(spec *Spec, init State, limit int) error {
+	states, err := Reachable(spec, init, limit)
+	if err != nil {
+		return err
+	}
+	for _, q := range states {
+		for port := 1; port <= spec.Ports; port++ {
+			for _, inv := range spec.Alphabet {
+				ts := spec.Step(q, port, inv)
+				if len(ts) > 1 {
+					return fmt.Errorf("types: %q is nondeterministic at state %v, port %d, %v (%d outcomes)",
+						spec.Name, q, port, inv, len(ts))
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// CheckOblivious verifies that identical invocations on different ports
+// have identical transition sets from every state reachable from init
+// (the paper's obliviousness condition). Transition sets are compared as
+// multisets.
+func CheckOblivious(spec *Spec, init State, limit int) error {
+	states, err := Reachable(spec, init, limit)
+	if err != nil {
+		return err
+	}
+	for _, q := range states {
+		for _, inv := range spec.Alphabet {
+			base := transitionBag(spec.Step(q, 1, inv))
+			for port := 2; port <= spec.Ports; port++ {
+				other := transitionBag(spec.Step(q, port, inv))
+				if !bagsEqual(base, other) {
+					return fmt.Errorf("types: %q is port-aware at state %v for %v (port 1 vs port %d)",
+						spec.Name, q, inv, port)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func transitionBag(ts []Transition) map[Transition]int {
+	bag := make(map[Transition]int, len(ts))
+	for _, t := range ts {
+		bag[t]++
+	}
+	return bag
+}
+
+func bagsEqual(a, b map[Transition]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, n := range a {
+		if b[k] != n {
+			return false
+		}
+	}
+	return true
+}

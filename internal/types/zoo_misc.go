@@ -1,0 +1,253 @@
+package types
+
+// This file defines the remaining zoo members: trivial types (Section 5.1's
+// counterexamples — types too weak to implement anything), a port-aware
+// non-trivial type exercising the general Section 5.2 construction, and a
+// Jayanti-style nondeterministic type whose consensus power increases with
+// registers (Section 6 context: Theorem 5 shows such a type must be
+// nondeterministic).
+
+// Operation names used by the miscellaneous zoo types.
+const (
+	OpPoke  = "poke"
+	OpInc   = "inc"
+	OpFlip  = "flip"
+	OpPeek  = "peek"
+	OpProbe = "probe"
+	OpSet   = "set"
+)
+
+// Beacon returns a trivial type: every poke answers val(42) and the state
+// never changes. |R| = 1, so per Section 5.1 it cannot supply information.
+func Beacon(ports int) *Spec {
+	return &Spec{
+		Name:          "beacon",
+		Ports:         ports,
+		Oblivious:     true,
+		Deterministic: true,
+		Alphabet:      []Invocation{{Op: OpPoke}},
+		Step: func(q State, _ int, inv Invocation) []Transition {
+			if inv.Op != OpPoke {
+				return nil
+			}
+			return []Transition{{Next: q, Resp: ValOf(42)}}
+		},
+	}
+}
+
+// Blinker returns a trivial type with a non-trivial-looking state space:
+// flip toggles an internal bit but always answers ok. The state changes
+// yet no invocation can ever observe it, so the type is trivial in the
+// formal sense of Section 5.1.
+func Blinker(ports int) *Spec {
+	return &Spec{
+		Name:          "blinker",
+		Ports:         ports,
+		Oblivious:     true,
+		Deterministic: true,
+		Alphabet:      []Invocation{{Op: OpFlip}},
+		Step: func(q State, _ int, inv Invocation) []Transition {
+			cur, ok := q.(int)
+			if !ok || inv.Op != OpFlip {
+				return nil
+			}
+			return []Transition{{Next: 1 - cur, Resp: OK}}
+		},
+	}
+}
+
+// IncOnly returns a trivial unbounded counter that can only be incremented:
+// inc answers ok and bumps the hidden count. Like Blinker it is trivial
+// because responses carry no information.
+func IncOnly(ports int) *Spec {
+	return &Spec{
+		Name:          "inc-only",
+		Ports:         ports,
+		Oblivious:     true,
+		Deterministic: true,
+		Alphabet:      []Invocation{{Op: OpInc}},
+		Step: func(q State, _ int, inv Invocation) []Transition {
+			cur, ok := q.(int)
+			if !ok || inv.Op != OpInc {
+				return nil
+			}
+			return []Transition{{Next: cur + 1, Resp: OK}}
+		},
+	}
+}
+
+// Toggle returns a NON-trivial two-operation type used in tests as the
+// smallest interesting deterministic type: flip toggles the bit answering
+// ok; peek answers the bit. The Section 5.1 witness is q=0, i=peek,
+// i'=flip.
+func Toggle(ports int) *Spec {
+	return &Spec{
+		Name:          "toggle",
+		Ports:         ports,
+		Oblivious:     true,
+		Deterministic: true,
+		Alphabet:      []Invocation{{Op: OpFlip}, {Op: OpPeek}},
+		Step: func(q State, _ int, inv Invocation) []Transition {
+			cur, ok := q.(int)
+			if !ok {
+				return nil
+			}
+			switch inv.Op {
+			case OpFlip:
+				return []Transition{{Next: 1 - cur, Resp: OK}}
+			case OpPeek:
+				return []Transition{{Next: cur, Resp: ValOf(cur)}}
+			}
+			return nil
+		},
+	}
+}
+
+// latchFlagState is the comparable state of the LatchFlag type.
+type latchFlagState struct {
+	Flag  int
+	Latch int
+}
+
+// LatchFlag returns a port-aware, deterministic, non-trivial type designed
+// so that no single port-1 invocation distinguishes anything — from ANY
+// state — but a pair of invocations does, exercising the k > 1 case of the
+// Section 5.2 construction.
+//
+// Port 2's set raises a flag and answers ok. Port 1's probe answers the
+// flag AS OF THE PREVIOUS PROBE: it returns the latch and then reloads the
+// latch from the flag. A single probe's response (the old latch) is
+// unaffected by any set, so no k = 1 non-trivial pair exists from any
+// reachable state; two probes reveal the flag, giving the minimal pair
+// H1 = probe;probe (returning 0 from the zero state) versus
+// H2 = set;probe;probe (returning 1). Operations are errors on the other
+// port, making the type port-aware.
+func LatchFlag() *Spec {
+	return &Spec{
+		Name:          "latch-flag",
+		Ports:         2,
+		Oblivious:     false,
+		Deterministic: true,
+		Alphabet:      []Invocation{{Op: OpProbe}, {Op: OpSet}},
+		Step: func(q State, port int, inv Invocation) []Transition {
+			s, ok := q.(latchFlagState)
+			if !ok {
+				return nil
+			}
+			switch {
+			case inv.Op == OpProbe && port == 1:
+				return []Transition{{
+					Next: latchFlagState{Flag: s.Flag, Latch: s.Flag},
+					Resp: ValOf(s.Latch),
+				}}
+			case inv.Op == OpSet && port == 2:
+				return []Transition{{Next: latchFlagState{Flag: 1, Latch: s.Latch}, Resp: OK}}
+			}
+			return nil
+		},
+	}
+}
+
+// LatchFlagInit returns the all-zero initial state of LatchFlag.
+func LatchFlagInit() State { return latchFlagState{} }
+
+// NoisySticky returns a NONDETERMINISTIC type with h_m >= 2: a sticky cell
+// whose reads are adversarial while the cell is unstuck (they may return
+// any value), but faithful once stuck. A stick-then-read protocol solves
+// n-process consensus from one object with no registers, so h_m >= 2 holds
+// despite the nondeterminism — the type exercises Theorem 5's third case
+// (Section 5.3: one-use bits from 2-process consensus), the only route
+// available when Section 5's deterministic machinery does not apply.
+func NoisySticky(ports, k int) *Spec {
+	alphabet := []Invocation{Read}
+	for v := 0; v < k; v++ {
+		alphabet = append(alphabet, Invocation{Op: OpStick, A: v})
+	}
+	return &Spec{
+		Name:          "noisy-sticky",
+		Ports:         ports,
+		Oblivious:     true,
+		Deterministic: false,
+		Alphabet:      alphabet,
+		Step: func(q State, _ int, inv Invocation) []Transition {
+			cur, ok := q.(int)
+			if !ok {
+				return nil
+			}
+			switch inv.Op {
+			case OpRead:
+				if cur == StickyUnset {
+					// Adversarial: any value may come back.
+					ts := make([]Transition, k)
+					for v := 0; v < k; v++ {
+						ts[v] = Transition{Next: cur, Resp: ValOf(v)}
+					}
+					return ts
+				}
+				return []Transition{{Next: cur, Resp: ValOf(cur)}}
+			case OpStick:
+				if inv.A < 0 || inv.A >= k {
+					return nil
+				}
+				next := cur
+				if cur == StickyUnset {
+					next = inv.A
+				}
+				return []Transition{{Next: next, Resp: OK}}
+			}
+			return nil
+		},
+	}
+}
+
+// WeakLeader states: the nondeterministic choice happens on the first
+// access; exactly one of the first two accesses wins.
+const (
+	weakFresh     = 0 // no access yet
+	weakWonFirst  = 1 // first access won; second will lose
+	weakLostFirst = 2 // first access lost; second will win
+	weakDone      = 3 // two accesses consumed; the rest lose
+)
+
+// WeakLeader returns a Jayanti-style nondeterministic type: a leader
+// elector that cannot transmit data. Its only operation, tas, guarantees
+// that exactly one of the first two invocations answers win — but which
+// one is chosen nondeterministically (by the adversary). Later invocations
+// lose.
+//
+// With registers, two processes solve consensus using one WeakLeader
+// object (announce the proposal in a register, elect, the loser adopts the
+// winner's announcement): h_m^r(WeakLeader) >= 2. Without registers the
+// object's responses carry only the adversary-controlled win/lose bit, so
+// objects of this type alone cannot transmit a proposal between processes:
+// h_m(WeakLeader) = 1. Theorem 5 shows this gap is possible only because
+// the type is nondeterministic.
+func WeakLeader(ports int) *Spec {
+	return &Spec{
+		Name:          "weak-leader",
+		Ports:         ports,
+		Oblivious:     true,
+		Deterministic: false,
+		Alphabet:      []Invocation{TAS},
+		Step: func(q State, _ int, inv Invocation) []Transition {
+			cur, ok := q.(int)
+			if !ok || inv.Op != OpTAS {
+				return nil
+			}
+			switch cur {
+			case weakFresh:
+				return []Transition{
+					{Next: weakWonFirst, Resp: Response{Label: LabelWin}},
+					{Next: weakLostFirst, Resp: Response{Label: LabelLose}},
+				}
+			case weakWonFirst:
+				return []Transition{{Next: weakDone, Resp: Response{Label: LabelLose}}}
+			case weakLostFirst:
+				return []Transition{{Next: weakDone, Resp: Response{Label: LabelWin}}}
+			case weakDone:
+				return []Transition{{Next: weakDone, Resp: Response{Label: LabelLose}}}
+			}
+			return nil
+		},
+	}
+}

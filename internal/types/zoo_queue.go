@@ -1,0 +1,155 @@
+package types
+
+// This file defines the container types of the zoo: FIFO queue and LIFO
+// stack. States are strings of digit bytes ('0'..'9') so that they remain
+// comparable values; element values are therefore restricted to 0..9,
+// which is ample for consensus protocols (they store tokens, not data).
+
+// Operation names used by the container family.
+const (
+	OpEnq  = "enq"
+	OpDeq  = "deq"
+	OpPush = "push"
+	OpPop  = "pop"
+)
+
+// Deq is the dequeue invocation.
+var Deq = Invocation{Op: OpDeq}
+
+// Pop is the pop invocation.
+var Pop = Invocation{Op: OpPop}
+
+// Enq builds an enq(v) invocation.
+func Enq(v int) Invocation { return Invocation{Op: OpEnq, A: v} }
+
+// Push builds a push(v) invocation.
+func Push(v int) Invocation { return Invocation{Op: OpPush, A: v} }
+
+// QueueState encodes a queue content (front first) as a state string.
+func QueueState(vals ...int) State {
+	b := make([]byte, len(vals))
+	for i, v := range vals {
+		if v < 0 || v > 9 {
+			panic("types.QueueState: element values must be 0..9")
+		}
+		b[i] = byte('0' + v)
+	}
+	return string(b)
+}
+
+// Queue returns the n-port FIFO queue over element values 0..k-1 (k <= 10)
+// with the given capacity. deq returns the front element or an "empty"
+// response; enq returns "ok" or a "full" response at capacity. Consensus
+// number 2.
+func Queue(ports, k, capacity int) *Spec {
+	if k > 10 {
+		panic("types.Queue: at most 10 distinct element values supported")
+	}
+	alphabet := []Invocation{Deq}
+	for v := 0; v < k; v++ {
+		alphabet = append(alphabet, Enq(v))
+	}
+	return &Spec{
+		Name:          "queue",
+		Ports:         ports,
+		Oblivious:     true,
+		Deterministic: true,
+		Alphabet:      alphabet,
+		Step: func(q State, _ int, inv Invocation) []Transition {
+			s, ok := q.(string)
+			if !ok {
+				return nil
+			}
+			switch inv.Op {
+			case OpEnq:
+				if inv.A < 0 || inv.A >= k {
+					return nil
+				}
+				if len(s) >= capacity {
+					return []Transition{{Next: s, Resp: Response{Label: LabelFull}}}
+				}
+				return []Transition{{Next: s + string(byte('0'+inv.A)), Resp: OK}}
+			case OpDeq:
+				if len(s) == 0 {
+					return []Transition{{Next: s, Resp: Response{Label: LabelEmpty}}}
+				}
+				return []Transition{{Next: s[1:], Resp: ValOf(int(s[0] - '0'))}}
+			}
+			return nil
+		},
+	}
+}
+
+// Peek is the non-destructive head-read invocation of AugmentedQueue.
+var Peek = Invocation{Op: "peek"}
+
+// AugmentedQueue returns the n-port FIFO queue with an additional
+// non-destructive peek of the front element. Herlihy showed the
+// augmentation lifts the consensus number from 2 to infinity: the first
+// enqueued element is visible to everyone forever, so one object solves
+// n-process consensus for every n (enqueue the proposal, peek).
+func AugmentedQueue(ports, k, capacity int) *Spec {
+	base := Queue(ports, k, capacity)
+	baseStep := base.Step
+	return &Spec{
+		Name:          "augmented-queue",
+		Ports:         ports,
+		Oblivious:     true,
+		Deterministic: true,
+		Alphabet:      append(append([]Invocation{}, base.Alphabet...), Peek),
+		Step: func(q State, port int, inv Invocation) []Transition {
+			if inv.Op != "peek" {
+				return baseStep(q, port, inv)
+			}
+			s, ok := q.(string)
+			if !ok {
+				return nil
+			}
+			if len(s) == 0 {
+				return []Transition{{Next: s, Resp: Response{Label: LabelEmpty}}}
+			}
+			return []Transition{{Next: s, Resp: ValOf(int(s[0] - '0'))}}
+		},
+	}
+}
+
+// Stack returns the n-port LIFO stack over element values 0..k-1 (k <= 10)
+// with the given capacity. Consensus number 2.
+func Stack(ports, k, capacity int) *Spec {
+	if k > 10 {
+		panic("types.Stack: at most 10 distinct element values supported")
+	}
+	alphabet := []Invocation{Pop}
+	for v := 0; v < k; v++ {
+		alphabet = append(alphabet, Push(v))
+	}
+	return &Spec{
+		Name:          "stack",
+		Ports:         ports,
+		Oblivious:     true,
+		Deterministic: true,
+		Alphabet:      alphabet,
+		Step: func(q State, _ int, inv Invocation) []Transition {
+			s, ok := q.(string)
+			if !ok {
+				return nil
+			}
+			switch inv.Op {
+			case OpPush:
+				if inv.A < 0 || inv.A >= k {
+					return nil
+				}
+				if len(s) >= capacity {
+					return []Transition{{Next: s, Resp: Response{Label: LabelFull}}}
+				}
+				return []Transition{{Next: s + string(byte('0'+inv.A)), Resp: OK}}
+			case OpPop:
+				if len(s) == 0 {
+					return []Transition{{Next: s, Resp: Response{Label: LabelEmpty}}}
+				}
+				return []Transition{{Next: s[:len(s)-1], Resp: ValOf(int(s[len(s)-1] - '0'))}}
+			}
+			return nil
+		},
+	}
+}

@@ -1,0 +1,246 @@
+package types
+
+// This file defines the classic read-modify-write types of the zoo:
+// test-and-set, swap, fetch-and-add, compare-and-swap, and sticky objects.
+// All are oblivious and deterministic; their consensus numbers are the
+// well-known values from Herlihy's hierarchy.
+
+// Operation names used by the read-modify-write family.
+const (
+	OpTAS   = "tas"
+	OpSwap  = "swap"
+	OpFAA   = "faa"
+	OpCAS   = "cas"
+	OpStick = "stick"
+)
+
+// TAS is the test-and-set invocation.
+var TAS = Invocation{Op: OpTAS}
+
+// TestAndSet returns the n-port test-and-set bit: tas returns the previous
+// value (0 or 1) and sets the bit to 1. Its consensus number is 2.
+func TestAndSet(ports int) *Spec {
+	return &Spec{
+		Name:          "test-and-set",
+		Ports:         ports,
+		Oblivious:     true,
+		Deterministic: true,
+		Alphabet:      []Invocation{TAS},
+		Step: func(q State, _ int, inv Invocation) []Transition {
+			cur, ok := q.(int)
+			if !ok || inv.Op != OpTAS {
+				return nil
+			}
+			return []Transition{{Next: 1, Resp: ValOf(cur)}}
+		},
+	}
+}
+
+// Swap returns the n-port, k-valued swap register: swap(v) stores v and
+// returns the previous value. Reads are swap-free (use Register to read);
+// consensus number 2.
+func Swap(ports, k int) *Spec {
+	alphabet := make([]Invocation, 0, k)
+	for v := 0; v < k; v++ {
+		alphabet = append(alphabet, Invocation{Op: OpSwap, A: v})
+	}
+	return &Spec{
+		Name:          "swap",
+		Ports:         ports,
+		Oblivious:     true,
+		Deterministic: true,
+		Alphabet:      alphabet,
+		Step: func(q State, _ int, inv Invocation) []Transition {
+			cur, ok := q.(int)
+			if !ok || inv.Op != OpSwap || inv.A < 0 || inv.A >= k {
+				return nil
+			}
+			return []Transition{{Next: inv.A, Resp: ValOf(cur)}}
+		},
+	}
+}
+
+// FetchAdd returns the n-port fetch-and-add counter: faa(d) returns the
+// previous value and adds d. The analysis alphabet is restricted to
+// d in {0, 1}; the state space is unbounded, so bounded analyses apply.
+// Consensus number 2.
+func FetchAdd(ports int) *Spec {
+	return &Spec{
+		Name:          "fetch-and-add",
+		Ports:         ports,
+		Oblivious:     true,
+		Deterministic: true,
+		Alphabet:      []Invocation{{Op: OpFAA, A: 0}, {Op: OpFAA, A: 1}},
+		Step: func(q State, _ int, inv Invocation) []Transition {
+			cur, ok := q.(int)
+			if !ok || inv.Op != OpFAA {
+				return nil
+			}
+			return []Transition{{Next: cur + inv.A, Resp: ValOf(cur)}}
+		},
+	}
+}
+
+// CASOld labels the response of a compare-and-swap, carrying the value
+// observed before the operation; success is inferred by comparing it with
+// the expected value.
+const CASOld = "old"
+
+// CompareSwap returns the n-port, k-valued compare-and-swap register:
+// cas(exp,new) installs new iff the current value is exp and always returns
+// the prior value; read returns the current value. Consensus number
+// infinity (n for every n).
+func CompareSwap(ports, k int) *Spec {
+	alphabet := []Invocation{Read}
+	for a := 0; a < k; a++ {
+		for b := 0; b < k; b++ {
+			alphabet = append(alphabet, Invocation{Op: OpCAS, A: a, B: b})
+		}
+	}
+	return &Spec{
+		Name:          "compare-and-swap",
+		Ports:         ports,
+		Oblivious:     true,
+		Deterministic: true,
+		Alphabet:      alphabet,
+		Step: func(q State, _ int, inv Invocation) []Transition {
+			cur, ok := q.(int)
+			if !ok {
+				return nil
+			}
+			switch inv.Op {
+			case OpRead:
+				return []Transition{{Next: cur, Resp: ValOf(cur)}}
+			case OpCAS:
+				if inv.A < 0 || inv.A >= k || inv.B < 0 || inv.B >= k {
+					return nil
+				}
+				next := cur
+				if cur == inv.A {
+					next = inv.B
+				}
+				return []Transition{{Next: next, Resp: Response{Label: CASOld, Val: cur}}}
+			}
+			return nil
+		},
+	}
+}
+
+// StickyUnset is the initial, unwritten state of sticky objects.
+const StickyUnset = -1
+
+// StickyCell returns the n-port, k-valued sticky cell: the first stick(v)
+// fixes the cell's value forever; later sticks are ignored; read returns
+// the fixed value, or StickyUnset before any stick. A single sticky cell
+// solves n-process consensus for every n.
+func StickyCell(ports, k int) *Spec {
+	alphabet := []Invocation{Read}
+	for v := 0; v < k; v++ {
+		alphabet = append(alphabet, Invocation{Op: OpStick, A: v})
+	}
+	return &Spec{
+		Name:          "sticky-cell",
+		Ports:         ports,
+		Oblivious:     true,
+		Deterministic: true,
+		Alphabet:      alphabet,
+		Step: func(q State, _ int, inv Invocation) []Transition {
+			cur, ok := q.(int)
+			if !ok {
+				return nil
+			}
+			switch inv.Op {
+			case OpRead:
+				return []Transition{{Next: cur, Resp: ValOf(cur)}}
+			case OpStick:
+				if inv.A < 0 || inv.A >= k {
+					return nil
+				}
+				next := cur
+				if cur == StickyUnset {
+					next = inv.A
+				}
+				return []Transition{{Next: next, Resp: OK}}
+			}
+			return nil
+		},
+	}
+}
+
+// StickyBit returns the binary sticky bit (Plotkin): a 2-valued sticky
+// cell.
+func StickyBit(ports int) *Spec {
+	s := StickyCell(ports, 2)
+	s.Name = "sticky-bit"
+	return s
+}
+
+// OpCons is the fetch-and-cons invocation name.
+const OpCons = "cons"
+
+// Cons builds a cons(v) invocation.
+func Cons(v int) Invocation { return Invocation{Op: OpCons, A: v} }
+
+// FetchAndCons returns Herlihy's fetch-and-cons list: cons(v) prepends v
+// and returns the PREVIOUS list content (most recent first, encoded like
+// queue states). The first process to cons sees the empty list and its
+// element sits at the tail of every later response, so one object solves
+// n-process consensus for every n. Element values 0..k-1 (k <= 10);
+// capacity bounds the list for finite analysis.
+func FetchAndCons(ports, k, capacity int) *Spec {
+	if k > 10 {
+		panic("types.FetchAndCons: at most 10 distinct element values supported")
+	}
+	alphabet := make([]Invocation, k)
+	for v := 0; v < k; v++ {
+		alphabet[v] = Cons(v)
+	}
+	return &Spec{
+		Name:          "fetch-and-cons",
+		Ports:         ports,
+		Oblivious:     true,
+		Deterministic: true,
+		Alphabet:      alphabet,
+		Step: func(q State, _ int, inv Invocation) []Transition {
+			s, ok := q.(string)
+			if !ok || inv.Op != OpCons || inv.A < 0 || inv.A >= k {
+				return nil
+			}
+			if len(s) >= capacity {
+				return []Transition{{Next: s, Resp: Response{Label: LabelFull}}}
+			}
+			// Respond with the previous list encoded as an integer in
+			// base 10 with a leading 1 sentinel (so that "" and "0"
+			// differ); prepend the new element.
+			return []Transition{{
+				Next: string(byte('0'+inv.A)) + s,
+				Resp: ValOf(encodeList(s)),
+			}}
+		},
+	}
+}
+
+// encodeList packs a digit-string list into an int with a leading 1
+// sentinel; the empty list encodes as 1.
+func encodeList(s string) int {
+	n := 1
+	for i := 0; i < len(s); i++ {
+		n = n*10 + int(s[i]-'0')
+	}
+	return n
+}
+
+// DecodeList reverses encodeList for protocol use: it returns the list
+// digits (most recent first).
+func DecodeList(n int) []int {
+	var rev []int
+	for n > 1 {
+		rev = append(rev, n%10)
+		n /= 10
+	}
+	// rev is tail-first; reverse to most-recent-first.
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}

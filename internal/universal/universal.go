@@ -1,0 +1,157 @@
+// Package universal implements Herlihy's universal construction: a
+// wait-free linearizable implementation of ANY deterministic sequential
+// type for n processes, built from consensus objects. It is the result
+// that motivates the whole hierarchy program reproduced by this repository
+// (Section 2.3 of Bazzi, Neiger, and Peterson): consensus number n means
+// every type is implementable for n processes.
+//
+// The construction is the classic announce-and-help form: processes agree,
+// slot by slot, on a log of operations using one consensus cell per slot.
+// Before competing, a process announces its pending operation; when
+// competing for slot s, every process first tries to push the operation
+// announced by process s mod n, which guarantees that an announced
+// operation is decided within n slots of its announcement — wait-freedom,
+// not mere lock-freedom. Each process replays the agreed log against a
+// private replica to compute its responses.
+//
+// The consensus cells are realized with compare-and-swap (consensus number
+// infinity in Herlihy's hierarchy), which is exactly the role CAS plays in
+// the type zoo of this repository.
+package universal
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"waitfree/internal/types"
+)
+
+// Errors reported by the construction.
+var (
+	// ErrLogFull: the preallocated log capacity is exhausted.
+	ErrLogFull = errors.New("universal: log capacity exhausted")
+	// ErrNondeterministic: replicas can only replay deterministic types.
+	ErrNondeterministic = errors.New("universal: type must be deterministic")
+)
+
+// opDesc describes one announced operation. Descriptors are compared by
+// identity of (Proc, Seq).
+type opDesc struct {
+	Proc int
+	Seq  int
+	Inv  types.Invocation
+}
+
+// cell is a multi-valued single-shot consensus object: the first proposal
+// wins and every Decide returns the winner. Realized with compare-and-swap.
+type cell struct {
+	p atomic.Pointer[opDesc]
+}
+
+func (c *cell) decide(d *opDesc) *opDesc {
+	c.p.CompareAndSwap(nil, d)
+	return c.p.Load()
+}
+
+// replica is one process's private copy of the object state and its view
+// of the log. It is touched only by its owning process.
+type replica struct {
+	state   types.State
+	pos     int   // next log slot to consume
+	applied []int // highest Seq applied, per process
+	seq     int   // own operation counter
+}
+
+// Universal is a wait-free linearizable shared object of an arbitrary
+// deterministic type, for a fixed set of processes.
+type Universal struct {
+	spec     *types.Spec
+	procs    int
+	cells    []cell
+	announce []atomic.Pointer[opDesc]
+	replicas []replica
+}
+
+// New builds a universal object of the given deterministic type, starting
+// in state init, shared by procs processes, with capacity for at most
+// maxOps operations in total.
+func New(spec *types.Spec, init types.State, procs, maxOps int) (*Universal, error) {
+	if !spec.Deterministic {
+		return nil, fmt.Errorf("%w: %q", ErrNondeterministic, spec.Name)
+	}
+	if procs < 1 || procs > spec.Ports {
+		return nil, fmt.Errorf("universal: %d processes for a %d-port type", procs, spec.Ports)
+	}
+	u := &Universal{
+		spec:     spec,
+		procs:    procs,
+		cells:    make([]cell, maxOps),
+		announce: make([]atomic.Pointer[opDesc], procs),
+		replicas: make([]replica, procs),
+	}
+	for p := range u.replicas {
+		u.replicas[p] = replica{state: init, applied: make([]int, procs)}
+	}
+	return u, nil
+}
+
+// Apply performs inv on behalf of proc and returns its response. Apply is
+// wait-free: it completes within a bounded number of steps regardless of
+// the other processes, as long as log capacity remains. Each process must
+// call Apply from a single goroutine.
+func (u *Universal) Apply(proc int, inv types.Invocation) (types.Response, error) {
+	r := &u.replicas[proc]
+	r.seq++
+	mine := &opDesc{Proc: proc, Seq: r.seq, Inv: inv}
+	u.announce[proc].Store(mine)
+
+	var resp types.Response
+	decided := false
+	for !decided {
+		if r.pos >= len(u.cells) {
+			return types.Response{}, fmt.Errorf("%w: %d slots", ErrLogFull, len(u.cells))
+		}
+		// Help first: the process whose turn it is at this slot gets its
+		// announced operation proposed by everyone.
+		proposal := mine
+		if help := u.announce[r.pos%u.procs].Load(); help != nil && help.Seq > r.applied[help.Proc] {
+			proposal = help
+		}
+		winner := u.cells[r.pos].decide(proposal)
+		got, err := u.apply(r, winner)
+		if err != nil {
+			return types.Response{}, err
+		}
+		if winner.Proc == proc && winner.Seq == mine.Seq {
+			resp = got
+			decided = true
+		}
+		r.pos++
+	}
+	return resp, nil
+}
+
+// apply replays one decided operation onto the replica.
+func (u *Universal) apply(r *replica, d *opDesc) (types.Response, error) {
+	// A process's operation can be decided at most once: every proposer
+	// either proposed it while pending or proposed something else.
+	if d.Seq <= r.applied[d.Proc] {
+		return types.Response{}, fmt.Errorf("universal: operation %d/%d decided twice", d.Proc, d.Seq)
+	}
+	next, resp, err := u.spec.DetApply(r.state, d.Proc+1, d.Inv)
+	if err != nil {
+		return types.Response{}, fmt.Errorf("universal: replay: %w", err)
+	}
+	r.state = next
+	r.applied[d.Proc] = d.Seq
+	return resp, nil
+}
+
+// Len reports how many operations this process has replayed (its log
+// position); exposed for tests and introspection.
+func (u *Universal) Len(proc int) int { return u.replicas[proc].pos }
+
+// State returns proc's replica state (valid between that process's own
+// Apply calls).
+func (u *Universal) State(proc int) types.State { return u.replicas[proc].state }

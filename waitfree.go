@@ -1,0 +1,320 @@
+// Package waitfree is an executable reproduction of Bazzi, Neiger, and
+// Peterson, "On the Use of Registers in Achieving Wait-Free Consensus"
+// (PODC 1994).
+//
+// The library makes the paper's objects first-class and its theorems
+// runnable:
+//
+//   - Types are 5-tuples T = <n, Q, I, R, delta> (Spec); a zoo of standard
+//     concurrent data types is provided, including the paper's one-use bit.
+//   - Implementations are sets of typed objects plus one deterministic
+//     program per process (Implementation, Machine).
+//   - The execution-tree explorer enumerates all interleavings and
+//     nondeterministic resolutions of an implementation, decides
+//     agreement/validity/wait-freedom for consensus, and computes the
+//     Section 4.2 access bounds (CheckConsensus).
+//   - EliminateRegisters is the constructive Theorem 5: it rewrites a
+//     consensus implementation over objects of a non-trivial deterministic
+//     type T plus SRSW-bit registers into one over objects of T alone,
+//     via one-use bits, and verifies the result.
+//   - ClassifyZoo reports triviality, the Section 5.1/5.2 witnesses, and
+//     hierarchy positions for the whole type zoo.
+//
+// The deeper machinery lives in internal packages (types, program,
+// explore, linearize, registers, onebit, hierarchy, consensus, core,
+// universal); this package re-exports the surfaces a downstream user
+// needs. The examples directory shows the API end to end, and DESIGN.md /
+// EXPERIMENTS.md map every result of the paper to code and measurements.
+package waitfree
+
+import (
+	"waitfree/internal/consensus"
+	"waitfree/internal/core"
+	"waitfree/internal/explore"
+	"waitfree/internal/hierarchy"
+	"waitfree/internal/multivalue"
+	"waitfree/internal/onebit"
+	"waitfree/internal/program"
+	runtimepkg "waitfree/internal/runtime"
+	"waitfree/internal/sched"
+	"waitfree/internal/synth"
+	"waitfree/internal/types"
+	"waitfree/internal/universal"
+)
+
+// Core vocabulary: types as 5-tuples and their constituents.
+type (
+	// Spec is a concurrent data type T = <n, Q, I, R, delta>.
+	Spec = types.Spec
+	// State is an object state (a comparable, immutable value).
+	State = types.State
+	// Invocation is an access invocation.
+	Invocation = types.Invocation
+	// Response is an access response.
+	Response = types.Response
+	// Transition is one allowed (next state, response) outcome.
+	Transition = types.Transition
+)
+
+// Implementations: objects plus per-process deterministic programs.
+type (
+	// Implementation is a Section 2.2 implementation of a target type.
+	Implementation = program.Implementation
+	// ObjectDecl declares one implementing object.
+	ObjectDecl = program.ObjectDecl
+	// Machine is a process's deterministic program.
+	Machine = program.Machine
+	// FuncMachine adapts two functions to the Machine interface.
+	FuncMachine = program.FuncMachine
+	// Action is one machine step: an object invocation or a return.
+	Action = program.Action
+)
+
+// Machine action constructors.
+var (
+	// InvokeAction builds an object invocation action.
+	InvokeAction = program.InvokeAction
+	// ReturnAction builds a completion action.
+	ReturnAction = program.ReturnAction
+)
+
+// Exploration and verification.
+type (
+	// ExploreOptions configures exhaustive exploration.
+	ExploreOptions = explore.Options
+	// ConsensusReport is the verdict of checking a consensus
+	// implementation over all proposal vectors and interleavings.
+	ConsensusReport = explore.ConsensusReport
+)
+
+// Hierarchy classification.
+type (
+	// Classification is a zoo member's computed profile.
+	Classification = hierarchy.Classification
+	// Pair is a Section 5.2 minimal non-trivial pair.
+	Pair = hierarchy.Pair
+	// ObliviousWitness is a Section 5.1 witness.
+	ObliviousWitness = hierarchy.ObliviousWitness
+)
+
+// EliminationReport records one run of the Theorem 5 pipeline.
+type EliminationReport = core.Report
+
+// Protocol synthesis (hierarchy separations made computational).
+type (
+	// SynthObject is one shared object available to a synthesized protocol.
+	SynthObject = synth.Object
+	// SynthOptions configures a synthesis search.
+	SynthOptions = synth.Options
+	// Strategy is a synthesized protocol.
+	Strategy = synth.Strategy
+)
+
+// Synthesis sentinel errors.
+var (
+	// ErrNoProtocol: the synthesis space is exhausted; no protocol exists
+	// within the bound.
+	ErrNoProtocol = synth.ErrNoProtocol
+	// ErrSynthBudget: the synthesis budget ran out; verdict unknown.
+	ErrSynthBudget = synth.ErrBudget
+)
+
+// Synthesis entry points.
+var (
+	// SynthesizeProtocol searches for a 2-process consensus protocol over
+	// the given objects, or exhaustively refutes its existence within the
+	// access bound.
+	SynthesizeProtocol = synth.Search
+	// StrategyImplementation converts a synthesized strategy into a
+	// runnable implementation for independent re-verification.
+	StrategyImplementation = synth.Implementation
+)
+
+// Type zoo constructors (see internal/types for the full semantics).
+var (
+	NewRegister       = types.Register
+	NewBit            = types.Bit
+	NewSRSWBit        = types.SRSWBit
+	NewTestAndSet     = types.TestAndSet
+	NewSwap           = types.Swap
+	NewFetchAdd       = types.FetchAdd
+	NewCompareSwap    = types.CompareSwap
+	NewQueue          = types.Queue
+	NewStack          = types.Stack
+	NewStickyCell     = types.StickyCell
+	NewStickyBit      = types.StickyBit
+	NewConsensus      = types.Consensus
+	NewOneUseBit      = types.OneUseBit
+	NewWeakLeader     = types.WeakLeader
+	NewNoisySticky    = types.NoisySticky
+	NewAugmentedQueue = types.AugmentedQueue
+	NewSRSWRegister   = types.SRSWRegister
+	NewMultiConsensus = types.MultiConsensus
+	NewLatchFlag      = types.LatchFlag
+	NewToggle         = types.Toggle
+	NewBeacon         = types.Beacon
+	NewFetchAndCons   = types.FetchAndCons
+)
+
+// AuditSpec lints a type definition: declared determinism/obliviousness
+// flags must match computed behavior over the reachable fragment, and
+// every alphabet entry must be usable somewhere.
+var AuditSpec = types.Audit
+
+// QueueStateOf encodes a queue content (front first) as a state value.
+var QueueStateOf = types.QueueState
+
+// Invocation helpers.
+var (
+	// Inv builds an invocation from an operation name and arguments.
+	Inv = types.Inv
+	// Read is the argument-free read invocation.
+	Read = types.Read
+	// Write builds a write(v) invocation.
+	Write = types.Write
+	// Propose builds the consensus propose(v) invocation.
+	Propose = types.Propose
+	// ValOf builds a value-bearing response.
+	ValOf = types.ValOf
+	// OK is the information-free acknowledgement response.
+	OK = types.OK
+)
+
+// Consensus protocol library (Section 2.3 context: the canonical
+// register-using protocols of Herlihy's hierarchy and their register-free
+// relatives).
+var (
+	// TAS2Consensus is 2-process consensus from test-and-set + SRSW bits.
+	TAS2Consensus = consensus.TAS2
+	// Queue2Consensus is 2-process consensus from a queue + SRSW bits.
+	Queue2Consensus = consensus.Queue2
+	// Stack2Consensus is 2-process consensus from a stack + SRSW bits.
+	Stack2Consensus = consensus.Stack2
+	// FAA2Consensus is 2-process consensus from fetch-and-add + SRSW bits.
+	FAA2Consensus = consensus.FAA2
+	// Swap2Consensus is 2-process consensus from swap + SRSW bits.
+	Swap2Consensus = consensus.Swap2
+	// WeakLeader2Consensus is 2-process consensus from the nondeterministic
+	// WeakLeader type + SRSW bits (Jayanti-separation context).
+	WeakLeader2Consensus = consensus.WeakLeader2
+	// CASConsensus is register-free n-process consensus from one
+	// compare-and-swap object.
+	CASConsensus = consensus.CAS
+	// StickyConsensus is register-free n-process consensus from one
+	// sticky cell.
+	StickyConsensus = consensus.Sticky
+	// AugQueueConsensus is register-free n-process consensus from one
+	// augmented (peekable) queue.
+	AugQueueConsensus = consensus.AugQueue
+	// FetchConsConsensus is register-free n-process consensus from one
+	// fetch-and-cons object, one access per process.
+	FetchConsConsensus = consensus.FetchCons
+	// NoisySticky2Consensus is register-free 2-process consensus from a
+	// nondeterministic noisy-sticky cell (the Section 5.3 substrate).
+	NoisySticky2Consensus = consensus.NoisySticky2
+	// NoisySticky2RConsensus is the register-using variant, the input of
+	// the Section 5.3 pipeline demonstration.
+	NoisySticky2RConsensus = consensus.NoisySticky2R
+	// CASRegister3Consensus is 3-process consensus from compare-and-swap
+	// plus six SRSW announcement bits (a 3-process pipeline input).
+	CASRegister3Consensus = consensus.CASRegister3
+	// NaiveRegisterConsensus is the deliberately incorrect register-only
+	// protocol (registers cannot solve 2-process consensus).
+	NaiveRegisterConsensus = consensus.NaiveRegister2
+	// RegisterUsingProtocols lists the Theorem 5 pipeline inputs.
+	RegisterUsingProtocols = consensus.RegisterUsing
+	// MultiValuedConsensus builds k-valued n-process consensus from binary
+	// consensus objects plus announcement registers (bit-by-bit
+	// agreement).
+	MultiValuedConsensus = multivalue.FromBinary
+	// MultiValuedConsensusSRSW is the 2-process pipeline-compatible
+	// variant over SRSW registers.
+	MultiValuedConsensusSRSW = multivalue.FromBinarySRSW
+)
+
+// Verification entry points.
+var (
+	// CheckConsensus explores every execution of a consensus
+	// implementation and checks agreement, validity, and wait-freedom.
+	CheckConsensus = explore.Consensus
+	// CheckConsensusK is the k-valued generalization of CheckConsensus.
+	CheckConsensusK = explore.ConsensusK
+	// Explore runs the execution-tree explorer with explicit per-process
+	// scripts of target invocations.
+	Explore = explore.Run
+	// ComputeValency runs the FLP/Herlihy valency analysis of one
+	// execution tree: bivalent/univalent configuration counts and the
+	// critical configurations with their arbitrating objects.
+	ComputeValency = explore.Valency
+	// ExportDot renders an execution tree as Graphviz DOT.
+	ExportDot = explore.Dot
+)
+
+// ValencyReport is the result of ComputeValency.
+type ValencyReport = explore.ValencyReport
+
+// The paper's machinery.
+var (
+	// EliminateRegisters runs the constructive Theorem 5 pipeline
+	// (deterministic route: Sections 4.2, 4.3, 5.2).
+	EliminateRegisters = core.EliminateRegisters
+	// EliminateRegistersVia53 runs the pipeline's h_m >= 2 route: one-use
+	// bits realized from a register-free 2-consensus substrate over the
+	// implementation's (possibly nondeterministic) type (Section 5.3).
+	EliminateRegistersVia53 = core.EliminateRegistersVia53
+	// AccessBounds runs the Section 4.2 analysis alone.
+	AccessBounds = core.Bound
+	// OneUseBitArray builds the standalone Section 4.3 implementation of a
+	// bounded SRSW bit from (w+1) x r one-use bits.
+	OneUseBitArray = onebit.Implementation
+	// OneUseBitFromType builds a one-use bit from a single object of a
+	// non-trivial deterministic type (Sections 5.1/5.2).
+	OneUseBitFromType = onebit.FromType
+	// OneUseBitFromConsensus builds a one-use bit from a 2-process
+	// consensus implementation (Section 5.3).
+	OneUseBitFromConsensus = onebit.FromConsensusImplementation
+	// NewBoundedBit is the direct concurrent form of the Section 4.3
+	// construction.
+	NewBoundedBit = onebit.NewBoundedBit
+)
+
+// Universal is a wait-free linearizable shared object of any
+// deterministic type, built from consensus cells (Herlihy's universal
+// construction — the result that gives hierarchy levels their meaning).
+type Universal = universal.Universal
+
+// NewUniversal builds a universal object: spec and init describe the
+// sequential type, procs the sharing processes, maxOps the log capacity.
+var NewUniversal = universal.New
+
+// Concurrent execution (package runtime and its schedulers).
+var (
+	// NewRunner builds a concurrent runner for an implementation: one
+	// goroutine per process against mutex-atomic objects, gated by a
+	// scheduler (nil = free-running).
+	NewRunner = runtimepkg.New
+	// NewCrashScheduler crashes process p after after[p] steps.
+	NewCrashScheduler = sched.NewCrash
+	// NewTokenScheduler serializes all steps into one seeded pseudo-random
+	// global order (reproducible interleavings).
+	NewTokenScheduler = sched.NewToken
+)
+
+// RunOutcome is the result of one concurrent run.
+type RunOutcome = runtimepkg.Outcome
+
+// Hierarchy analyses.
+var (
+	// ClassifyZoo classifies the built-in type zoo.
+	ClassifyZoo = hierarchy.ClassifyZoo
+	// Classify classifies one type.
+	Classify = hierarchy.Classify
+	// FindPair searches for a Section 5.2 minimal non-trivial pair.
+	FindPair = hierarchy.FindPair
+	// FindObliviousWitness searches for a Section 5.1 witness.
+	FindObliviousWitness = hierarchy.FindObliviousWitness
+	// IsTrivial decides (bounded) the general triviality condition.
+	IsTrivial = hierarchy.IsTrivial
+	// IsTrivialOblivious decides the Section 5.1 triviality condition.
+	IsTrivialOblivious = hierarchy.IsTrivialOblivious
+)
