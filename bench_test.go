@@ -167,6 +167,30 @@ func BenchmarkExplorerMemoization(b *testing.B) {
 	}
 }
 
+// BenchmarkExplorerParallel sweeps Options.Parallelism on a protocol with
+// many proposal-vector trees (CAS(4): 16 roots). On multi-core machines
+// the trees spread across workers; the report is identical at every
+// setting, so the sweep directly exposes the parallel speedup.
+func BenchmarkExplorerParallel(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 0} {
+		name := fmt.Sprintf("workers=%d", workers)
+		if workers == 0 {
+			name = "workers=gomaxprocs"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				report, err := explore.Consensus(consensus.CAS(4), explore.Options{Memoize: true, Parallelism: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !report.OK() {
+					b.Fatal(report.Summary())
+				}
+			}
+		})
+	}
+}
+
 // ---- E4: Section 5.1/5.2 witness search ----
 
 func BenchmarkWitnessSearch(b *testing.B) {

@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	eliminate [-protocol tas|queue|stack|faa|swap] [-memoize]
+//	eliminate [-protocol tas|queue|stack|faa|swap] [-memoize] [-parallel N]
 package main
 
 import (
@@ -40,9 +40,11 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("eliminate", flag.ContinueOnError)
 	name := fs.String("protocol", "tas", "protocol to transform: tas, queue, stack, faa, swap, noisysticky")
 	memoize := fs.Bool("memoize", false, "memoize configurations during exploration")
+	parallel := fs.Int("parallel", 0, "worker count for the proposal-vector trees (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	opts := explore.Options{Memoize: *memoize, Parallelism: *parallel}
 
 	var im *program.Implementation
 	var report *core.Report
@@ -52,7 +54,7 @@ func run(args []string) error {
 		// 5.3), with the register-free noisy-sticky consensus as substrate.
 		im = consensus.NoisySticky2R()
 		fmt.Printf("input:  %v\n", im)
-		report, err = core.EliminateRegistersVia53(im, consensus.NoisySticky2(), explore.Options{Memoize: *memoize})
+		report, err = core.EliminateRegistersVia53(im, consensus.NoisySticky2(), opts)
 		if err != nil {
 			return err
 		}
@@ -63,7 +65,7 @@ func run(args []string) error {
 		}
 		im = mk()
 		fmt.Printf("input:  %v\n", im)
-		report, err = core.EliminateRegisters(im, explore.Options{Memoize: *memoize}, 3)
+		report, err = core.EliminateRegisters(im, opts, 3)
 		if err != nil {
 			return err
 		}

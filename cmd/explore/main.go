@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	explore [-protocol NAME] [-procs N] [-memoize]
+//	explore [-protocol NAME] [-procs N] [-memoize] [-parallel N]
 //
 // Protocols: tas, queue, stack, faa, swap, weakleader, naive (incorrect,
 // registers only), casregister3, noisysticky, and the register-free
@@ -37,6 +37,7 @@ func run(args []string) error {
 	name := fs.String("protocol", "tas", "protocol to check")
 	procs := fs.Int("procs", 2, "process count for the scalable protocols (cas, sticky)")
 	memoize := fs.Bool("memoize", false, "memoize configurations")
+	parallel := fs.Int("parallel", 0, "worker count for the proposal-vector trees (0 = GOMAXPROCS)")
 	valency := fs.Bool("valency", false, "run the FLP/Herlihy valency analysis on mixed proposals")
 	dot := fs.Bool("dot", false, "print the mixed-proposal execution tree as Graphviz DOT and exit")
 	if err := fs.Parse(args); err != nil {
@@ -89,7 +90,7 @@ func run(args []string) error {
 	}
 
 	fmt.Printf("checking %v\n\n", im)
-	report, err := explore.Consensus(im, explore.Options{Memoize: *memoize})
+	report, err := explore.Consensus(im, explore.Options{Memoize: *memoize, Parallelism: *parallel})
 	if err != nil {
 		return err
 	}

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	hierarchy [-witnesses]
+//	hierarchy [-witnesses] [-parallel N]
 package main
 
 import (
@@ -29,6 +29,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("hierarchy", flag.ContinueOnError)
 	witnesses := fs.Bool("witnesses", false, "print the full Section 5.1/5.2 witnesses per type")
 	audit := fs.Bool("audit", false, "lint every zoo spec: declared flags vs computed behavior")
+	parallel := fs.Int("parallel", 0, "worker count for classifying zoo entries (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -51,7 +52,7 @@ func run(args []string) error {
 		return nil
 	}
 
-	cs, err := hierarchy.ClassifyZoo()
+	cs, err := hierarchy.ClassifyZooParallel(*parallel)
 	if err != nil {
 		return err
 	}

@@ -387,6 +387,20 @@ func RegisterUsing() []*program.Implementation {
 	return []*program.Implementation{TAS2(), Queue2(), Stack2(), FAA2(), Swap2()}
 }
 
+// Corpus lists one instance of every built-in protocol at small sizes (2
+// and 3 processes) — the seed set for cross-cutting explorer tests. All
+// are correct except NaiveRegister2, which is included deliberately so
+// checkers are exercised on a violating implementation too.
+func Corpus() []*program.Implementation {
+	return []*program.Implementation{
+		TAS2(), Queue2(), Stack2(), FAA2(), Swap2(), WeakLeader2(),
+		NoisySticky2(), NoisySticky2R(), NaiveRegister2(),
+		CAS(2), Sticky(2), AugQueue(2), FetchCons(2),
+		CAS(3), Sticky(3),
+		CASRegister3(),
+	}
+}
+
 // FetchCons builds register-free n-process consensus from a single
 // fetch-and-cons object, with ONE access per process: cons the proposal;
 // if the previous list was empty you were first (decide your own value),

@@ -49,7 +49,8 @@ func targetValues(im *program.Implementation) int {
 // depth bound D and the exact per-object, per-operation access bounds.
 // The input must verify (agreement, validity, wait-freedom); otherwise
 // ErrNotWaitFree. Multi-valued consensus targets are handled with k^n
-// trees.
+// trees; opts.Parallelism fans them across workers without changing the
+// report (see explore.ConsensusK).
 func Bound(im *program.Implementation, opts explore.Options) (*explore.ConsensusReport, error) {
 	report, err := explore.ConsensusK(im, targetValues(im), opts)
 	if err != nil {
@@ -247,8 +248,9 @@ func (r *Report) Summary() string {
 // EliminateRegisters runs the full Theorem 5 pipeline on a consensus
 // implementation over SRSW-bit registers and objects of one non-trivial
 // deterministic type, verifying both endpoints. opts configures both
-// explorations (Memoize is recommended for larger protocols). maxK bounds
-// the Section 5.2 witness search.
+// explorations (Memoize is recommended for larger protocols, and
+// opts.Parallelism spreads each verification's proposal-vector trees
+// across workers). maxK bounds the Section 5.2 witness search.
 func EliminateRegisters(im *program.Implementation, opts explore.Options, maxK int) (*Report, error) {
 	// Section 4.1 at the machine level: multi-valued SRSW registers are
 	// first compiled into SRSW bits (a no-op if there are none).

@@ -2,7 +2,10 @@ package explore
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"waitfree/internal/program"
 	"waitfree/internal/types"
@@ -79,12 +82,45 @@ func ProposalVectorK(mask, procs, k int) []int {
 // Consensus explores every execution of im from every binary proposal
 // vector and checks agreement, validity, and wait-freedom. Options.OnLeaf
 // and RecordHistory are reserved for the checker and must be unset.
+// Options.Parallelism fans the independent trees across workers.
 func Consensus(im *program.Implementation, opts Options) (*ConsensusReport, error) {
 	return ConsensusK(im, 2, opts)
 }
 
+// treeOutcome is one proposal-vector tree's exploration, kept per mask so
+// the merge can replay sequential order regardless of completion order.
+type treeOutcome struct {
+	res     *Result
+	decided map[int]bool
+	err     error
+}
+
+// exploreTree explores the single execution tree rooted at the proposal
+// vector of mask. Each tree gets its own decided set and (under Memoize)
+// its own memo table: a table shared across trees would be unsound,
+// because memo hits skip the per-leaf agreement/validity checks, and
+// validity depends on the tree's proposal vector.
+func exploreTree(im *program.Implementation, k, mask int, opts Options) treeOutcome {
+	proposals := ProposalVectorK(mask, im.Procs, k)
+	scripts := make([][]types.Invocation, im.Procs)
+	for p := range scripts {
+		scripts[p] = []types.Invocation{types.Propose(proposals[p])}
+	}
+	decided := make(map[int]bool)
+	treeOpts := opts
+	treeOpts.OnLeaf = func(l *Leaf) error {
+		return checkConsensusLeaf(l, proposals, decided)
+	}
+	res, err := Run(im, scripts, treeOpts)
+	return treeOutcome{res: res, decided: decided, err: err}
+}
+
 // ConsensusK is the k-valued generalization of Consensus: processes may
-// propose any value in 0..k-1, giving k^n execution trees.
+// propose any value in 0..k-1, giving k^n execution trees. The trees are
+// independent, so they are fanned across min(Options.Parallelism, k^n)
+// workers; outcomes are merged in proposal-vector order, which makes the
+// report a pure function of the implementation — identical at every
+// parallelism level, including the Nodes/Leaves/MemoHits accounting.
 func ConsensusK(im *program.Implementation, k int, opts Options) (*ConsensusReport, error) {
 	if opts.OnLeaf != nil || opts.RecordHistory {
 		return nil, fmt.Errorf("%w: Consensus drives OnLeaf and histories internally", ErrBadOptions)
@@ -104,37 +140,79 @@ func ConsensusK(im *program.Implementation, k int, opts Options) (*ConsensusRepo
 	for i := range report.OpAccess {
 		report.OpAccess[i] = make(map[string]int)
 	}
-	decided := make(map[int]bool)
 
 	roots := 1
 	for p := 0; p < im.Procs; p++ {
 		roots *= k
 	}
-	for mask := 0; mask < roots; mask++ {
+	workers := opts.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > roots {
+		workers = roots
+	}
+
+	outcomes := make([]treeOutcome, roots)
+	var next atomic.Int64 // work distribution: masks claimed in order
+	var stop atomic.Int64 // lowest mask whose tree errored or violated
+	stop.Store(int64(roots))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mask := int(next.Add(1) - 1)
+				// Masks strictly above the lowest known-bad mask can never
+				// be merged (the merge stops there, as a sequential scan
+				// would); skipping them only sheds work, never results,
+				// because stop only decreases.
+				if mask >= roots || int64(mask) > stop.Load() {
+					return
+				}
+				out := exploreTree(im, k, mask, opts)
+				outcomes[mask] = out
+				if out.err != nil || out.res.Violation != nil {
+					for {
+						cur := stop.Load()
+						if int64(mask) >= cur || stop.CompareAndSwap(cur, int64(mask)) {
+							break
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Merge in mask order, exactly as the sequential scan would have: all
+	// trees up to and including the first bad one contribute to the
+	// report; later trees (possibly explored speculatively) are dropped.
+	last := roots - 1
+	if bad := int(stop.Load()); bad < roots {
+		last = bad
+	}
+	decided := make(map[int]bool)
+	for mask := 0; mask <= last; mask++ {
+		out := &outcomes[mask]
 		report.Roots++
-		proposals := ProposalVectorK(mask, im.Procs, k)
-		scripts := make([][]types.Invocation, im.Procs)
-		for p := range scripts {
-			scripts[p] = []types.Invocation{types.Propose(proposals[p])}
+		if out.err != nil {
+			return nil, fmt.Errorf("proposals %v: %w", ProposalVectorK(mask, im.Procs, k), out.err)
 		}
-		treeOpts := opts
-		treeOpts.OnLeaf = func(l *Leaf) error {
-			return checkConsensusLeaf(l, proposals, decided)
+		mergeResult(report, out.res)
+		for v := range out.decided {
+			decided[v] = true
 		}
-		res, err := Run(im, scripts, treeOpts)
-		if err != nil {
-			return nil, fmt.Errorf("proposals %v: %w", proposals, err)
-		}
-		mergeResult(report, res)
-		if res.Violation != nil {
-			report.Violation = res.Violation
-			report.ViolationProposals = proposals
-			switch res.Violation.Kind {
+		if out.res.Violation != nil {
+			report.Violation = out.res.Violation
+			report.ViolationProposals = ProposalVectorK(mask, im.Procs, k)
+			switch out.res.Violation.Kind {
 			case KindDepthExceeded, KindCycle:
 				report.WaitFree = false
 			case KindLeafReject:
 				// checkConsensusLeaf prefixes the failed property.
-				if isValidityDetail(res.Violation.Detail) {
+				if isValidityDetail(out.res.Violation.Detail) {
 					report.Validity = false
 				} else {
 					report.Agreement = false

@@ -48,6 +48,17 @@ type Options struct {
 	// OnLeaf, if set, is called at every leaf. Returning an error aborts
 	// exploration and surfaces as a KindLeafReject violation.
 	OnLeaf func(*Leaf) error
+	// Parallelism bounds the number of worker goroutines Consensus and
+	// ConsensusK use to explore independent proposal-vector trees
+	// concurrently: 0 means runtime.GOMAXPROCS(0), 1 forces sequential
+	// exploration. Run itself always explores its single tree
+	// sequentially. Every field of the merged ConsensusReport — verdicts,
+	// Depth, access bounds, Nodes, Leaves, and MemoHits — is identical at
+	// every parallelism level, because each tree owns its memo table and
+	// trees are merged in proposal-vector order. Parallelism > 1 requires
+	// Spec.Step and Machine implementations to be pure functions of their
+	// arguments (all in-repo types and machines are).
+	Parallelism int
 }
 
 // Leaf describes one completed execution.
@@ -204,23 +215,29 @@ func (c *config) clone() *config {
 	return d
 }
 
-func (c *config) key() string {
-	return fmt.Sprintf("%#v|%#v", c.objs, c.procs)
-}
-
 // Run explores all executions of im in which process p performs the target
 // invocations scripts[p], in order. It returns the tree's aggregate result;
 // semantic findings are reported in Result.Violation, structural problems
 // as errors.
 func Run(im *program.Implementation, scripts [][]types.Invocation, opts Options) (*Result, error) {
-	if err := im.Validate(); err != nil {
+	e, root, err := newExplorer(im, scripts, opts)
+	if err != nil {
 		return nil, err
 	}
+	return e.explore(root)
+}
+
+// newExplorer validates the run's shape and builds the explorer and the
+// root configuration (every process advanced to its first object access).
+func newExplorer(im *program.Implementation, scripts [][]types.Invocation, opts Options) (*explorer, *config, error) {
+	if err := im.Validate(); err != nil {
+		return nil, nil, err
+	}
 	if opts.Memoize && opts.RecordHistory {
-		return nil, ErrBadOptions
+		return nil, nil, ErrBadOptions
 	}
 	if len(scripts) != im.Procs {
-		return nil, fmt.Errorf("%w: %d scripts for %d processes", ErrBadScripts, len(scripts), im.Procs)
+		return nil, nil, fmt.Errorf("%w: %d scripts for %d processes", ErrBadScripts, len(scripts), im.Procs)
 	}
 	if opts.MaxDepth == 0 {
 		opts.MaxDepth = DefaultMaxDepth
@@ -231,8 +248,8 @@ func Run(im *program.Implementation, scripts [][]types.Invocation, opts Options)
 		opts:    opts,
 	}
 	if opts.Memoize {
-		e.memo = make(map[string]*summary)
-		e.color = make(map[string]int)
+		e.memo = newMemoTable()
+		e.enc = newKeyEncoder()
 	}
 	root := &config{
 		objs:  im.InitialStates(),
@@ -243,9 +260,15 @@ func Run(im *program.Implementation, scripts [][]types.Invocation, opts Options)
 		e.responses[p] = make([]types.Response, 0, len(scripts[p]))
 		root.procs[p] = procState{Mem: nil}
 		if err := e.startNextOp(root, p, types.Response{}); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
+	return e, root, nil
+}
+
+// explore runs the DFS from root and aggregates the result.
+func (e *explorer) explore(root *config) (*Result, error) {
+	im := e.im
 	sum, err := e.dfs(root, 0)
 	res := &Result{
 		Nodes:     sum.nodes,
@@ -287,8 +310,11 @@ type explorer struct {
 	scripts [][]types.Invocation
 	opts    Options
 
-	memo     map[string]*summary
-	color    map[string]int // 1 = on stack, 2 = done
+	// memo deduplicates configurations; entries holding grayMark are on
+	// the current DFS stack (cycle detection). enc renders configurations
+	// into the memo's byte keys.
+	memo     *memoTable
+	enc      *keyEncoder
 	memoHits int64
 
 	// Path-local data (push/pop around recursion).
@@ -415,18 +441,36 @@ func (e *explorer) dfs(c *config, depth int) (*summary, error) {
 
 	var key string
 	if e.opts.Memoize {
-		key = c.key()
-		if cached, ok := e.memo[key]; ok {
+		kb := e.enc.configKey(c)
+		if cached, ok := e.memo.get(kb); ok {
+			if cached == grayMark {
+				e.violate(KindCycle, "configuration repeats along one execution")
+				return sum, errAbort
+			}
 			e.memoHits++
 			return cached, nil
 		}
-		if e.color[key] == 1 {
-			e.violate(KindCycle, "configuration repeats along one execution")
-			return sum, errAbort
-		}
-		e.color[key] = 1
+		key = string(kb) // retain: kb is invalidated by child encodings
+		e.memo.put(key, grayMark)
 	}
 
+	// All error returns below must clear the gray mark, or a later visit
+	// of this configuration would report a phantom cycle; expand has a
+	// single exit so the cleanup cannot be skipped by any error path.
+	err := e.expand(c, depth, sum)
+	if e.opts.Memoize {
+		if err != nil {
+			e.memo.drop(key)
+		} else {
+			e.memo.put(key, sum)
+		}
+	}
+	return sum, err
+}
+
+// expand explores every enabled step of every process from c, folding the
+// child subtrees into sum.
+func (e *explorer) expand(c *config, depth int, sum *summary) error {
 	for p := range c.procs {
 		if c.procs[p].Done {
 			continue
@@ -436,7 +480,7 @@ func (e *explorer) dfs(c *config, depth int) (*summary, error) {
 		port := decl.Port(p)
 		ts, err := decl.Spec.Apply(c.objs[act.Obj], port, act.Inv)
 		if err != nil {
-			return sum, fmt.Errorf("process %d at depth %d: %w", p, depth, err)
+			return fmt.Errorf("process %d at depth %d: %w", p, depth, err)
 		}
 		for _, t := range ts {
 			child := c.clone()
@@ -485,50 +529,39 @@ func (e *explorer) dfs(c *config, depth int) (*summary, error) {
 			}
 
 			if err != nil {
-				if e.opts.Memoize {
-					e.color[key] = 0
-				}
-				return sum, err
+				return err
 			}
 		}
 	}
-
-	if e.opts.Memoize {
-		e.color[key] = 2
-		e.memo[key] = sum
-	}
-	return sum, nil
+	return nil
 }
 
 // mergeChild folds a child subtree summary (reached via one access to obj
-// with operation op by process proc) into the parent summary.
+// with operation op by process proc) into the parent summary. The edge
+// access increments the child's per-path counters for (obj, op), (obj, "")
+// and the stepping process; the three keys are compared inline so the
+// merge allocates nothing per edge.
 func mergeChild(parent, child *summary, obj int, op string, proc int) {
 	parent.nodes += child.nodes
 	parent.leaves += child.leaves
 	if h := child.height + 1; h > parent.height {
 		parent.height = h
 	}
-	// The edge access increments the child's per-path counters for
-	// (obj, op), (obj, ""), and the stepping process.
-	bump := map[accKey]int{
-		{Obj: obj, Op: op}: 1,
-		{Obj: obj, Op: ""}: 1,
-		procKey(proc):      1,
-	}
-	seen := make(map[accKey]bool, len(child.acc)+2)
+	kOp := accKey{Obj: obj, Op: op}
+	kObj := accKey{Obj: obj}
+	kProc := procKey(proc)
 	for k, v := range child.acc {
-		adj := v + bump[k]
-		if adj > parent.acc[k] {
-			parent.acc[k] = adj
+		if k == kOp || k == kObj || k == kProc {
+			v++
 		}
-		seen[k] = true
+		if v > parent.acc[k] {
+			parent.acc[k] = v
+		}
 	}
-	for k, b := range bump {
-		if seen[k] {
-			continue
-		}
-		if b > parent.acc[k] {
-			parent.acc[k] = b
+	// Bumped keys absent from the child still contribute the edge itself.
+	for _, k := range [3]accKey{kOp, kObj, kProc} {
+		if _, ok := child.acc[k]; !ok && parent.acc[k] < 1 {
+			parent.acc[k] = 1
 		}
 	}
 }

@@ -1,0 +1,289 @@
+package explore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/maphash"
+	"math"
+	"reflect"
+	"sync"
+
+	"waitfree/internal/program"
+	"waitfree/internal/types"
+)
+
+// This file implements the explorer's configuration keys and memo table.
+//
+// A configuration (object states + per-process control states) must be
+// rendered into a map key once per DFS node under memoization. The
+// rendering used to be fmt.Sprintf("%#v|%#v", ...), which spends most of
+// its time in fmt's reflection-based formatter; profiles of memoized runs
+// showed the key rendering dominating the exploration itself. The encoder
+// below writes the same information into a reused byte buffer with
+// hand-rolled fast paths for the framework's own value types (ints,
+// strings, Response, Invocation, Action) and a single reflection walk for
+// user-defined machine/object states, interning their reflect.Types into
+// small ids.
+//
+// Keys only need to be injective and stable within one explorer: the memo
+// table lives for a single execution tree (see ConsensusK for why sharing
+// across trees would be unsound), and type-id interning is per-encoder, so
+// encounter order cannot differ between two encodings of equal configs.
+
+// Key tags. Every encoded value starts with a tag byte so that values of
+// different shapes can never collide byte-wise (e.g. int 1 vs true vs "1").
+const (
+	tagNil byte = iota
+	tagFalse
+	tagTrue
+	tagInt
+	tagString
+	tagResponse
+	tagInvocation
+	tagAction
+	tagProc
+	tagSep
+	tagReflect
+	tagFloat
+	tagFmt
+)
+
+// keyEncoder renders configurations into compact deterministic byte keys.
+// Not safe for concurrent use; each explorer owns one.
+type keyEncoder struct {
+	buf     []byte
+	typeIDs map[reflect.Type]uint64
+}
+
+func newKeyEncoder() *keyEncoder {
+	return &keyEncoder{
+		buf:     make([]byte, 0, 256),
+		typeIDs: make(map[reflect.Type]uint64),
+	}
+}
+
+// configKey encodes c into the encoder's reused buffer and returns it. The
+// returned slice is invalidated by the next configKey call; callers that
+// need to retain the key must copy it (string(key)).
+func (e *keyEncoder) configKey(c *config) []byte {
+	b := e.buf[:0]
+	for i := range c.objs {
+		b = e.appendAny(b, c.objs[i])
+	}
+	b = append(b, tagSep)
+	for i := range c.procs {
+		ps := &c.procs[i]
+		b = append(b, tagProc)
+		b = binary.AppendVarint(b, int64(ps.OpIdx))
+		if ps.Done {
+			b = append(b, tagTrue)
+		} else {
+			b = append(b, tagFalse)
+		}
+		b = e.appendAny(b, ps.Mem)
+		b = e.appendAny(b, ps.Mst)
+		b = e.appendAction(b, ps.Pending)
+		b = appendResponse(b, ps.Resp)
+	}
+	e.buf = b
+	return b
+}
+
+func appendResponse(b []byte, r types.Response) []byte {
+	b = append(b, tagResponse)
+	b = binary.AppendUvarint(b, uint64(len(r.Label)))
+	b = append(b, r.Label...)
+	return binary.AppendVarint(b, int64(r.Val))
+}
+
+func appendInvocation(b []byte, inv types.Invocation) []byte {
+	b = append(b, tagInvocation)
+	b = binary.AppendUvarint(b, uint64(len(inv.Op)))
+	b = append(b, inv.Op...)
+	b = binary.AppendVarint(b, int64(inv.A))
+	return binary.AppendVarint(b, int64(inv.B))
+}
+
+func (e *keyEncoder) appendAction(b []byte, a program.Action) []byte {
+	b = append(b, tagAction)
+	b = binary.AppendVarint(b, int64(a.Kind))
+	b = binary.AppendVarint(b, int64(a.Obj))
+	b = appendInvocation(b, a.Inv)
+	b = appendResponse(b, a.Resp)
+	return e.appendAny(b, a.Mem)
+}
+
+// appendAny encodes one object state, machine state, or memory value. The
+// type switch covers the values the framework itself produces; everything
+// else takes the reflection path. Note that the fast paths match exact
+// types only (a named `type foo int` falls through to reflection and gets
+// its own type id), so distinct types never share an encoding.
+func (e *keyEncoder) appendAny(b []byte, v any) []byte {
+	switch x := v.(type) {
+	case nil:
+		return append(b, tagNil)
+	case bool:
+		if x {
+			return append(b, tagTrue)
+		}
+		return append(b, tagFalse)
+	case int:
+		b = append(b, tagInt)
+		return binary.AppendVarint(b, int64(x))
+	case string:
+		b = append(b, tagString)
+		b = binary.AppendUvarint(b, uint64(len(x)))
+		return append(b, x...)
+	case types.Response:
+		return appendResponse(b, x)
+	case types.Invocation:
+		return appendInvocation(b, x)
+	default:
+		return e.appendReflect(b, reflect.ValueOf(v))
+	}
+}
+
+// appendReflect encodes a value of a type without a fast path: an interned
+// type id followed by the value's fields, recursively.
+func (e *keyEncoder) appendReflect(b []byte, rv reflect.Value) []byte {
+	b = append(b, tagReflect)
+	t := rv.Type()
+	id, ok := e.typeIDs[t]
+	if !ok {
+		id = uint64(len(e.typeIDs) + 1)
+		e.typeIDs[t] = id
+	}
+	b = binary.AppendUvarint(b, id)
+	return e.appendValue(b, rv)
+}
+
+func (e *keyEncoder) appendValue(b []byte, rv reflect.Value) []byte {
+	switch rv.Kind() {
+	case reflect.Bool:
+		if rv.Bool() {
+			return append(b, tagTrue)
+		}
+		return append(b, tagFalse)
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		return binary.AppendVarint(b, rv.Int())
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uintptr:
+		return binary.AppendUvarint(b, rv.Uint())
+	case reflect.Float32, reflect.Float64:
+		b = append(b, tagFloat)
+		return binary.AppendUvarint(b, math.Float64bits(rv.Float()))
+	case reflect.String:
+		s := rv.String()
+		b = append(b, tagString)
+		b = binary.AppendUvarint(b, uint64(len(s)))
+		return append(b, s...)
+	case reflect.Struct:
+		// Fields are tagged with their index implicitly by position; the
+		// struct's type id already pins the field count and types.
+		for i := 0; i < rv.NumField(); i++ {
+			b = e.appendValue(b, rv.Field(i))
+		}
+		return b
+	case reflect.Array:
+		for i := 0; i < rv.Len(); i++ {
+			b = e.appendValue(b, rv.Index(i))
+		}
+		return b
+	case reflect.Interface:
+		if rv.IsNil() {
+			return append(b, tagNil)
+		}
+		return e.appendReflect(b, rv.Elem())
+	default:
+		// States are documented as pointer-free comparable values, so this
+		// branch is unreachable for well-formed types. Keep correctness for
+		// strays (pointers, chans) by falling back to the fmt rendering the
+		// explorer used historically. fmt replaces a reflect.Value operand
+		// by the value it holds, so this works for unexported fields too.
+		b = append(b, tagFmt)
+		return fmt.Appendf(b, "%#v", rv)
+	}
+}
+
+// ---- memo table ----
+
+// memoShardCount is a power of two; 16 shards keep lock contention
+// negligible even when a future intra-tree parallel explorer shares one
+// table.
+const memoShardCount = 16
+
+// grayMark is the sentinel stored while a configuration is on the current
+// DFS stack; encountering it again along one path is a cycle (the
+// implementation is not wait-free). The single table replaces the two maps
+// (memo + color) the explorer used to allocate.
+var grayMark = &summary{}
+
+// memoTable is the configuration memo: a byte-keyed hash map sharded by a
+// maphash of the key. Shards lock independently, so a table is safe for
+// concurrent explorers; the current explorer uses one table per execution
+// tree single-threadedly, where the uncontended locks are nearly free.
+type memoTable struct {
+	seed   maphash.Seed
+	shards [memoShardCount]memoShard
+}
+
+type memoShard struct {
+	mu sync.Mutex
+	m  map[string]*summary
+}
+
+func newMemoTable() *memoTable {
+	t := &memoTable{seed: maphash.MakeSeed()}
+	for i := range t.shards {
+		t.shards[i].m = make(map[string]*summary)
+	}
+	return t
+}
+
+func (t *memoTable) shardOf(key []byte) *memoShard {
+	h := maphash.Bytes(t.seed, key)
+	return &t.shards[h&(memoShardCount-1)]
+}
+
+// get looks a key up without allocating (the string conversion in the map
+// index is optimized away by the compiler).
+func (t *memoTable) get(key []byte) (*summary, bool) {
+	s := t.shardOf(key)
+	s.mu.Lock()
+	v, ok := s.m[string(key)]
+	s.mu.Unlock()
+	return v, ok
+}
+
+// put stores sum under a retained (string) key.
+func (t *memoTable) put(key string, sum *summary) {
+	s := &t.shards[maphash.String(t.seed, key)&(memoShardCount-1)]
+	s.mu.Lock()
+	s.m[key] = sum
+	s.mu.Unlock()
+}
+
+// drop removes a key (used to clear the gray mark when a subtree errors).
+func (t *memoTable) drop(key string) {
+	s := &t.shards[maphash.String(t.seed, key)&(memoShardCount-1)]
+	s.mu.Lock()
+	delete(s.m, key)
+	s.mu.Unlock()
+}
+
+// grayKeys returns the keys currently marked on-stack (test hook: after a
+// run no gray marks may survive, or a later exploration reusing the table
+// would report a phantom cycle).
+func (t *memoTable) grayKeys() []string {
+	var out []string
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		for k, v := range s.m {
+			if v == grayMark {
+				out = append(out, k)
+			}
+		}
+		s.mu.Unlock()
+	}
+	return out
+}

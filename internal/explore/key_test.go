@@ -1,0 +1,115 @@
+package explore
+
+import (
+	"fmt"
+	"testing"
+
+	"waitfree/internal/program"
+	"waitfree/internal/types"
+)
+
+func keyOf(e *keyEncoder, c *config) string { return string(e.configKey(c)) }
+
+func testConfig(objState types.State, mem any, resp types.Response) *config {
+	return &config{
+		objs: []types.State{objState},
+		procs: []procState{
+			{OpIdx: 1, Mem: mem, Mst: 3, Pending: program.Action{Kind: program.KindInvoke, Obj: 0, Inv: types.TAS}, Resp: resp},
+			{OpIdx: 0, Done: true, Resp: types.ValOf(1)},
+		},
+	}
+}
+
+func TestConfigKeyInjective(t *testing.T) {
+	e := newKeyEncoder()
+	base := testConfig(0, nil, types.ValOf(0))
+	variants := []*config{
+		testConfig(1, nil, types.ValOf(0)),        // object state differs
+		testConfig(0, 7, types.ValOf(0)),          // memory differs
+		testConfig(0, nil, types.ValOf(1)),        // response differs
+		testConfig(0, true, types.ValOf(0)),       // bool 1 vs absent
+		testConfig(0, "7", types.ValOf(0)),        // string "7" vs int 7
+		testConfig("0", nil, types.ValOf(0)),      // string state vs int state
+		testConfig(0, types.OK, types.ValOf(0)),   // Response as memory
+		testConfig(0, types.Read, types.ValOf(0)), // Invocation as memory
+	}
+	baseKey := keyOf(e, base)
+	seen := map[string]int{baseKey: -1}
+	for i, v := range variants {
+		k := keyOf(e, v)
+		if prev, dup := seen[k]; dup {
+			t.Errorf("variant %d collides with variant %d", i, prev)
+		}
+		seen[k] = i
+	}
+}
+
+func TestConfigKeyDeterministic(t *testing.T) {
+	// Equal configs encode identically, under one encoder (buffer reuse
+	// must not corrupt) and across encoders (type-id interning follows
+	// encounter order, which equal encode sequences share).
+	type userState struct{ A, B int }
+	mk := func() *config { return testConfig(userState{1, 2}, userState{3, 4}, types.OK) }
+	e1, e2 := newKeyEncoder(), newKeyEncoder()
+	k1a := keyOf(e1, mk())
+	_ = keyOf(e1, testConfig(userState{9, 9}, nil, types.OK)) // perturb the buffer
+	k1b := keyOf(e1, mk())
+	if k1a != k1b {
+		t.Error("same encoder produced different keys for equal configs")
+	}
+	if k2 := keyOf(e2, mk()); k2 != k1a {
+		t.Error("fresh encoder produced a different key for an equal config")
+	}
+}
+
+// BenchmarkConfigKey compares the byte encoder against the fmt rendering
+// it replaced, on a configuration with user-defined (reflection-path)
+// states.
+func BenchmarkConfigKey(b *testing.B) {
+	type userState struct{ A, B, C int }
+	c := testConfig(userState{1, 2, 3}, userState{4, 5, 6}, types.OK)
+	b.Run("encoder", func(b *testing.B) {
+		e := newKeyEncoder()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = e.configKey(c)
+		}
+	})
+	b.Run("fmt", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = fmt.Sprintf("%#v|%#v", c.objs, c.procs)
+		}
+	})
+}
+
+func TestMemoTableBasics(t *testing.T) {
+	m := newMemoTable()
+	sum := &summary{}
+	keys := []string{"", "a", "b", "aa", "\x00\x01", "longer key with bytes"}
+	for _, k := range keys {
+		if _, ok := m.get([]byte(k)); ok {
+			t.Fatalf("empty table contains %q", k)
+		}
+		m.put(k, grayMark)
+	}
+	if got := len(m.grayKeys()); got != len(keys) {
+		t.Fatalf("grayKeys = %d, want %d", got, len(keys))
+	}
+	for _, k := range keys {
+		m.put(k, sum)
+	}
+	if got := len(m.grayKeys()); got != 0 {
+		t.Fatalf("grayKeys after overwrite = %d, want 0", got)
+	}
+	for _, k := range keys {
+		v, ok := m.get([]byte(k))
+		if !ok || v != sum {
+			t.Fatalf("get(%q) = %v, %v", k, v, ok)
+		}
+		m.drop(k)
+		if _, ok := m.get([]byte(k)); ok {
+			t.Fatalf("dropped key %q still present", k)
+		}
+	}
+}

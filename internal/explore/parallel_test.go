@@ -1,0 +1,100 @@
+package explore
+
+import (
+	"reflect"
+	"testing"
+
+	"waitfree/internal/consensus"
+	"waitfree/internal/program"
+	"waitfree/internal/types"
+)
+
+// TestConsensusParallelMatchesSequential is the parity guarantee of
+// Options.Parallelism: on every corpus protocol — correct or violating,
+// memoized or not — the parallel report must be deep-equal to the
+// sequential one, including the Nodes/Leaves/MemoHits accounting (per-tree
+// memo tables make the counts a pure function of the implementation).
+func TestConsensusParallelMatchesSequential(t *testing.T) {
+	for _, im := range consensus.Corpus() {
+		for _, memoize := range []bool{false, true} {
+			seq, seqErr := Consensus(im, Options{Memoize: memoize, Parallelism: 1})
+			for _, workers := range []int{0, 2, 4} {
+				par, parErr := Consensus(im, Options{Memoize: memoize, Parallelism: workers})
+				if (seqErr == nil) != (parErr == nil) {
+					t.Fatalf("%s memoize=%v workers=%d: error mismatch: %v vs %v",
+						im.Name, memoize, workers, seqErr, parErr)
+				}
+				if seqErr != nil {
+					continue
+				}
+				if !reflect.DeepEqual(seq, par) {
+					t.Errorf("%s memoize=%v workers=%d: report mismatch\nseq: %+v\npar: %+v",
+						im.Name, memoize, workers, seq, par)
+				}
+			}
+		}
+	}
+}
+
+// TestConsensusKParallelMatchesSequential covers the multi-valued trees
+// (k^n roots) the binary test misses.
+func TestConsensusKParallelMatchesSequential(t *testing.T) {
+	im := consensus.CAS(2)
+	seq, err := ConsensusK(im, 3, Options{Memoize: true, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := ConsensusK(im, 3, Options{Memoize: true, Parallelism: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Errorf("k=3 report mismatch\nseq: %+v\npar: %+v", seq, par)
+	}
+}
+
+// faultyAfterTAS accesses its test-and-set once, then issues an invocation
+// the spec rejects, making Spec.Apply fail mid-exploration.
+var faultyAfterTAS = program.FuncMachine{
+	StartFn: func(inv types.Invocation, _ any) any { return 0 },
+	NextFn: func(state any, resp types.Response) (program.Action, any) {
+		if state.(int) == 0 {
+			return program.InvokeAction(0, types.TAS), 1
+		}
+		return program.InvokeAction(0, types.Invocation{Op: "bogus"}), 2
+	},
+}
+
+func faultyImpl() *program.Implementation {
+	return &program.Implementation{
+		Name:  "faulty",
+		Procs: 2,
+		Objects: []program.ObjectDecl{
+			{Name: "t", Spec: types.TestAndSet(2), Init: 0, PortOf: []int{1, 2}},
+		},
+		Machines: []program.Machine{faultyAfterTAS, faultyAfterTAS},
+	}
+}
+
+// TestErrorPathClearsGrayMarks is the regression test for the on-stack
+// memo-mark leak: when Spec.Apply fails deep in the tree, the error
+// unwinds the whole DFS stack, and every ancestor must remove its gray
+// mark on the way out. (A surviving mark would make any later exploration
+// that reuses the table report a phantom cycle.)
+func TestErrorPathClearsGrayMarks(t *testing.T) {
+	im := faultyImpl()
+	scripts := [][]types.Invocation{
+		{types.Propose(0)},
+		{types.Propose(1)},
+	}
+	e, root, err := newExplorer(im, scripts, Options{Memoize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.explore(root); err == nil {
+		t.Fatal("faulty implementation explored without error")
+	}
+	if gray := e.memo.grayKeys(); len(gray) != 0 {
+		t.Errorf("%d gray marks survived the error unwind", len(gray))
+	}
+}

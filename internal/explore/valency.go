@@ -102,7 +102,7 @@ func Valency(im *program.Implementation, proposals []int, opts Options) (*Valenc
 		}
 	}
 
-	v := &valencyAnalysis{e: e, memo: make(map[string]uint64), seenCrit: make(map[string]bool)}
+	v := &valencyAnalysis{e: e, enc: newKeyEncoder(), memo: make(map[string]uint64), seenCrit: make(map[string]bool)}
 	rootMask, err := v.valency(root, 0)
 	if err != nil {
 		return nil, err
@@ -131,6 +131,7 @@ func Valency(im *program.Implementation, proposals []int, opts Options) (*Valenc
 
 type valencyAnalysis struct {
 	e         *explorer
+	enc       *keyEncoder
 	memo      map[string]uint64
 	seenCrit  map[string]bool
 	bivalent  int
@@ -160,7 +161,7 @@ func (v *valencyAnalysis) valency(c *config, depth int) (uint64, error) {
 		}
 		return 1 << uint(val), nil
 	}
-	key := c.key()
+	key := string(v.enc.configKey(c))
 	if mask, ok := v.memo[key]; ok {
 		return mask, nil
 	}

@@ -3,6 +3,9 @@ package hierarchy
 import (
 	"errors"
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"waitfree/internal/types"
 )
@@ -118,14 +121,44 @@ func Zoo() []Entry {
 
 // ClassifyZoo classifies every zoo entry with standard bounds.
 func ClassifyZoo() ([]*Classification, error) {
+	return ClassifyZooParallel(1)
+}
+
+// ClassifyZooParallel classifies the zoo entries across parallelism
+// workers (0 means GOMAXPROCS). Entries are independent, so the result is
+// identical to the sequential ClassifyZoo: classifications come back in
+// zoo order, and the first error (in zoo order) wins.
+func ClassifyZooParallel(parallelism int) ([]*Classification, error) {
 	entries := Zoo()
-	out := make([]*Classification, 0, len(entries))
-	for _, e := range entries {
-		c, err := Classify(e, 3, 64)
+	workers := parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(entries) {
+		workers = len(entries)
+	}
+	out := make([]*Classification, len(entries))
+	errs := make([]error, len(entries))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= len(entries) {
+					return
+				}
+				out[i], errs[i] = Classify(entries[i], 3, 64)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, c)
 	}
 	return out, nil
 }

@@ -71,7 +71,14 @@ func (o *Object) Invoke(port int, inv types.Invocation) (types.Response, error) 
 	}
 	t := ts[0]
 	if len(ts) > 1 {
-		t = ts[o.resolve(len(ts))%len(ts)]
+		// Normalize the user-supplied resolver's pick into [0, len(ts)):
+		// Go's % keeps the dividend's sign, so a negative return would
+		// otherwise index out of range.
+		idx := o.resolve(len(ts)) % len(ts)
+		if idx < 0 {
+			idx += len(ts)
+		}
+		t = ts[idx]
 	}
 	o.state = t.Next
 	return t.Resp, nil

@@ -52,6 +52,40 @@ func TestObjectNondeterministicResolution(t *testing.T) {
 	}
 }
 
+func TestObjectNegativeResolveNormalized(t *testing.T) {
+	// A user-supplied resolver may return any int; Invoke must normalize
+	// the pick into [0, len(ts)) — Go's % keeps the dividend's sign, so a
+	// negative return used to index out of range and panic.
+	for _, pick := range []int{-1, -2, -7} {
+		o := NewObject(types.OneUseBit(), types.OneUseDead, func(n int) int { return pick })
+		r, err := o.Invoke(1, types.Read)
+		if err != nil {
+			t.Fatalf("resolve=%d: %v", pick, err)
+		}
+		if r != types.ValOf(0) && r != types.ValOf(1) {
+			t.Errorf("resolve=%d: response %v", pick, r)
+		}
+	}
+	// A full run with an always-negative resolver must still satisfy
+	// agreement and validity.
+	im := consensus.NoisySticky2()
+	r, err := New(im, nil, func(int) int { return -1 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := r.Run(proposals(0, 1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d0, d1 := out.Responses[0][0], out.Responses[1][0]
+	if d0 != d1 {
+		t.Fatalf("disagreement %v vs %v", d0, d1)
+	}
+	if d0.Val != 0 && d0.Val != 1 {
+		t.Fatalf("invalid decision %v", d0)
+	}
+}
+
 func TestConsensusUnderFreeScheduler(t *testing.T) {
 	for i := 0; i < 50; i++ {
 		r, err := New(consensus.TAS2(), nil, nil)

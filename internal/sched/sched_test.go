@@ -107,6 +107,39 @@ func TestTokenCrash(t *testing.T) {
 	}
 }
 
+func TestTokenManyProcsWithCrashes(t *testing.T) {
+	// Heavier dispatcher workload aimed at the race detector: eight
+	// processes parking repeatedly, two of them crash-injected.
+	const procs = 8
+	const stepsEach = 30
+	tok := NewToken(procs, 42, map[int]int{2: 3, 5: 0})
+	defer tok.Stop()
+	taken := make([]int, procs)
+	var wg sync.WaitGroup
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			defer tok.Done(p)
+			for i := 0; i < stepsEach; i++ {
+				if !tok.Next(p) {
+					return
+				}
+				taken[p]++
+			}
+		}(p)
+	}
+	wg.Wait()
+	if taken[2] != 3 || taken[5] != 0 {
+		t.Errorf("crashed processes took %d and %d steps, want 3 and 0", taken[2], taken[5])
+	}
+	for _, p := range []int{0, 1, 3, 4, 6, 7} {
+		if taken[p] != stepsEach {
+			t.Errorf("process %d took %d steps, want %d", p, taken[p], stepsEach)
+		}
+	}
+}
+
 func TestTokenStopReleasesWaiters(t *testing.T) {
 	tok := NewToken(2, 1, nil)
 	done := make(chan bool, 1)

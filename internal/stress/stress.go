@@ -83,7 +83,10 @@ func (r *Recorder) CheckAtomic(k, init int) error {
 
 // CheckRegular verifies single-writer regularity: every read returns the
 // value of the latest write completed before it, of some overlapping
-// write, or the initial value.
+// write, or the initial value. A pending write (End == hist.Pending, e.g.
+// the writer crashed mid-operation) never completes before any read; it
+// overlaps every read that begins after it starts, so its value is
+// allowed there. Pending reads returned no value and are skipped.
 func (r *Recorder) CheckRegular(init int) error {
 	h := r.History()
 	var writes, reads hist.History
@@ -95,16 +98,20 @@ func (r *Recorder) CheckRegular(init int) error {
 		}
 	}
 	for _, rd := range reads {
+		if !rd.Complete() {
+			continue
+		}
 		allowed := map[int]bool{}
 		latestEnd := -1
 		latestVal := init
 		for _, w := range writes {
-			if w.End < rd.Begin {
+			switch {
+			case w.Complete() && w.End < rd.Begin:
 				if w.End > latestEnd {
 					latestEnd = w.End
 					latestVal = w.Inv.A
 				}
-			} else if w.Begin < rd.End {
+			case w.Begin < rd.End:
 				allowed[w.Inv.A] = true
 			}
 		}

@@ -78,6 +78,99 @@ func TestCheckRegularAcceptsRegularRejectsGarbage(t *testing.T) {
 	}
 }
 
+func TestCheckRegularPendingWrite(t *testing.T) {
+	// A write whose End is Pending (the writer crashed mid-operation)
+	// never completes before any read; it overlaps every read that begins
+	// after it starts, so a read returning its value is regular. The old
+	// checker let End == -1 satisfy w.End < rd.Begin, classifying the
+	// crashed write as completed-before with its value discarded, and
+	// falsely rejected such reads.
+	r := NewRecorder()
+	wBegin := r.Tick()
+	r.Record(hist.Op{Proc: 0, Port: 1, Inv: types.Write(5), Begin: wBegin, End: hist.Pending})
+	rBegin := r.Tick()
+	r.Record(historyOp(1, types.Read, types.ValOf(5), rBegin, r.Tick()))
+	if err := r.CheckRegular(0); err != nil {
+		t.Fatalf("read overlapping a pending write rejected: %v", err)
+	}
+
+	// The initial value stays allowed too: the write never completed.
+	old := NewRecorder()
+	owBegin := old.Tick()
+	old.Record(hist.Op{Proc: 0, Port: 1, Inv: types.Write(5), Begin: owBegin, End: hist.Pending})
+	orBegin := old.Tick()
+	old.Record(historyOp(1, types.Read, types.ValOf(0), orBegin, old.Tick()))
+	if err := old.CheckRegular(0); err != nil {
+		t.Fatalf("read of initial value alongside pending write rejected: %v", err)
+	}
+
+	// A pending write beginning after the read ended allows nothing.
+	bad := NewRecorder()
+	brBegin := bad.Tick()
+	bad.Record(historyOp(1, types.Read, types.ValOf(5), brBegin, bad.Tick()))
+	bwBegin := bad.Tick()
+	bad.Record(hist.Op{Proc: 0, Port: 1, Inv: types.Write(5), Begin: bwBegin, End: hist.Pending})
+	if err := bad.CheckRegular(0); err == nil {
+		t.Fatal("read of a future pending write accepted")
+	}
+
+	// Pending reads returned no value and are skipped, not flagged.
+	pr := NewRecorder()
+	prBegin := pr.Tick()
+	pr.Record(hist.Op{Proc: 1, Port: 1, Inv: types.Read, Begin: prBegin, End: hist.Pending})
+	if err := pr.CheckRegular(0); err != nil {
+		t.Fatalf("pending read rejected: %v", err)
+	}
+}
+
+func TestCheckRegularCrashInjectedRun(t *testing.T) {
+	// Crash the writer mid-operation against a live register: the write
+	// takes effect but its recorded operation stays pending. Concurrent
+	// readers may observe either value; regularity must accept every
+	// interleaving.
+	for iter := 0; iter < 20; iter++ {
+		reg := registers.NewMRSWAtomic(2, 0)
+		rec := NewRecorder()
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			begin := rec.Tick()
+			reg.Write(7) // applied, but the writer crashes before returning
+			rec.Record(hist.Op{Proc: 0, Port: 1, Inv: types.Write(7), Begin: begin, End: hist.Pending})
+		}()
+		for rd := 0; rd < 2; rd++ {
+			wg.Add(1)
+			go func(rd int) {
+				defer wg.Done()
+				for i := 0; i < 8; i++ {
+					rec.Read(1+rd, func() int { return reg.Read(rd) })
+				}
+			}(rd)
+		}
+		wg.Wait()
+		if err := rec.CheckRegular(0); err != nil {
+			t.Fatalf("iter %d: crash-injected run rejected: %v", iter, err)
+		}
+	}
+}
+
+func TestRunSingleWriterRegularUnderRace(t *testing.T) {
+	// Heavier concurrent run aimed at the race detector: one writer and
+	// three readers on an atomic MRSW register. Atomicity implies
+	// regularity, so CheckRegular must accept every interleaving.
+	for seed := int64(0); seed < 10; seed++ {
+		reg := registers.NewMRSWAtomic(3, 0)
+		rec := Run(RegisterUnderTest{
+			Write: func(_, v int) { reg.Write(v) },
+			Read:  reg.Read,
+		}, Config{Writers: 1, Readers: 3, Values: 4, OpsPerParty: 16, Seed: seed})
+		if err := rec.CheckRegular(0); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
 func TestOpRecordsArbitraryInvocations(t *testing.T) {
 	r := NewRecorder()
 	resp := r.Op(2, 3, types.TAS, func() types.Response { return types.ValOf(0) })
