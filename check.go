@@ -1,0 +1,249 @@
+package waitfree
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"waitfree/internal/core"
+	"waitfree/internal/explore"
+	"waitfree/internal/hierarchy"
+	"waitfree/internal/synth"
+)
+
+// This file is the unified verification entry point. Every pipeline the
+// library offers — consensus checking, Section 4.2 bound computation,
+// Theorem 5 register elimination, zoo classification, and protocol
+// synthesis — runs behind one call, Check(ctx, Request), returning one
+// JSON-marshalable Report. The context gives callers cancellation and
+// deadlines; Request.Explore.OnProgress gives them live engine Stats. The
+// per-pipeline entry points (CheckConsensus, AccessBounds,
+// EliminateRegisters, ClassifyZoo, SynthesizeProtocol, and their Context
+// forms) remain available for callers that want the concrete types.
+
+// CheckKind selects the pipeline a Request runs.
+type CheckKind string
+
+// The five pipelines.
+const (
+	// KindConsensus explores every execution of Request.Implementation and
+	// checks agreement, validity, and wait-freedom (Request.Values-valued;
+	// 0 means binary).
+	KindConsensus CheckKind = "consensus"
+	// KindBound runs the Section 4.2 analysis: like KindConsensus with the
+	// proposal-value range taken from the implementation's target type, but
+	// failing verification is an error (bounds only exist for correct
+	// wait-free inputs).
+	KindBound CheckKind = "bound"
+	// KindElimination runs the constructive Theorem 5 pipeline on
+	// Request.Implementation; if Request.Substrate is set, via the Section
+	// 5.3 route.
+	KindElimination CheckKind = "elimination"
+	// KindClassification classifies the built-in type zoo.
+	KindClassification CheckKind = "classification"
+	// KindSynthesis searches for a 2-process consensus protocol over
+	// Request.Objects, re-verifying any protocol found with the explorer.
+	KindSynthesis CheckKind = "synthesis"
+)
+
+// ErrBadRequest is the sentinel wrapped by every Request validation
+// failure.
+var ErrBadRequest = errors.New("waitfree: invalid check request")
+
+// Request selects and parameterizes one verification pipeline.
+type Request struct {
+	// Kind selects the pipeline.
+	Kind CheckKind
+	// Implementation is the subject of consensus/bound/elimination checks.
+	Implementation *Implementation
+	// Values is the proposal-value range k for KindConsensus (0 = 2).
+	Values int
+	// Explore configures every exploration the pipeline runs: memoization,
+	// depth budget, parallelism, and the OnProgress/ProgressInterval
+	// observability hooks.
+	Explore ExploreOptions
+	// MaxK bounds the Section 5.2 witness search of KindElimination
+	// (0 = 3).
+	MaxK int
+	// Substrate, if set, switches KindElimination to the Section 5.3
+	// route: one-use bits realized from this register-free 2-process
+	// consensus implementation.
+	Substrate *Implementation
+	// Objects and Synthesis drive KindSynthesis.
+	Objects   []SynthObject
+	Synthesis SynthOptions
+}
+
+// SynthesisReport is the synthesis half of the Report union.
+type SynthesisReport struct {
+	// Verdict is "found", "impossible" (space exhausted, no protocol
+	// within the bound), or "unknown" (budget exhausted).
+	Verdict string `json:"verdict"`
+	// Strategy is the formatted protocol when Verdict is "found".
+	Strategy string `json:"strategy,omitempty"`
+	// Assignments and Configs report search effort.
+	Assignments int64 `json:"assignments"`
+	Configs     int64 `json:"configs"`
+	// Reverification is the explorer's independent check of the found
+	// protocol.
+	Reverification *ConsensusReport `json:"reverification,omitempty"`
+	// StrategyMap is the raw strategy (not marshaled; strategies are
+	// keyed by structs).
+	StrategyMap Strategy `json:"-"`
+}
+
+// Found reports whether a protocol was synthesized.
+func (r *SynthesisReport) Found() bool { return r.Verdict == "found" }
+
+// Report is the JSON-marshalable union returned by Check: exactly one of
+// the pipeline fields is populated, discriminated by Kind.
+type Report struct {
+	Kind    CheckKind     `json:"kind"`
+	Elapsed time.Duration `json:"elapsed_ns"`
+
+	// Consensus carries KindConsensus and KindBound results.
+	Consensus *ConsensusReport `json:"consensus,omitempty"`
+	// Elimination carries KindElimination results.
+	Elimination *EliminationReport `json:"elimination,omitempty"`
+	// Classifications carries KindClassification results, in zoo order.
+	Classifications []*Classification `json:"classifications,omitempty"`
+	// Synthesis carries KindSynthesis results.
+	Synthesis *SynthesisReport `json:"synthesis,omitempty"`
+}
+
+// OK reports whether the checked property holds: the consensus
+// implementation verified, the elimination output verified, the zoo
+// classified, or synthesis reached a conclusive verdict.
+func (r *Report) OK() bool {
+	switch r.Kind {
+	case KindConsensus, KindBound:
+		return r.Consensus != nil && r.Consensus.OK()
+	case KindElimination:
+		return r.Elimination != nil && r.Elimination.OutputReport != nil && r.Elimination.OutputReport.OK()
+	case KindClassification:
+		return len(r.Classifications) > 0
+	case KindSynthesis:
+		return r.Synthesis != nil && r.Synthesis.Verdict != "unknown"
+	}
+	return false
+}
+
+// String renders the populated half of the union in its canonical human
+// form — the same text the CLIs print without -json.
+func (r *Report) String() string {
+	var b strings.Builder
+	switch {
+	case r.Consensus != nil:
+		b.WriteString(r.Consensus.String())
+	case r.Elimination != nil:
+		b.WriteString(r.Elimination.String())
+	case r.Classifications != nil:
+		for _, c := range r.Classifications {
+			b.WriteString(c.String())
+			b.WriteByte('\n')
+		}
+	case r.Synthesis != nil:
+		s := r.Synthesis
+		fmt.Fprintf(&b, "synthesis verdict: %s (%d assignments, %d configurations)\n",
+			s.Verdict, s.Assignments, s.Configs)
+		if s.Strategy != "" {
+			b.WriteString(s.Strategy)
+		}
+		if s.Reverification != nil {
+			fmt.Fprintf(&b, "independent re-verification: %s\n", s.Reverification.Summary())
+		}
+	default:
+		fmt.Fprintf(&b, "empty %s report", r.Kind)
+	}
+	return b.String()
+}
+
+// Check runs the pipeline selected by req under ctx and returns its
+// report. Cancellation and deadline expiry stop the underlying engines
+// promptly (within one counter-flush period, microseconds in practice)
+// and surface as ctx.Err(). Some failures return both a partial report
+// and an error (for example KindBound on an incorrect input returns the
+// report carrying the counterexample); callers must treat a non-nil error
+// as the verdict.
+func Check(ctx context.Context, req Request) (*Report, error) {
+	start := time.Now()
+	rep := &Report{Kind: req.Kind}
+	var err error
+	switch req.Kind {
+	case KindConsensus:
+		if req.Implementation == nil {
+			return nil, fmt.Errorf("%w: %s requires Implementation", ErrBadRequest, req.Kind)
+		}
+		k := req.Values
+		if k == 0 {
+			k = 2
+		}
+		rep.Consensus, err = explore.ConsensusKContext(ctx, req.Implementation, k, req.Explore)
+	case KindBound:
+		if req.Implementation == nil {
+			return nil, fmt.Errorf("%w: %s requires Implementation", ErrBadRequest, req.Kind)
+		}
+		rep.Consensus, err = core.BoundContext(ctx, req.Implementation, req.Explore)
+	case KindElimination:
+		if req.Implementation == nil {
+			return nil, fmt.Errorf("%w: %s requires Implementation", ErrBadRequest, req.Kind)
+		}
+		if req.Substrate != nil {
+			rep.Elimination, err = core.EliminateRegistersVia53Context(ctx, req.Implementation, req.Substrate, req.Explore)
+		} else {
+			maxK := req.MaxK
+			if maxK == 0 {
+				maxK = 3
+			}
+			rep.Elimination, err = core.EliminateRegistersContext(ctx, req.Implementation, req.Explore, maxK)
+		}
+	case KindClassification:
+		rep.Classifications, err = hierarchy.ClassifyZooContext(ctx, req.Explore.Parallelism)
+	case KindSynthesis:
+		if len(req.Objects) == 0 {
+			return nil, fmt.Errorf("%w: %s requires Objects", ErrBadRequest, req.Kind)
+		}
+		rep.Synthesis, err = runSynthesis(ctx, req)
+	default:
+		return nil, fmt.Errorf("%w: unknown kind %q", ErrBadRequest, req.Kind)
+	}
+	rep.Elapsed = time.Since(start)
+	return rep, err
+}
+
+// runSynthesis drives the synthesis pipeline: search, then independent
+// re-verification of any protocol found. Exhaustion verdicts (no protocol
+// within the bound, budget spent) are reported in the Verdict field, not
+// as errors.
+func runSynthesis(ctx context.Context, req Request) (*SynthesisReport, error) {
+	st, stats, err := synth.SearchContext(ctx, req.Objects, req.Synthesis)
+	rep := &SynthesisReport{}
+	if stats != nil {
+		rep.Assignments = stats.Assignments
+		rep.Configs = stats.Configs
+	}
+	switch {
+	case errors.Is(err, synth.ErrNoProtocol):
+		rep.Verdict = "impossible"
+		return rep, nil
+	case errors.Is(err, synth.ErrBudget):
+		rep.Verdict = "unknown"
+		return rep, nil
+	case err != nil:
+		return rep, err
+	}
+	rep.Verdict = "found"
+	rep.StrategyMap = st
+	rep.Strategy = st.Format(req.Objects)
+	im := synth.Implementation("synthesized", req.Objects, st, req.Synthesis)
+	rep.Reverification, err = explore.ConsensusContext(ctx, im, req.Explore)
+	if err != nil {
+		return rep, err
+	}
+	if !rep.Reverification.OK() {
+		return rep, fmt.Errorf("waitfree: synthesized protocol failed re-verification: %s", rep.Reverification.Summary())
+	}
+	return rep, nil
+}

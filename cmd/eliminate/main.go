@@ -7,7 +7,8 @@
 //
 // Usage:
 //
-//	eliminate [-protocol tas|queue|stack|faa|swap] [-memoize] [-parallel N]
+//	eliminate [-protocol tas|queue|stack|faa|swap|noisysticky] [-memoize]
+//	          [-parallel N] [-timeout D] [-progress D] [-json]
 package main
 
 import (
@@ -15,8 +16,9 @@ import (
 	"fmt"
 	"os"
 
+	"waitfree"
+	"waitfree/internal/cliutil"
 	"waitfree/internal/consensus"
-	"waitfree/internal/core"
 	"waitfree/internal/explore"
 	"waitfree/internal/program"
 )
@@ -40,56 +42,38 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("eliminate", flag.ContinueOnError)
 	name := fs.String("protocol", "tas", "protocol to transform: tas, queue, stack, faa, swap, noisysticky")
 	memoize := fs.Bool("memoize", false, "memoize configurations during exploration")
-	parallel := fs.Int("parallel", 0, "worker count for the proposal-vector trees (0 = GOMAXPROCS)")
+	common := cliutil.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	opts := explore.Options{Memoize: *memoize, Parallelism: *parallel}
 
-	var im *program.Implementation
-	var report *core.Report
-	var err error
+	req := waitfree.Request{
+		Kind:    waitfree.KindElimination,
+		Explore: common.Options(explore.Options{Memoize: *memoize}),
+	}
 	if *name == "noisysticky" {
 		// The nondeterministic case: Theorem 5's h_m >= 2 route (Section
 		// 5.3), with the register-free noisy-sticky consensus as substrate.
-		im = consensus.NoisySticky2R()
-		fmt.Printf("input:  %v\n", im)
-		report, err = core.EliminateRegistersVia53(im, consensus.NoisySticky2(), opts)
-		if err != nil {
-			return err
-		}
+		req.Implementation = consensus.NoisySticky2R()
+		req.Substrate = consensus.NoisySticky2()
 	} else {
 		mk, ok := protocols[*name]
 		if !ok {
 			return fmt.Errorf("unknown protocol %q (have tas, queue, stack, faa, swap, noisysticky)", *name)
 		}
-		im = mk()
-		fmt.Printf("input:  %v\n", im)
-		report, err = core.EliminateRegisters(im, opts, 3)
-		if err != nil {
-			return err
-		}
+		req.Implementation = mk()
 	}
 
-	fmt.Printf("output: %v\n\n", report.Output)
-	fmt.Println("Section 4.2 access bounds of the input:")
-	fmt.Printf("  uniform bound D = %d object accesses per execution\n", report.InputReport.Depth)
-	for _, b := range report.Bounds {
-		fmt.Printf("  register %-10s r_b = %d, w_b = %d  ->  (w+1) x r = %d one-use bits\n",
-			b.Name, b.R, b.W, (b.W+1)*b.R)
+	ctx, cancel := common.Context()
+	defer cancel()
+	rep, err := waitfree.Check(ctx, req)
+	if err != nil {
+		return err
 	}
-	if report.Pair != nil {
-		fmt.Println("\nSection 5.2 witness realizing one-use bits from", report.TypeName+":")
-		fmt.Printf("  %v\n", report.Pair)
-	} else {
-		fmt.Println("\nSection 5.3 route: one-use bits realized from the register-free",
-			report.TypeName, "consensus substrate")
+	if common.JSON {
+		return cliutil.WriteJSON(os.Stdout, rep)
 	}
-	fmt.Println("\naccounting:")
-	fmt.Printf("  registers eliminated:   %d\n", report.RegistersEliminated)
-	fmt.Printf("  one-use bits introduced: %d\n", report.OneUseBitsUsed)
-	fmt.Printf("  %s objects added:  %d\n", report.TypeName, report.TypeObjectsAdded)
-	fmt.Println("\nverification of the register-free output:")
-	fmt.Printf("  %s\n", report.OutputReport.Summary())
+	fmt.Printf("input:  %v\n", req.Implementation)
+	fmt.Print(rep.String())
 	return nil
 }

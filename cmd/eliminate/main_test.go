@@ -15,3 +15,12 @@ func TestRunUnknown(t *testing.T) {
 		t.Fatal("unknown protocol accepted")
 	}
 }
+
+func TestRunSharedFlags(t *testing.T) {
+	if err := run([]string{"-protocol", "tas", "-json", "-progress", "1ms"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-protocol", "queue", "-timeout", "1ns"}); err == nil {
+		t.Fatal("expired deadline not reported")
+	}
+}

@@ -1,11 +1,11 @@
-// Command experiments runs the full reproduction harness (E1-E9, indexed
+// Command experiments runs the full reproduction harness (E1-E11, indexed
 // in DESIGN.md) and prints the result tables as Markdown — the body of
 // EXPERIMENTS.md. The exit status is nonzero if any experiment's verdict
 // is FAILED.
 //
 // Usage:
 //
-//	experiments [-only E4]
+//	experiments [-only E4] [-timeout D] [-json]
 package main
 
 import (
@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 
+	"waitfree/internal/cliutil"
 	"waitfree/internal/experiments"
 )
 
@@ -25,36 +26,37 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
-	only := fs.String("only", "", "run a single experiment (E1..E9)")
+	only := fs.String("only", "", "run a single experiment (E1..E11)")
+	common := cliutil.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	ctx, cancel := common.Context()
+	defer cancel()
+
 	var tables []*experiments.Table
-	var err error
 	if *only != "" {
-		runners := map[string]func() (*experiments.Table, error){
-			"E1": experiments.E1, "E2": experiments.E2, "E3": experiments.E3,
-			"E4": experiments.E4, "E5": experiments.E5, "E6": experiments.E6,
-			"E7": experiments.E7, "E8": experiments.E8, "E9": experiments.E9, "E10": experiments.E10, "E11": experiments.E11,
-		}
-		runner, ok := runners[*only]
-		if !ok {
-			return fmt.Errorf("unknown experiment %q", *only)
-		}
-		table, err := runner()
+		table, err := experiments.RunOne(ctx, *only)
 		if err != nil {
 			return err
 		}
 		tables = []*experiments.Table{table}
 	} else {
-		tables, err = experiments.All()
+		var err error
+		tables, err = experiments.AllContext(ctx)
 		if err != nil {
 			return err
 		}
 	}
 
-	fmt.Print(experiments.Markdown(tables))
+	if common.JSON {
+		if err := cliutil.WriteJSON(os.Stdout, tables); err != nil {
+			return err
+		}
+	} else {
+		fmt.Print(experiments.Markdown(tables))
+	}
 	failed := 0
 	for _, t := range tables {
 		if t.Failed() {
@@ -64,6 +66,8 @@ func run(args []string) error {
 	if failed > 0 {
 		return fmt.Errorf("%d of %d experiments FAILED", failed, len(tables))
 	}
-	fmt.Printf("All %d experiments reproduced.\n", len(tables))
+	if !common.JSON {
+		fmt.Printf("All %d experiments reproduced.\n", len(tables))
+	}
 	return nil
 }

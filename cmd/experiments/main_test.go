@@ -13,3 +13,12 @@ func TestRunUnknownExperiment(t *testing.T) {
 		t.Fatal("unknown experiment accepted")
 	}
 }
+
+func TestRunSharedFlags(t *testing.T) {
+	if err := run([]string{"-only", "E1", "-json"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-timeout", "1ns"}); err == nil {
+		t.Fatal("expired deadline not reported")
+	}
+}

@@ -7,6 +7,7 @@
 // Usage:
 //
 //	explore [-protocol NAME] [-procs N] [-memoize] [-parallel N]
+//	        [-timeout D] [-progress D] [-json]
 //
 // Protocols: tas, queue, stack, faa, swap, weakleader, naive (incorrect,
 // registers only), casregister3, noisysticky, and the register-free
@@ -17,8 +18,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"sort"
 
+	"waitfree"
+	"waitfree/internal/cliutil"
 	"waitfree/internal/consensus"
 	"waitfree/internal/explore"
 	"waitfree/internal/program"
@@ -37,9 +39,9 @@ func run(args []string) error {
 	name := fs.String("protocol", "tas", "protocol to check")
 	procs := fs.Int("procs", 2, "process count for the scalable protocols (cas, sticky)")
 	memoize := fs.Bool("memoize", false, "memoize configurations")
-	parallel := fs.Int("parallel", 0, "worker count for the proposal-vector trees (0 = GOMAXPROCS)")
 	valency := fs.Bool("valency", false, "run the FLP/Herlihy valency analysis on mixed proposals")
 	dot := fs.Bool("dot", false, "print the mixed-proposal execution tree as Graphviz DOT and exit")
+	common := cliutil.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -89,36 +91,33 @@ func run(args []string) error {
 		return nil
 	}
 
-	fmt.Printf("checking %v\n\n", im)
-	report, err := explore.Consensus(im, explore.Options{Memoize: *memoize, Parallelism: *parallel})
+	ctx, cancel := common.Context()
+	defer cancel()
+	rep, err := waitfree.Check(ctx, waitfree.Request{
+		Kind:           waitfree.KindConsensus,
+		Implementation: im,
+		Explore:        common.Options(explore.Options{Memoize: *memoize}),
+	})
 	if err != nil {
 		return err
 	}
-	fmt.Println(report.Summary())
-	fmt.Printf("decisions reachable: %v\n", report.Decisions)
-	fmt.Printf("per-process wait-freedom bounds (own steps): %v\n", report.ProcSteps)
-	fmt.Println("\nper-object access bounds over all executions (Section 4.2):")
-	for i := range im.Objects {
-		ops := report.OpAccess[i]
-		keys := make([]string, 0, len(ops))
-		for op := range ops {
-			keys = append(keys, op)
+	if common.JSON {
+		if err := cliutil.WriteJSON(os.Stdout, rep); err != nil {
+			return err
 		}
-		sort.Strings(keys)
-		fmt.Printf("  %-10s total<=%d", im.Objects[i].Name, report.MaxAccess[i])
-		for _, op := range keys {
-			fmt.Printf("  %s<=%d", op, ops[op])
+	} else {
+		fmt.Printf("checking %v\n\n", im)
+		fmt.Print(rep.String())
+		if v := rep.Consensus.Violation; v != nil {
+			fmt.Printf("\ncounterexample lanes (proposals %v):\n%s\n",
+				rep.Consensus.ViolationProposals, explore.FormatLanes(v.Schedule, im))
 		}
-		fmt.Println()
 	}
-	if report.Violation != nil {
-		fmt.Printf("\ncounterexample (proposals %v):\n%s\n",
-			report.ViolationProposals, explore.FormatLanes(report.Violation.Schedule, im))
-		fmt.Printf("detail: %s\n", report.Violation.Detail)
+	if !rep.OK() {
 		return fmt.Errorf("implementation is incorrect")
 	}
 
-	if *valency {
+	if *valency && !common.JSON {
 		proposals := make([]int, im.Procs)
 		for p := range proposals {
 			proposals[p] = p % 2 // mixed proposals: the bivalent start

@@ -30,3 +30,12 @@ func TestRunUnknownProtocol(t *testing.T) {
 		t.Fatal("unknown protocol accepted")
 	}
 }
+
+func TestRunSharedFlags(t *testing.T) {
+	if err := run([]string{"-protocol", "tas", "-json", "-parallel", "2", "-progress", "1ms"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-protocol", "casregister3", "-timeout", "1ns"}); err == nil {
+		t.Fatal("expired deadline not reported")
+	}
+}

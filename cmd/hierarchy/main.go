@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	hierarchy [-witnesses] [-parallel N]
+//	hierarchy [-witnesses] [-parallel N] [-timeout D] [-progress D] [-json]
 package main
 
 import (
@@ -14,6 +14,8 @@ import (
 	"os"
 	"text/tabwriter"
 
+	"waitfree"
+	"waitfree/internal/cliutil"
 	"waitfree/internal/hierarchy"
 	"waitfree/internal/types"
 )
@@ -29,7 +31,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("hierarchy", flag.ContinueOnError)
 	witnesses := fs.Bool("witnesses", false, "print the full Section 5.1/5.2 witnesses per type")
 	audit := fs.Bool("audit", false, "lint every zoo spec: declared flags vs computed behavior")
-	parallel := fs.Int("parallel", 0, "worker count for classifying zoo entries (0 = GOMAXPROCS)")
+	common := cliutil.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -52,14 +54,22 @@ func run(args []string) error {
 		return nil
 	}
 
-	cs, err := hierarchy.ClassifyZooParallel(*parallel)
+	ctx, cancel := common.Context()
+	defer cancel()
+	rep, err := waitfree.Check(ctx, waitfree.Request{
+		Kind:    waitfree.KindClassification,
+		Explore: common.Options(waitfree.ExploreOptions{}),
+	})
 	if err != nil {
 		return err
+	}
+	if common.JSON {
+		return cliutil.WriteJSON(os.Stdout, rep)
 	}
 
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "TYPE\tOBLIVIOUS\tDETERMINISTIC\tTRIVIAL\tCONSENSUS#\th_m\tTHEOREM 5")
-	for _, c := range cs {
+	for _, c := range rep.Classifications {
 		fmt.Fprintf(w, "%s\t%v\t%v\t%v\t%s\t%s\t%s\n",
 			c.Name, c.Oblivious, c.Deterministic, c.Trivial, c.Consensus, c.HM, c.Theorem5)
 	}
@@ -70,7 +80,7 @@ func run(args []string) error {
 	if *witnesses {
 		fmt.Println()
 		fmt.Println("Witnesses (how each non-trivial deterministic type implements a one-use bit):")
-		for _, c := range cs {
+		for _, c := range rep.Classifications {
 			if c.Pair == nil {
 				continue
 			}

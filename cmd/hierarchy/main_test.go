@@ -25,3 +25,12 @@ func TestRunBadFlag(t *testing.T) {
 		t.Fatal("unknown flag accepted")
 	}
 }
+
+func TestRunSharedFlags(t *testing.T) {
+	if err := run([]string{"-json", "-parallel", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-timeout", "1ns"}); err == nil {
+		t.Fatal("expired deadline not reported")
+	}
+}

@@ -5,16 +5,18 @@
 //
 // Usage:
 //
-//	synthesize [-objects tas|tas+bits|cas|sticky|register|onebits] [-depth N] [-symmetric]
+//	synthesize [-objects tas|tas+bits|cas|sticky|register|onebits]
+//	           [-depth N] [-symmetric] [-budget N]
+//	           [-parallel N] [-timeout D] [-progress D] [-json]
 package main
 
 import (
-	"errors"
 	"flag"
 	"fmt"
 	"os"
 
-	"waitfree/internal/explore"
+	"waitfree"
+	"waitfree/internal/cliutil"
 	"waitfree/internal/synth"
 	"waitfree/internal/types"
 )
@@ -60,6 +62,7 @@ func run(args []string) error {
 	depth := fs.Int("depth", 3, "maximum object accesses per process")
 	symmetric := fs.Bool("symmetric", false, "search symmetric strategies only (faster, weaker negatives)")
 	budget := fs.Int64("budget", 5e7, "assignment budget")
+	common := cliutil.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -67,35 +70,37 @@ func run(args []string) error {
 	if !ok {
 		return fmt.Errorf("unknown object set %q", *setName)
 	}
-	objects := mk()
 
-	fmt.Printf("searching for a 2-process consensus protocol over %q (depth <= %d, symmetric=%v)\n",
-		*setName, *depth, *symmetric)
-	st, stats, err := synth.Search(objects, synth.Options{
-		Depth: *depth, Symmetric: *symmetric, Budget: *budget,
-	})
-	switch {
-	case errors.Is(err, synth.ErrNoProtocol):
-		fmt.Printf("NO PROTOCOL exists within the bound (exhausted after %d assignments, %d configurations)\n",
-			stats.Assignments, stats.Configs)
-		return nil
-	case errors.Is(err, synth.ErrBudget):
-		fmt.Printf("verdict UNKNOWN: budget exhausted (%d assignments)\n", stats.Assignments)
-		return nil
-	case err != nil:
-		return err
+	ctx, cancel := common.Context()
+	defer cancel()
+	if !common.JSON {
+		fmt.Printf("searching for a 2-process consensus protocol over %q (depth <= %d, symmetric=%v)\n",
+			*setName, *depth, *symmetric)
 	}
-
-	fmt.Printf("protocol FOUND after %d assignments, %d configurations:\n\n%s\n",
-		stats.Assignments, stats.Configs, st.Format(objects))
-	im := synth.Implementation("synthesized", objects, st, synth.Options{Depth: *depth, Symmetric: *symmetric, Budget: *budget})
-	report, err := explore.Consensus(im, explore.Options{})
+	rep, err := waitfree.Check(ctx, waitfree.Request{
+		Kind:      waitfree.KindSynthesis,
+		Objects:   mk(),
+		Synthesis: waitfree.SynthOptions{Depth: *depth, Symmetric: *symmetric, Budget: *budget},
+		Explore:   common.Options(waitfree.ExploreOptions{}),
+	})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("independent re-verification: %s\n", report.Summary())
-	if !report.OK() {
-		return fmt.Errorf("synthesized protocol failed re-verification")
+	if common.JSON {
+		return cliutil.WriteJSON(os.Stdout, rep)
+	}
+
+	s := rep.Synthesis
+	switch s.Verdict {
+	case "impossible":
+		fmt.Printf("NO PROTOCOL exists within the bound (exhausted after %d assignments, %d configurations)\n",
+			s.Assignments, s.Configs)
+	case "unknown":
+		fmt.Printf("verdict UNKNOWN: budget exhausted (%d assignments)\n", s.Assignments)
+	default:
+		fmt.Printf("protocol FOUND after %d assignments, %d configurations:\n\n%s\n",
+			s.Assignments, s.Configs, s.Strategy)
+		fmt.Printf("independent re-verification: %s\n", s.Reverification.Summary())
 	}
 	return nil
 }

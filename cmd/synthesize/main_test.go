@@ -31,3 +31,12 @@ func TestRunUnknownSet(t *testing.T) {
 		t.Fatal("unknown object set accepted")
 	}
 }
+
+func TestRunSharedFlags(t *testing.T) {
+	if err := run([]string{"-objects", "cas", "-depth", "1", "-symmetric", "-json"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-objects", "tas", "-depth", "3", "-timeout", "1ns"}); err == nil {
+		t.Fatal("expired deadline not reported")
+	}
+}

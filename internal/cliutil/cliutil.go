@@ -1,0 +1,72 @@
+// Package cliutil owns the flags and plumbing shared by every
+// verification CLI: -parallel (worker count), -timeout (run deadline),
+// -progress (live engine statistics on stderr), and -json (the
+// machine-readable report on stdout). The three commands that used to
+// parse -parallel independently (explore, hierarchy, eliminate) now share
+// this one definition, and every command gets the observability flags for
+// free.
+package cliutil
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"waitfree/internal/explore"
+)
+
+// Flags are the switches shared by the verification CLIs.
+type Flags struct {
+	// Parallel is the worker count for independent subtasks (0 =
+	// GOMAXPROCS).
+	Parallel int
+	// Timeout aborts the run after this long (0 = none); expiry surfaces
+	// as context.DeadlineExceeded.
+	Timeout time.Duration
+	// Progress, when positive, prints an engine Stats line to stderr at
+	// this interval.
+	Progress time.Duration
+	// JSON switches stdout from the human rendering to the JSON report.
+	JSON bool
+}
+
+// Register installs the shared flags on fs and returns the destination.
+func Register(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.IntVar(&f.Parallel, "parallel", 0, "worker count for independent subtasks (0 = GOMAXPROCS)")
+	fs.DurationVar(&f.Timeout, "timeout", 0, "abort the run after this duration (e.g. 30s; 0 = no timeout)")
+	fs.DurationVar(&f.Progress, "progress", 0, "print engine progress to stderr at this interval (e.g. 500ms; 0 = off)")
+	fs.BoolVar(&f.JSON, "json", false, "emit the machine-readable JSON report on stdout")
+	return f
+}
+
+// Context returns the run context honoring -timeout. The caller must call
+// cancel.
+func (f *Flags) Context() (context.Context, context.CancelFunc) {
+	if f.Timeout > 0 {
+		return context.WithTimeout(context.Background(), f.Timeout)
+	}
+	return context.WithCancel(context.Background())
+}
+
+// Options folds the flags into opts: parallelism always, plus the
+// OnProgress stderr hook when -progress is set.
+func (f *Flags) Options(opts explore.Options) explore.Options {
+	opts.Parallelism = f.Parallel
+	if f.Progress > 0 {
+		opts.ProgressInterval = f.Progress
+		opts.OnProgress = func(s explore.Stats) { fmt.Fprintln(os.Stderr, s.String()) }
+	}
+	return opts
+}
+
+// WriteJSON marshals v onto w, indented, as the -json output format.
+func WriteJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}

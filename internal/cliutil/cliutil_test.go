@@ -1,0 +1,65 @@
+package cliutil
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"strings"
+	"testing"
+	"time"
+
+	"waitfree/internal/explore"
+)
+
+func TestRegisterParsesSharedFlags(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	f := Register(fs)
+	if err := fs.Parse([]string{"-parallel", "3", "-timeout", "2s", "-progress", "150ms", "-json"}); err != nil {
+		t.Fatal(err)
+	}
+	if f.Parallel != 3 || f.Timeout != 2*time.Second || f.Progress != 150*time.Millisecond || !f.JSON {
+		t.Fatalf("parsed %+v", f)
+	}
+}
+
+func TestContextHonorsTimeout(t *testing.T) {
+	f := &Flags{Timeout: time.Nanosecond}
+	ctx, cancel := f.Context()
+	defer cancel()
+	<-ctx.Done()
+	if !errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		t.Fatalf("ctx.Err() = %v", ctx.Err())
+	}
+
+	g := &Flags{}
+	gctx, gcancel := g.Context()
+	if gctx.Err() != nil {
+		t.Fatalf("no-timeout context already dead: %v", gctx.Err())
+	}
+	gcancel()
+	if !errors.Is(gctx.Err(), context.Canceled) {
+		t.Fatalf("cancel did not propagate: %v", gctx.Err())
+	}
+}
+
+func TestOptionsFoldsFlags(t *testing.T) {
+	f := &Flags{Parallel: 2, Progress: time.Second}
+	opts := f.Options(explore.Options{Memoize: true})
+	if !opts.Memoize || opts.Parallelism != 2 || opts.ProgressInterval != time.Second || opts.OnProgress == nil {
+		t.Fatalf("folded %+v", opts)
+	}
+	bare := (&Flags{}).Options(explore.Options{})
+	if bare.OnProgress != nil || bare.ProgressInterval != 0 {
+		t.Fatalf("progress hook installed without -progress: %+v", bare)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	var b strings.Builder
+	if err := WriteJSON(&b, map[string]int{"nodes": 7}); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.String(); !strings.Contains(got, `"nodes": 7`) || !strings.HasSuffix(got, "\n") {
+		t.Fatalf("wrote %q", got)
+	}
+}

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"strings"
 
 	"waitfree/internal/explore"
 	"waitfree/internal/hierarchy"
@@ -52,7 +54,15 @@ func targetValues(im *program.Implementation) int {
 // trees; opts.Parallelism fans them across workers without changing the
 // report (see explore.ConsensusK).
 func Bound(im *program.Implementation, opts explore.Options) (*explore.ConsensusReport, error) {
-	report, err := explore.ConsensusK(im, targetValues(im), opts)
+	return BoundContext(context.Background(), im, opts)
+}
+
+// BoundContext is Bound under a context: cancellation or deadline expiry
+// aborts the exploration promptly and returns ctx.Err() (see
+// explore.ConsensusKContext for the engine semantics, including
+// Options.OnProgress observability).
+func BoundContext(ctx context.Context, im *program.Implementation, opts explore.Options) (*explore.ConsensusReport, error) {
+	report, err := explore.ConsensusKContext(ctx, im, targetValues(im), opts)
 	if err != nil {
 		return nil, err
 	}
@@ -64,10 +74,13 @@ func Bound(im *program.Implementation, opts explore.Options) (*explore.Consensus
 
 // RegisterBound carries one register's Section 4.2 access bounds.
 type RegisterBound struct {
-	Obj  int // object index in the input implementation
-	Name string
-	R, W int // read and write bounds (the paper's r_b and w_b)
-	Init int
+	// Obj is the object index in the input implementation.
+	Obj  int    `json:"obj"`
+	Name string `json:"name"`
+	// R and W are the read and write bounds (the paper's r_b and w_b).
+	R    int `json:"r"`
+	W    int `json:"w"`
+	Init int `json:"init"`
 }
 
 // RegisterBounds extracts the SRSW-bit registers of im and their bounds
@@ -216,33 +229,66 @@ func InferType(im *program.Implementation) (*types.Spec, []types.State, error) {
 }
 
 // Report is the full record of one register-elimination run, the data
-// behind Experiments E6 and E7.
+// behind Experiments E6 and E7. The runnable implementations themselves
+// are excluded from the JSON form (machines are code); InputName and
+// OutputName identify them instead.
 type Report struct {
-	Input  *program.Implementation
-	Output *program.Implementation
+	Input  *program.Implementation `json:"-"`
+	Output *program.Implementation `json:"-"`
+
+	InputName  string `json:"input"`
+	OutputName string `json:"output"`
 
 	// InputReport is the Section 4.2 analysis of the input (D, bounds).
-	InputReport *explore.ConsensusReport
+	InputReport *explore.ConsensusReport `json:"input_report"`
 	// OutputReport verifies the output (agreement, validity, wait-free).
-	OutputReport *explore.ConsensusReport
+	OutputReport *explore.ConsensusReport `json:"output_report"`
 
-	Bounds []RegisterBound
-	// Pair is the Section 5.2 witness used to realize one-use bits.
-	Pair *hierarchy.Pair
+	Bounds []RegisterBound `json:"bounds"`
+	// Pair is the Section 5.2 witness used to realize one-use bits (nil on
+	// the Section 5.3 route).
+	Pair *hierarchy.Pair `json:"pair,omitempty"`
 	// TypeName is the name of the type T realizing the one-use bits.
-	TypeName string
+	TypeName string `json:"type"`
 
 	// Accounting.
-	RegistersEliminated int
-	OneUseBitsUsed      int
-	TypeObjectsAdded    int
+	RegistersEliminated int `json:"registers_eliminated"`
+	OneUseBitsUsed      int `json:"one_use_bits"`
+	TypeObjectsAdded    int `json:"type_objects_added"`
 }
 
 // Summary renders the report's headline numbers.
 func (r *Report) Summary() string {
 	return fmt.Sprintf("%s: D=%d, %d registers -> %d one-use bits -> %d %s objects; output D=%d, ok=%v",
-		r.Input.Name, r.InputReport.Depth, r.RegistersEliminated, r.OneUseBitsUsed,
+		r.InputName, r.InputReport.Depth, r.RegistersEliminated, r.OneUseBitsUsed,
 		r.TypeObjectsAdded, r.TypeName, r.OutputReport.Depth, r.OutputReport.OK())
+}
+
+// String renders the full human-readable report — the single source of
+// truth behind cmd/eliminate's output: the Section 4.2 bounds, the
+// witness (or substrate) realizing one-use bits, the accounting, and the
+// output verification.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "output: %v\n\n", r.Output)
+	b.WriteString("Section 4.2 access bounds of the input:\n")
+	fmt.Fprintf(&b, "  uniform bound D = %d object accesses per execution\n", r.InputReport.Depth)
+	for _, bd := range r.Bounds {
+		fmt.Fprintf(&b, "  register %-10s r_b = %d, w_b = %d  ->  (w+1) x r = %d one-use bits\n",
+			bd.Name, bd.R, bd.W, (bd.W+1)*bd.R)
+	}
+	if r.Pair != nil {
+		fmt.Fprintf(&b, "\nSection 5.2 witness realizing one-use bits from %s:\n  %v\n", r.TypeName, r.Pair)
+	} else {
+		fmt.Fprintf(&b, "\nSection 5.3 route: one-use bits realized from the register-free %s consensus substrate\n", r.TypeName)
+	}
+	b.WriteString("\naccounting:\n")
+	fmt.Fprintf(&b, "  registers eliminated:   %d\n", r.RegistersEliminated)
+	fmt.Fprintf(&b, "  one-use bits introduced: %d\n", r.OneUseBitsUsed)
+	fmt.Fprintf(&b, "  %s objects added:  %d\n", r.TypeName, r.TypeObjectsAdded)
+	b.WriteString("\nverification of the register-free output:\n")
+	fmt.Fprintf(&b, "  %s\n", r.OutputReport.Summary())
+	return b.String()
 }
 
 // EliminateRegisters runs the full Theorem 5 pipeline on a consensus
@@ -252,13 +298,20 @@ func (r *Report) Summary() string {
 // opts.Parallelism spreads each verification's proposal-vector trees
 // across workers). maxK bounds the Section 5.2 witness search.
 func EliminateRegisters(im *program.Implementation, opts explore.Options, maxK int) (*Report, error) {
+	return EliminateRegistersContext(context.Background(), im, opts, maxK)
+}
+
+// EliminateRegistersContext is EliminateRegisters under a context: both
+// endpoint verifications honor ctx cancellation/deadlines and publish
+// engine progress via opts.OnProgress.
+func EliminateRegistersContext(ctx context.Context, im *program.Implementation, opts explore.Options, maxK int) (*Report, error) {
 	// Section 4.1 at the machine level: multi-valued SRSW registers are
 	// first compiled into SRSW bits (a no-op if there are none).
 	compiled, err := CompileSRSWRegisters(im)
 	if err != nil {
 		return nil, err
 	}
-	inputReport, err := Bound(compiled, opts)
+	inputReport, err := BoundContext(ctx, compiled, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -283,7 +336,7 @@ func EliminateRegisters(im *program.Implementation, opts explore.Options, maxK i
 	if err != nil {
 		return nil, err
 	}
-	outputReport, err := explore.ConsensusK(out, targetValues(im), opts)
+	outputReport, err := explore.ConsensusKContext(ctx, out, targetValues(im), opts)
 	if err != nil {
 		return nil, err
 	}
@@ -291,6 +344,8 @@ func EliminateRegisters(im *program.Implementation, opts explore.Options, maxK i
 	report := &Report{
 		Input:               im,
 		Output:              out,
+		InputName:           im.Name,
+		OutputName:          out.Name,
 		InputReport:         inputReport,
 		OutputReport:        outputReport,
 		Bounds:              bounds,

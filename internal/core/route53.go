@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"waitfree/internal/explore"
@@ -91,11 +92,18 @@ func substrateDecls(substrate *program.Implementation, procs, readerProc, writer
 // implementation's type) in place of the Section 5.2 witness. Both
 // endpoints are verified exhaustively.
 func EliminateRegistersVia53(im *program.Implementation, substrate *program.Implementation, opts explore.Options) (*Report, error) {
+	return EliminateRegistersVia53Context(context.Background(), im, substrate, opts)
+}
+
+// EliminateRegistersVia53Context is EliminateRegistersVia53 under a
+// context: both endpoint verifications honor ctx cancellation/deadlines
+// and publish engine progress via opts.OnProgress.
+func EliminateRegistersVia53Context(ctx context.Context, im *program.Implementation, substrate *program.Implementation, opts explore.Options) (*Report, error) {
 	compiled, err := CompileSRSWRegisters(im)
 	if err != nil {
 		return nil, err
 	}
-	inputReport, err := Bound(compiled, opts)
+	inputReport, err := BoundContext(ctx, compiled, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -111,7 +119,7 @@ func EliminateRegistersVia53(im *program.Implementation, substrate *program.Impl
 	if err != nil {
 		return nil, err
 	}
-	outputReport, err := explore.ConsensusK(out, targetValues(im), opts)
+	outputReport, err := explore.ConsensusKContext(ctx, out, targetValues(im), opts)
 	if err != nil {
 		return nil, err
 	}
@@ -122,6 +130,8 @@ func EliminateRegistersVia53(im *program.Implementation, substrate *program.Impl
 	report := &Report{
 		Input:               im,
 		Output:              out,
+		InputName:           im.Name,
+		OutputName:          out.Name,
 		InputReport:         inputReport,
 		OutputReport:        outputReport,
 		Bounds:              bounds,

@@ -9,21 +9,22 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 )
 
 // Table is one experiment's result.
 type Table struct {
-	ID         string
-	Title      string
-	PaperClaim string
-	Columns    []string
-	Rows       [][]string
+	ID         string     `json:"id"`
+	Title      string     `json:"title"`
+	PaperClaim string     `json:"paper_claim"`
+	Columns    []string   `json:"columns"`
+	Rows       [][]string `json:"rows"`
 	// Expectation is the "shape" DESIGN.md predicts for this experiment.
-	Expectation string
+	Expectation string `json:"expectation"`
 	// Verdict summarizes whether the computed rows bear the claim out.
-	Verdict string
+	Verdict string `json:"verdict"`
 }
 
 // Failed reports whether the verdict indicates a reproduction failure.
@@ -50,18 +51,50 @@ func Markdown(tables []*Table) string {
 	return b.String()
 }
 
+// runners lists every experiment in order.
+var runners = []struct {
+	id  string
+	run func() (*Table, error)
+}{
+	{"E1", E1}, {"E2", E2}, {"E3", E3}, {"E4", E4}, {"E5", E5}, {"E6", E6},
+	{"E7", E7}, {"E8", E8}, {"E9", E9}, {"E10", E10}, {"E11", E11},
+}
+
 // All runs every experiment in order.
 func All() ([]*Table, error) {
-	runs := []func() (*Table, error){E1, E2, E3, E4, E5, E6, E7, E8, E9, E10, E11}
-	tables := make([]*Table, 0, len(runs))
-	for _, run := range runs {
-		t, err := run()
+	return AllContext(context.Background())
+}
+
+// AllContext runs every experiment in order, checking ctx between
+// experiments (individual experiments run to completion; they are all
+// sub-second). Cancellation returns the tables finished so far alongside
+// ctx.Err().
+func AllContext(ctx context.Context) ([]*Table, error) {
+	tables := make([]*Table, 0, len(runners))
+	for _, r := range runners {
+		if err := ctx.Err(); err != nil {
+			return tables, err
+		}
+		t, err := r.run()
 		if err != nil {
 			return tables, err
 		}
 		tables = append(tables, t)
 	}
 	return tables, nil
+}
+
+// RunOne runs the single experiment named id (E1..E11).
+func RunOne(ctx context.Context, id string) (*Table, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	for _, r := range runners {
+		if r.id == id {
+			return r.run()
+		}
+	}
+	return nil, fmt.Errorf("unknown experiment %q", id)
 }
 
 // verdict builds a REPRODUCED/FAILED verdict string.

@@ -1,0 +1,170 @@
+package explore
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"waitfree/internal/consensus"
+	"waitfree/internal/types"
+)
+
+// proposalScripts builds one single-Propose script per process.
+func proposalScripts(proposals []int) [][]types.Invocation {
+	scripts := make([][]types.Invocation, len(proposals))
+	for p, v := range proposals {
+		scripts[p] = []types.Invocation{types.Propose(v)}
+	}
+	return scripts
+}
+
+// waitForGoroutines polls until the goroutine count drops back to at most
+// base, failing the test if it does not within two seconds. Exploration
+// workers and the progress ticker must all be joined by the time
+// ConsensusKContext returns, so any surplus is a leak.
+func waitForGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= base {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Errorf("goroutine leak: %d running, want <= %d", runtime.NumGoroutine(), base)
+}
+
+// TestConsensusCancellation cancels a long exploration from its own
+// progress callback and checks the cancellation contract: the engine
+// returns context.Canceled promptly (within one counter-flush, far under a
+// progress tick), every worker goroutine exits, and the final Stats
+// snapshot — published after the workers stop — is internally consistent.
+func TestConsensusCancellation(t *testing.T) {
+	im := consensus.CASRegister3() // ~200ms sequential: plenty of mid-tree surface
+	for _, workers := range []int{1, 4} {
+		base := runtime.NumGoroutine()
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		var last Stats
+		var cancelled time.Time
+		opts := Options{
+			Parallelism:      workers,
+			ProgressInterval: time.Millisecond,
+			OnProgress: func(s Stats) {
+				// Called from the single ticker goroutine; the final
+				// snapshot is published before ConsensusKContext returns,
+				// so the main goroutine reads `last` happens-after.
+				last = s
+				if cancelled.IsZero() {
+					cancelled = time.Now()
+					cancel()
+				}
+			},
+		}
+		rep, err := ConsensusContext(ctx, im, opts)
+		returned := time.Now()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if rep != nil {
+			t.Fatalf("workers=%d: cancelled run returned a report", workers)
+		}
+		if lat := returned.Sub(cancelled); lat > 500*time.Millisecond {
+			t.Errorf("workers=%d: cancel-to-return latency %v", workers, lat)
+		}
+		waitForGoroutines(t, base)
+
+		// Partial-progress consistency of the final snapshot.
+		if last.Nodes == 0 {
+			t.Errorf("workers=%d: final snapshot has no nodes", workers)
+		}
+		if last.Leaves > last.Nodes {
+			t.Errorf("workers=%d: leaves %d > nodes %d", workers, last.Leaves, last.Nodes)
+		}
+		var sum int64
+		for _, n := range last.WorkerNodes {
+			sum += n
+		}
+		if sum != last.Nodes {
+			t.Errorf("workers=%d: per-worker nodes sum %d != total %d", workers, sum, last.Nodes)
+		}
+		if last.TreesDone > last.TreesTotal {
+			t.Errorf("workers=%d: trees done %d > total %d", workers, last.TreesDone, last.TreesTotal)
+		}
+		if last.Elapsed <= 0 {
+			t.Errorf("workers=%d: non-positive elapsed %v", workers, last.Elapsed)
+		}
+	}
+}
+
+// TestConsensusPreCancelled checks the degenerate case: an already-dead
+// context returns before any worker explores a tree.
+func TestConsensusPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ConsensusContext(ctx, consensus.TAS2(), Options{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestConsensusDeadline checks that deadline expiry surfaces as
+// context.DeadlineExceeded through the same path as cancellation.
+func TestConsensusDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Millisecond)
+	defer cancel()
+	_, err := ConsensusContext(ctx, consensus.CASRegister3(), Options{})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestRunContextCancellation covers the single-tree entry point Run shares
+// with Consensus: cancellation mid-DFS unwinds cleanly (no gray-mark
+// leaks; see TestErrorPathClearsGrayMarks for the error-path analogue).
+func TestRunContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	im := consensus.TAS2()
+	scripts := proposalScripts([]int{0, 1})
+	if _, err := RunContext(ctx, im, scripts, Options{Memoize: true}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestOptionsValidate pins the up-front rejection of option combinations
+// that previously failed deep inside the engine (or silently misbehaved).
+func TestOptionsValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		opts Options
+		bad  bool
+	}{
+		{"zero", Options{}, false},
+		{"memoize", Options{Memoize: true}, false},
+		{"history", Options{RecordHistory: true}, false},
+		{"memoize+history", Options{Memoize: true, RecordHistory: true}, true},
+		{"negative depth", Options{MaxDepth: -1}, true},
+		{"negative parallelism", Options{Parallelism: -2}, true},
+		{"negative interval", Options{ProgressInterval: -time.Second}, true},
+	}
+	for _, c := range cases {
+		err := c.opts.Validate()
+		if got := err != nil; got != c.bad {
+			t.Errorf("%s: Validate() = %v, want bad=%v", c.name, err, c.bad)
+		}
+		if err != nil && !errors.Is(err, ErrBadOptions) {
+			t.Errorf("%s: error %v does not wrap ErrBadOptions", c.name, err)
+		}
+	}
+	// The engine entry points must report the same sentinel.
+	im := consensus.TAS2()
+	if _, err := Consensus(im, Options{MaxDepth: -1}); !errors.Is(err, ErrBadOptions) {
+		t.Errorf("Consensus: err = %v, want ErrBadOptions", err)
+	}
+	scripts := proposalScripts([]int{0, 1})
+	if _, err := Run(im, scripts, Options{Memoize: true, RecordHistory: true}); !errors.Is(err, ErrBadOptions) {
+		t.Errorf("Run: err = %v, want ErrBadOptions", err)
+	}
+}

@@ -1,9 +1,11 @@
 package explore
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -13,42 +15,54 @@ import (
 
 // ConsensusReport is the verdict of exhaustively checking a consensus
 // implementation over all proposal vectors (the paper's 2^n trees) and all
-// interleavings and nondeterministic resolutions within each tree.
+// interleavings and nondeterministic resolutions within each tree. The
+// struct is the single source of truth for both renderings of a check:
+// String() is the human form the CLIs print, and the JSON field tags are
+// the machine form behind the CLIs' -json flag and waitfree.Check.
 type ConsensusReport struct {
-	Procs int
-	Roots int
+	Procs int `json:"procs"`
+	Roots int `json:"roots"`
 
 	// Agreement: in every execution all processes decide the same value.
-	Agreement bool
+	Agreement bool `json:"agreement"`
 	// Validity: every decided value was proposed by some process.
-	Validity bool
+	Validity bool `json:"validity"`
 	// WaitFree: no execution exceeded the step budget or cycled.
-	WaitFree bool
+	WaitFree bool `json:"wait_free"`
 
 	// Depth is the maximum number of object accesses over all executions
 	// of all trees: the uniform bound D of Section 4.2.
-	Depth int
+	Depth int `json:"depth"`
 	// MaxAccess[o] and OpAccess[o][op] are per-object access bounds over
 	// all executions of all trees (Section 4.2's r_b and w_b, computed
 	// exactly per object and operation).
-	MaxAccess []int
-	OpAccess  []map[string]int
+	MaxAccess []int            `json:"max_access"`
+	OpAccess  []map[string]int `json:"op_access"`
 	// ProcSteps[p] bounds process p's own steps over all executions — the
 	// per-process form of wait-freedom.
-	ProcSteps []int
+	ProcSteps []int `json:"proc_steps"`
 
-	Nodes    int64
-	Leaves   int64
-	MemoHits int64
+	Nodes    int64 `json:"nodes"`
+	Leaves   int64 `json:"leaves"`
+	MemoHits int64 `json:"memo_hits"`
+
+	// Objects names the implementing objects, index-aligned with
+	// MaxAccess/OpAccess, so the report renders without the implementation.
+	Objects []string `json:"objects,omitempty"`
 
 	// Decisions lists the values decided in at least one execution.
-	Decisions []int
+	Decisions []int `json:"decisions"`
 
 	// Violation describes the first failure, with the proposal vector of
 	// the offending tree; nil if the implementation is correct.
-	Violation *Violation
+	Violation *Violation `json:"violation,omitempty"`
 	// ViolationProposals is the proposal vector of the violating tree.
-	ViolationProposals []int
+	ViolationProposals []int `json:"violation_proposals,omitempty"`
+
+	// Stats is the engine's final cumulative snapshot: observational
+	// counters that may exceed Nodes/Leaves/MemoHits when a violation cut
+	// the deterministic merge short of speculatively explored trees.
+	Stats *Stats `json:"stats,omitempty"`
 }
 
 // OK reports whether the implementation passed all checks.
@@ -62,6 +76,45 @@ func (r *ConsensusReport) Summary() string {
 	}
 	return fmt.Sprintf("%s: procs=%d roots=%d D=%d nodes=%d leaves=%d agreement=%v validity=%v waitfree=%v",
 		status, r.Procs, r.Roots, r.Depth, r.Nodes, r.Leaves, r.Agreement, r.Validity, r.WaitFree)
+}
+
+// objectName returns the display name of object o.
+func (r *ConsensusReport) objectName(o int) string {
+	if o < len(r.Objects) && r.Objects[o] != "" {
+		return r.Objects[o]
+	}
+	return fmt.Sprintf("obj%d", o)
+}
+
+// String renders the full human-readable report: the summary line, the
+// reachable decisions, the per-process wait-freedom bounds, the Section
+// 4.2 per-object access bounds, and the counterexample schedule if the
+// check failed.
+func (r *ConsensusReport) String() string {
+	var b strings.Builder
+	b.WriteString(r.Summary())
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "decisions reachable: %v\n", r.Decisions)
+	fmt.Fprintf(&b, "per-process wait-freedom bounds (own steps): %v\n", r.ProcSteps)
+	b.WriteString("per-object access bounds over all executions (Section 4.2):\n")
+	for o := range r.MaxAccess {
+		ops := r.OpAccess[o]
+		keys := make([]string, 0, len(ops))
+		for op := range ops {
+			keys = append(keys, op)
+		}
+		sort.Strings(keys)
+		fmt.Fprintf(&b, "  %-10s total<=%d", r.objectName(o), r.MaxAccess[o])
+		for _, op := range keys {
+			fmt.Fprintf(&b, "  %s<=%d", op, ops[op])
+		}
+		b.WriteByte('\n')
+	}
+	if r.Violation != nil {
+		fmt.Fprintf(&b, "counterexample (proposals %v):\n%s\n", r.ViolationProposals, FormatSchedule(r.Violation.Schedule))
+		fmt.Fprintf(&b, "detail: %s\n", r.Violation.Detail)
+	}
+	return b.String()
 }
 
 // ProposalVector decodes bit p of mask as process p's proposal.
@@ -84,7 +137,18 @@ func ProposalVectorK(mask, procs, k int) []int {
 // and RecordHistory are reserved for the checker and must be unset.
 // Options.Parallelism fans the independent trees across workers.
 func Consensus(im *program.Implementation, opts Options) (*ConsensusReport, error) {
-	return ConsensusK(im, 2, opts)
+	return ConsensusKContext(context.Background(), im, 2, opts)
+}
+
+// ConsensusContext is Consensus under a context (see ConsensusKContext).
+func ConsensusContext(ctx context.Context, im *program.Implementation, opts Options) (*ConsensusReport, error) {
+	return ConsensusKContext(ctx, im, 2, opts)
+}
+
+// ConsensusK is the k-valued generalization of Consensus: processes may
+// propose any value in 0..k-1, giving k^n execution trees.
+func ConsensusK(im *program.Implementation, k int, opts Options) (*ConsensusReport, error) {
+	return ConsensusKContext(context.Background(), im, k, opts)
 }
 
 // treeOutcome is one proposal-vector tree's exploration, kept per mask so
@@ -100,7 +164,7 @@ type treeOutcome struct {
 // its own memo table: a table shared across trees would be unsound,
 // because memo hits skip the per-leaf agreement/validity checks, and
 // validity depends on the tree's proposal vector.
-func exploreTree(im *program.Implementation, k, mask int, opts Options) treeOutcome {
+func exploreTree(ctx context.Context, im *program.Implementation, k, mask int, opts Options, ctr *counters, widx int) treeOutcome {
 	proposals := ProposalVectorK(mask, im.Procs, k)
 	scripts := make([][]types.Invocation, im.Procs)
 	for p := range scripts {
@@ -111,17 +175,24 @@ func exploreTree(im *program.Implementation, k, mask int, opts Options) treeOutc
 	treeOpts.OnLeaf = func(l *Leaf) error {
 		return checkConsensusLeaf(l, proposals, decided)
 	}
-	res, err := Run(im, scripts, treeOpts)
+	res, err := runTree(ctx, im, scripts, treeOpts, ctr, widx)
 	return treeOutcome{res: res, decided: decided, err: err}
 }
 
-// ConsensusK is the k-valued generalization of Consensus: processes may
-// propose any value in 0..k-1, giving k^n execution trees. The trees are
+// ConsensusKContext runs the k-valued check under a context. The trees are
 // independent, so they are fanned across min(Options.Parallelism, k^n)
 // workers; outcomes are merged in proposal-vector order, which makes the
 // report a pure function of the implementation — identical at every
 // parallelism level, including the Nodes/Leaves/MemoHits accounting.
-func ConsensusK(im *program.Implementation, k int, opts Options) (*ConsensusReport, error) {
+//
+// Cancellation or deadline expiry stops every worker within flushEvery
+// configurations and returns ctx.Err(); if Options.OnProgress is set, one
+// final Stats snapshot is published before returning, carrying the partial
+// engine totals.
+func ConsensusKContext(ctx context.Context, im *program.Implementation, k int, opts Options) (*ConsensusReport, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	if opts.OnLeaf != nil || opts.RecordHistory {
 		return nil, fmt.Errorf("%w: Consensus drives OnLeaf and histories internally", ErrBadOptions)
 	}
@@ -136,9 +207,11 @@ func ConsensusK(im *program.Implementation, k int, opts Options) (*ConsensusRepo
 		MaxAccess: make([]int, len(im.Objects)),
 		OpAccess:  make([]map[string]int, len(im.Objects)),
 		ProcSteps: make([]int, im.Procs),
+		Objects:   make([]string, len(im.Objects)),
 	}
 	for i := range report.OpAccess {
 		report.OpAccess[i] = make(map[string]int)
+		report.Objects[i] = im.Objects[i].Name
 	}
 
 	roots := 1
@@ -153,6 +226,9 @@ func ConsensusK(im *program.Implementation, k int, opts Options) (*ConsensusRepo
 		workers = roots
 	}
 
+	ctr := newCounters(workers, roots)
+	stopProgress := startProgress(opts, ctr)
+
 	outcomes := make([]treeOutcome, roots)
 	var next atomic.Int64 // work distribution: masks claimed in order
 	var stop atomic.Int64 // lowest mask whose tree errored or violated
@@ -160,9 +236,12 @@ func ConsensusK(im *program.Implementation, k int, opts Options) (*ConsensusRepo
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(widx int) {
 			defer wg.Done()
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				mask := int(next.Add(1) - 1)
 				// Masks strictly above the lowest known-bad mask can never
 				// be merged (the merge stops there, as a sequential scan
@@ -171,8 +250,9 @@ func ConsensusK(im *program.Implementation, k int, opts Options) (*ConsensusRepo
 				if mask >= roots || int64(mask) > stop.Load() {
 					return
 				}
-				out := exploreTree(im, k, mask, opts)
+				out := exploreTree(ctx, im, k, mask, opts, ctr, widx)
 				outcomes[mask] = out
+				ctr.treesDone.Add(1)
 				if out.err != nil || out.res.Violation != nil {
 					for {
 						cur := stop.Load()
@@ -182,9 +262,13 @@ func ConsensusK(im *program.Implementation, k int, opts Options) (*ConsensusRepo
 					}
 				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
+	stopProgress()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	// Merge in mask order, exactly as the sequential scan would have: all
 	// trees up to and including the first bad one contribute to the
@@ -225,6 +309,8 @@ func ConsensusK(im *program.Implementation, k int, opts Options) (*ConsensusRepo
 		report.Decisions = append(report.Decisions, v)
 	}
 	sort.Ints(report.Decisions)
+	stats := ctr.snapshot()
+	report.Stats = &stats
 	return report, nil
 }
 

@@ -20,9 +20,11 @@
 package explore
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
+	"time"
 
 	"waitfree/internal/hist"
 	"waitfree/internal/program"
@@ -59,6 +61,38 @@ type Options struct {
 	// Spec.Step and Machine implementations to be pure functions of their
 	// arguments (all in-repo types and machines are).
 	Parallelism int
+	// OnProgress, if set, receives engine Stats snapshots every
+	// ProgressInterval while RunContext / ConsensusContext /
+	// ConsensusKContext execute, plus one final snapshot when the engine
+	// stops (normally, on violation, or on cancellation). Snapshots are
+	// observational (see Stats); they never influence the report.
+	// OnProgress is called from a single goroutine at a time.
+	OnProgress func(Stats)
+	// ProgressInterval is the OnProgress tick; 0 means
+	// DefaultProgressInterval. Ignored when OnProgress is nil.
+	ProgressInterval time.Duration
+}
+
+// Validate checks the options for internal consistency. It returns an
+// error wrapping ErrBadOptions for combinations that previously produced
+// undefined behavior: Memoize with RecordHistory (memoized paths cannot
+// carry complete histories), a negative MaxDepth, a negative Parallelism,
+// or a negative ProgressInterval. Every exploration entry point validates
+// its options up front, so callers only need Validate to fail early.
+func (o Options) Validate() error {
+	if o.Memoize && o.RecordHistory {
+		return fmt.Errorf("%w: Memoize and RecordHistory are mutually exclusive", ErrBadOptions)
+	}
+	if o.MaxDepth < 0 {
+		return fmt.Errorf("%w: negative MaxDepth %d", ErrBadOptions, o.MaxDepth)
+	}
+	if o.Parallelism < 0 {
+		return fmt.Errorf("%w: negative Parallelism %d", ErrBadOptions, o.Parallelism)
+	}
+	if o.ProgressInterval < 0 {
+		return fmt.Errorf("%w: negative ProgressInterval %v", ErrBadOptions, o.ProgressInterval)
+	}
+	return nil
 }
 
 // Leaf describes one completed execution.
@@ -79,10 +113,10 @@ type Leaf struct {
 
 // StepRecord is one low-level operation of a schedule.
 type StepRecord struct {
-	Proc int
-	Obj  int
-	Inv  types.Invocation
-	Resp types.Response
+	Proc int              `json:"proc"`
+	Obj  int              `json:"obj"`
+	Inv  types.Invocation `json:"inv"`
+	Resp types.Response   `json:"resp"`
 }
 
 // String renders the step as p<proc>:obj<obj>.<inv>-><resp>.
@@ -125,12 +159,26 @@ func (k ViolationKind) String() string {
 	return "unknown violation"
 }
 
+// MarshalJSON renders the kind as a stable string tag rather than a bare
+// enum ordinal, so -json output survives reordering of the constants.
+func (k ViolationKind) MarshalJSON() ([]byte, error) {
+	switch k {
+	case KindDepthExceeded:
+		return []byte(`"depth-exceeded"`), nil
+	case KindCycle:
+		return []byte(`"cycle"`), nil
+	case KindLeafReject:
+		return []byte(`"leaf-reject"`), nil
+	}
+	return []byte(`"unknown"`), nil
+}
+
 // Violation is a semantic finding: evidence that the implementation is not
 // wait-free or that an execution failed the leaf check.
 type Violation struct {
-	Kind     ViolationKind
-	Detail   string
-	Schedule []StepRecord
+	Kind     ViolationKind `json:"kind"`
+	Detail   string        `json:"detail"`
+	Schedule []StepRecord  `json:"schedule,omitempty"`
 }
 
 // Error renders the violation (Violation is usable as an error value).
@@ -163,7 +211,9 @@ type Result struct {
 
 // Structural errors.
 var (
-	ErrBadOptions = errors.New("explore: Memoize and RecordHistory are mutually exclusive")
+	// ErrBadOptions is the sentinel wrapped by every Options validation
+	// failure (see Options.Validate).
+	ErrBadOptions = errors.New("explore: invalid options")
 	ErrBadScripts = errors.New("explore: script shape does not match implementation")
 )
 
@@ -218,12 +268,45 @@ func (c *config) clone() *config {
 // Run explores all executions of im in which process p performs the target
 // invocations scripts[p], in order. It returns the tree's aggregate result;
 // semantic findings are reported in Result.Violation, structural problems
-// as errors.
+// as errors. Run is RunContext with a background context.
 func Run(im *program.Implementation, scripts [][]types.Invocation, opts Options) (*Result, error) {
+	return RunContext(context.Background(), im, scripts, opts)
+}
+
+// RunContext is Run under a context: cancellation or deadline expiry stops
+// the exploration within flushEvery configurations and returns ctx.Err()
+// (context.Canceled or context.DeadlineExceeded). If opts.OnProgress is
+// set, engine Stats are published on the configured tick and once more
+// when the run stops, so a cancelled run still surfaces its partial
+// totals.
+func RunContext(ctx context.Context, im *program.Implementation, scripts [][]types.Invocation, opts Options) (*Result, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	ctr := newCounters(1, 1)
+	stop := startProgress(opts, ctr)
+	defer stop()
+	res, err := runTree(ctx, im, scripts, opts, ctr, 0)
+	ctr.treesDone.Add(1)
+	return res, err
+}
+
+// runTree explores one execution tree on behalf of worker widx, feeding
+// the shared engine counters and honoring ctx.
+func runTree(ctx context.Context, im *program.Implementation, scripts [][]types.Invocation, opts Options, ctr *counters, widx int) (*Result, error) {
+	// Check up front so an already-dead context never starts a tree —
+	// the in-DFS poll only fires every flushEvery configurations, which a
+	// small tree may never reach.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	e, root, err := newExplorer(im, scripts, opts)
 	if err != nil {
 		return nil, err
 	}
+	e.ctx = ctx
+	e.ctr = ctr
+	e.widx = widx
 	return e.explore(root)
 }
 
@@ -233,8 +316,8 @@ func newExplorer(im *program.Implementation, scripts [][]types.Invocation, opts 
 	if err := im.Validate(); err != nil {
 		return nil, nil, err
 	}
-	if opts.Memoize && opts.RecordHistory {
-		return nil, nil, ErrBadOptions
+	if err := opts.Validate(); err != nil {
+		return nil, nil, err
 	}
 	if len(scripts) != im.Procs {
 		return nil, nil, fmt.Errorf("%w: %d scripts for %d processes", ErrBadScripts, len(scripts), im.Procs)
@@ -270,6 +353,7 @@ func newExplorer(im *program.Implementation, scripts [][]types.Invocation, opts 
 func (e *explorer) explore(root *config) (*Result, error) {
 	im := e.im
 	sum, err := e.dfs(root, 0)
+	e.flushCounters(0)
 	res := &Result{
 		Nodes:     sum.nodes,
 		Leaves:    sum.leaves,
@@ -309,6 +393,18 @@ type explorer struct {
 	im      *program.Implementation
 	scripts [][]types.Invocation
 	opts    Options
+
+	// Engine instrumentation (nil/zero for bare explorers built in tests):
+	// ctx is polled and local counters are flushed into ctr every
+	// flushEvery configurations; widx is this explorer's worker slot.
+	ctx  context.Context
+	ctr  *counters
+	widx int
+
+	pendNodes  int64
+	pendLeaves int64
+	pendMemo   int64
+	sinceFlush int
 
 	// memo deduplicates configurations; entries holding grayMark are on
 	// the current DFS stack (cycle detection). enc renders configurations
@@ -420,6 +516,15 @@ func (e *explorer) endOp(c *config, p int, act program.Action) {
 
 func (e *explorer) dfs(c *config, depth int) (*summary, error) {
 	sum := &summary{nodes: 1, acc: make(map[accKey]int)}
+	e.pendNodes++
+	if e.sinceFlush++; e.sinceFlush >= flushEvery {
+		e.flushCounters(depth)
+		if e.ctx != nil {
+			if err := e.ctx.Err(); err != nil {
+				return sum, err
+			}
+		}
+	}
 	allDone := true
 	for p := range c.procs {
 		if !c.procs[p].Done {
@@ -429,6 +534,7 @@ func (e *explorer) dfs(c *config, depth int) (*summary, error) {
 	}
 	if allDone {
 		sum.leaves = 1
+		e.pendLeaves++
 		if err := e.leaf(c, depth); err != nil {
 			return sum, err
 		}
@@ -448,6 +554,7 @@ func (e *explorer) dfs(c *config, depth int) (*summary, error) {
 				return sum, errAbort
 			}
 			e.memoHits++
+			e.pendMemo++
 			return cached, nil
 		}
 		key = string(kb) // retain: kb is invalidated by child encodings
@@ -592,6 +699,30 @@ func (e *explorer) leaf(c *config, depth int) error {
 		return errAbort
 	}
 	return nil
+}
+
+// flushCounters publishes the explorer's local counts into the shared
+// engine counters (a no-op for bare explorers without one).
+func (e *explorer) flushCounters(depth int) {
+	e.sinceFlush = 0
+	if e.ctr == nil {
+		return
+	}
+	if e.pendNodes != 0 {
+		e.ctr.nodes.Add(e.pendNodes)
+		e.ctr.workerNodes[e.widx].Add(e.pendNodes)
+		e.pendNodes = 0
+	}
+	if e.pendLeaves != 0 {
+		e.ctr.leaves.Add(e.pendLeaves)
+		e.pendLeaves = 0
+	}
+	if e.pendMemo != 0 {
+		e.ctr.memoHits.Add(e.pendMemo)
+		e.pendMemo = 0
+	}
+	e.ctr.curDepth.Store(int64(depth))
+	e.ctr.bumpMaxDepth(int64(depth))
 }
 
 func (e *explorer) violate(kind ViolationKind, detail string) {

@@ -1,0 +1,180 @@
+package explore
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// This file implements the engine's observability surface: cumulative
+// counters shared by all workers, point-in-time Stats snapshots, and the
+// progress ticker that publishes them through Options.OnProgress.
+//
+// Two kinds of numbers coexist and must not be confused:
+//
+//   - The REPORT counters (Result.Nodes, ConsensusReport.Nodes, ...) are
+//     semantic: they are merged per tree in proposal-vector order and are a
+//     pure function of the implementation, identical at every parallelism
+//     level.
+//   - The ENGINE counters below are observational: they accumulate across
+//     workers as work happens, include trees explored speculatively past a
+//     violation, and exist so a caller can watch, bound, or abort a run.
+//     At the end of an uncancelled, violation-free run the two agree.
+
+// DefaultProgressInterval is the OnProgress tick when
+// Options.ProgressInterval is 0.
+const DefaultProgressInterval = 250 * time.Millisecond
+
+// flushEvery is the node period at which a worker flushes its local
+// counters into the shared engine counters and polls the run context.
+// Cancellation latency is bounded by the time to explore this many
+// configurations (microseconds in practice).
+const flushEvery = 256
+
+// Stats is a snapshot of a running (or finished) exploration engine.
+type Stats struct {
+	// Nodes, Leaves, and MemoHits accumulate over every configuration any
+	// worker has entered, including trees later discarded by the
+	// deterministic merge.
+	Nodes    int64 `json:"nodes"`
+	Leaves   int64 `json:"leaves"`
+	MemoHits int64 `json:"memo_hits"`
+	// MaxDepth is the deepest configuration any worker had entered at its
+	// last counter flush; CurDepth is the depth of the most recent flush
+	// (a liveness indicator, not a bound).
+	MaxDepth int `json:"max_depth"`
+	CurDepth int `json:"cur_depth"`
+	// TreesDone / TreesTotal count fully explored proposal-vector trees;
+	// Frontier is the remainder (trees still queued or in flight).
+	TreesDone  int `json:"trees_done"`
+	TreesTotal int `json:"trees_total"`
+	Frontier   int `json:"frontier"`
+	// Workers is the worker-goroutine count; WorkerNodes[w] is worker w's
+	// cumulative node count, the basis of per-worker throughput.
+	Workers     int     `json:"workers"`
+	WorkerNodes []int64 `json:"worker_nodes,omitempty"`
+	// Elapsed is the wall-clock time since the engine started.
+	Elapsed time.Duration `json:"elapsed_ns"`
+}
+
+// NodesPerSecond returns the aggregate node throughput so far.
+func (s Stats) NodesPerSecond() float64 {
+	secs := s.Elapsed.Seconds()
+	if secs <= 0 {
+		return 0
+	}
+	return float64(s.Nodes) / secs
+}
+
+// WorkerThroughput returns per-worker node throughput (nodes/sec).
+func (s Stats) WorkerThroughput() []float64 {
+	out := make([]float64, len(s.WorkerNodes))
+	secs := s.Elapsed.Seconds()
+	if secs <= 0 {
+		return out
+	}
+	for i, n := range s.WorkerNodes {
+		out[i] = float64(n) / secs
+	}
+	return out
+}
+
+// String renders the snapshot as one progress line.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "explore: trees %d/%d nodes=%d leaves=%d memo=%d depth<=%d cur=%d workers=%d %.0f nodes/s elapsed=%s",
+		s.TreesDone, s.TreesTotal, s.Nodes, s.Leaves, s.MemoHits,
+		s.MaxDepth, s.CurDepth, s.Workers, s.NodesPerSecond(), s.Elapsed.Round(time.Millisecond))
+	return b.String()
+}
+
+// counters is the shared, atomically updated engine state behind Stats.
+type counters struct {
+	start      time.Time
+	treesTotal int
+
+	nodes     atomic.Int64
+	leaves    atomic.Int64
+	memoHits  atomic.Int64
+	maxDepth  atomic.Int64
+	curDepth  atomic.Int64
+	treesDone atomic.Int64
+
+	workerNodes []atomic.Int64
+}
+
+func newCounters(workers, treesTotal int) *counters {
+	return &counters{
+		start:       time.Now(),
+		treesTotal:  treesTotal,
+		workerNodes: make([]atomic.Int64, workers),
+	}
+}
+
+// bumpMaxDepth raises maxDepth to d if d is larger.
+func (c *counters) bumpMaxDepth(d int64) {
+	for {
+		cur := c.maxDepth.Load()
+		if d <= cur || c.maxDepth.CompareAndSwap(cur, d) {
+			return
+		}
+	}
+}
+
+// snapshot captures a Stats value. Individual fields are read atomically
+// but the snapshot as a whole is not a consistent cut; it is monotone
+// enough for progress display and cancellation accounting.
+func (c *counters) snapshot() Stats {
+	s := Stats{
+		Nodes:       c.nodes.Load(),
+		Leaves:      c.leaves.Load(),
+		MemoHits:    c.memoHits.Load(),
+		MaxDepth:    int(c.maxDepth.Load()),
+		CurDepth:    int(c.curDepth.Load()),
+		TreesDone:   int(c.treesDone.Load()),
+		TreesTotal:  c.treesTotal,
+		Workers:     len(c.workerNodes),
+		WorkerNodes: make([]int64, len(c.workerNodes)),
+		Elapsed:     time.Since(c.start),
+	}
+	s.Frontier = s.TreesTotal - s.TreesDone
+	for i := range c.workerNodes {
+		s.WorkerNodes[i] = c.workerNodes[i].Load()
+	}
+	return s
+}
+
+// startProgress launches the OnProgress ticker. The returned stop function
+// joins the ticker goroutine and then publishes one final snapshot, so a
+// caller that cancels mid-run still observes the partial totals. OnProgress
+// is only ever called from one goroutine at a time.
+func startProgress(opts Options, ctr *counters) (stop func()) {
+	if opts.OnProgress == nil {
+		return func() {}
+	}
+	interval := opts.ProgressInterval
+	if interval <= 0 {
+		interval = DefaultProgressInterval
+	}
+	done := make(chan struct{})
+	joined := make(chan struct{})
+	go func() {
+		defer close(joined)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				opts.OnProgress(ctr.snapshot())
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-joined
+		opts.OnProgress(ctr.snapshot())
+	}
+}

@@ -20,13 +20,13 @@ import (
 // ReadPort and answers 0 iff the final response is R1 (any other value
 // means the writer's IW has intervened); a write runs IW on WritePort.
 type Pair struct {
-	Q         types.State
-	Seq       []types.Invocation
-	IW        types.Invocation
-	ReadPort  int
-	WritePort int
-	R1        types.Response
-	R2        types.Response
+	Q         types.State        `json:"q"`
+	Seq       []types.Invocation `json:"seq"`
+	IW        types.Invocation   `json:"iw"`
+	ReadPort  int                `json:"read_port"`
+	WritePort int                `json:"write_port"`
+	R1        types.Response     `json:"r1"`
+	R2        types.Response     `json:"r2"`
 }
 
 // String renders the pair for reports.

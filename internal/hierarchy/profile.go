@@ -1,6 +1,7 @@
 package hierarchy
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -25,24 +26,32 @@ type Entry struct {
 	HM string
 }
 
-// Classification is the computed profile of a zoo member.
+// Classification is the computed profile of a zoo member. The JSON field
+// tags are the machine form behind cmd/hierarchy's -json flag and
+// waitfree.Check; String() is the canonical one-line human rendering.
 type Classification struct {
-	Name          string
-	Ports         int
-	Oblivious     bool
-	Deterministic bool
-	Trivial       bool
+	Name          string `json:"name"`
+	Ports         int    `json:"ports"`
+	Oblivious     bool   `json:"oblivious"`
+	Deterministic bool   `json:"deterministic"`
+	Trivial       bool   `json:"trivial"`
 	// Pair is the Section 5.2 witness (nil for trivial or nondeterministic
 	// types).
-	Pair *Pair
+	Pair *Pair `json:"pair,omitempty"`
 	// ObliviousWitness is the simpler Section 5.1 witness, present only
 	// for oblivious non-trivial deterministic types.
-	ObliviousWitness *ObliviousWitness
+	ObliviousWitness *ObliviousWitness `json:"oblivious_witness,omitempty"`
 	// Consensus and HM echo the literature values from the Entry.
-	Consensus string
-	HM        string
+	Consensus string `json:"consensus"`
+	HM        string `json:"h_m"`
 	// Theorem5 states what Theorem 5 concludes for this type.
-	Theorem5 string
+	Theorem5 string `json:"theorem5"`
+}
+
+// String renders the classification as one line.
+func (c *Classification) String() string {
+	return fmt.Sprintf("%s: oblivious=%v deterministic=%v trivial=%v consensus=%s h_m=%s — %s",
+		c.Name, c.Oblivious, c.Deterministic, c.Trivial, c.Consensus, c.HM, c.Theorem5)
 }
 
 // Classify computes the profile of a zoo entry. maxK bounds the Section
@@ -121,7 +130,7 @@ func Zoo() []Entry {
 
 // ClassifyZoo classifies every zoo entry with standard bounds.
 func ClassifyZoo() ([]*Classification, error) {
-	return ClassifyZooParallel(1)
+	return ClassifyZooContext(context.Background(), 1)
 }
 
 // ClassifyZooParallel classifies the zoo entries across parallelism
@@ -129,6 +138,14 @@ func ClassifyZoo() ([]*Classification, error) {
 // identical to the sequential ClassifyZoo: classifications come back in
 // zoo order, and the first error (in zoo order) wins.
 func ClassifyZooParallel(parallelism int) ([]*Classification, error) {
+	return ClassifyZooContext(context.Background(), parallelism)
+}
+
+// ClassifyZooContext is ClassifyZooParallel under a context: workers stop
+// claiming entries once ctx is done, and the call returns ctx.Err().
+// Cancellation granularity is one zoo entry (entries classify in
+// milliseconds).
+func ClassifyZooContext(ctx context.Context, parallelism int) ([]*Classification, error) {
 	entries := Zoo()
 	workers := parallelism
 	if workers <= 0 {
@@ -146,6 +163,9 @@ func ClassifyZooParallel(parallelism int) ([]*Classification, error) {
 		go func() {
 			defer wg.Done()
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				i := int(next.Add(1) - 1)
 				if i >= len(entries) {
 					return
@@ -155,6 +175,9 @@ func ClassifyZooParallel(parallelism int) ([]*Classification, error) {
 		}()
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

@@ -15,12 +15,12 @@ import (
 // The derived one-use bit initializes an object to Q; a read invokes I and
 // answers 0 iff the response is RQ; a write invokes IW.
 type ObliviousWitness struct {
-	Q  types.State
-	P  types.State
-	I  types.Invocation
-	IW types.Invocation
-	RQ types.Response
-	RP types.Response
+	Q  types.State      `json:"q"`
+	P  types.State      `json:"p"`
+	I  types.Invocation `json:"i"`
+	IW types.Invocation `json:"iw"`
+	RQ types.Response   `json:"rq"`
+	RP types.Response   `json:"rp"`
 }
 
 // String renders the witness for reports.

@@ -25,6 +25,7 @@
 package synth
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -120,14 +121,26 @@ type Strategy map[Key]Action
 
 // Stats reports search effort.
 type Stats struct {
-	Assignments int64
-	Configs     int64
+	Assignments int64 `json:"assignments"`
+	Configs     int64 `json:"configs"`
 }
+
+// ctxCheckEvery is the configuration period at which the searcher polls
+// its context; cancellation latency is bounded by the time to expand this
+// many game configurations.
+const ctxCheckEvery = 1024
 
 // Search looks for a 2-process binary consensus protocol over the given
 // objects. On success it returns the strategy; if the bounded space is
 // exhausted it returns ErrNoProtocol; if the budget runs out, ErrBudget.
 func Search(objects []Object, opts Options) (Strategy, *Stats, error) {
+	return SearchContext(context.Background(), objects, opts)
+}
+
+// SearchContext is Search under a context: cancellation or deadline
+// expiry aborts the search within ctxCheckEvery configurations and
+// returns ctx.Err() together with the effort spent so far.
+func SearchContext(ctx context.Context, objects []Object, opts Options) (Strategy, *Stats, error) {
 	if opts.Depth < 1 {
 		return nil, nil, fmt.Errorf("synth: depth must be positive")
 	}
@@ -135,6 +148,7 @@ func Search(objects []Object, opts Options) (Strategy, *Stats, error) {
 		opts.Budget = 1e7
 	}
 	s := &searcher{
+		ctx:      ctx,
 		objects:  objects,
 		opts:     opts,
 		strategy: make(Strategy),
@@ -207,6 +221,7 @@ func (c conflict) merge(o conflict) conflict {
 }
 
 type searcher struct {
+	ctx      context.Context
 	objects  []Object
 	opts     Options
 	strategy Strategy
@@ -259,6 +274,11 @@ func (s *searcher) solve(pending []cfg) (bool, conflict, error) {
 		return true, nil, nil
 	}
 	s.stats.Configs++
+	if s.stats.Configs%ctxCheckEvery == 0 {
+		if err := s.ctx.Err(); err != nil {
+			return false, nil, err
+		}
+	}
 	c := pending[0]
 	rest := pending[1:]
 

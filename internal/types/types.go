@@ -33,9 +33,9 @@ type State any
 // write(v) uses A=v and cas(old,new) uses A=old, B=new). Invocation is a
 // comparable value.
 type Invocation struct {
-	Op string
-	A  int
-	B  int
+	Op string `json:"op"`
+	A  int    `json:"a,omitempty"`
+	B  int    `json:"b,omitempty"`
 }
 
 // Inv builds an Invocation from an operation name and up to two integer
@@ -74,8 +74,8 @@ func (i Invocation) String() string {
 // response classes ("ok", "val", "empty", ...); Val carries an integer
 // payload for value-bearing responses. Response is a comparable value.
 type Response struct {
-	Label string
-	Val   int
+	Label string `json:"label"`
+	Val   int    `json:"val,omitempty"`
 }
 
 // Common response labels used throughout the type zoo.

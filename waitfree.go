@@ -125,6 +125,8 @@ var (
 	// the given objects, or exhaustively refutes its existence within the
 	// access bound.
 	SynthesizeProtocol = synth.Search
+	// SynthesizeProtocolContext is the context-aware form.
+	SynthesizeProtocolContext = synth.SearchContext
 	// StrategyImplementation converts a synthesized strategy into a
 	// runnable implementation for independent re-verification.
 	StrategyImplementation = synth.Implementation
@@ -232,6 +234,18 @@ var (
 	MultiValuedConsensusSRSW = multivalue.FromBinarySRSW
 )
 
+// Engine observability and option validation (see Check for the unified
+// entry point that ties them together).
+type (
+	// ExploreStats is a point-in-time engine snapshot published through
+	// ExploreOptions.OnProgress.
+	ExploreStats = explore.Stats
+)
+
+// ErrBadExploreOptions is the sentinel wrapped by every ExploreOptions
+// validation failure (incompatible or negative fields).
+var ErrBadExploreOptions = explore.ErrBadOptions
+
 // Verification entry points.
 var (
 	// CheckConsensus explores every execution of a consensus
@@ -239,9 +253,16 @@ var (
 	CheckConsensus = explore.Consensus
 	// CheckConsensusK is the k-valued generalization of CheckConsensus.
 	CheckConsensusK = explore.ConsensusK
+	// CheckConsensusContext and CheckConsensusKContext are the
+	// context-aware forms: cancellation/deadlines stop the engine
+	// promptly, and ExploreOptions.OnProgress streams engine statistics.
+	CheckConsensusContext  = explore.ConsensusContext
+	CheckConsensusKContext = explore.ConsensusKContext
 	// Explore runs the execution-tree explorer with explicit per-process
 	// scripts of target invocations.
 	Explore = explore.Run
+	// ExploreContext is Explore under a context.
+	ExploreContext = explore.RunContext
 	// ComputeValency runs the FLP/Herlihy valency analysis of one
 	// execution tree: bivalent/univalent configuration counts and the
 	// critical configurations with their arbitrating objects.
@@ -258,12 +279,18 @@ var (
 	// EliminateRegisters runs the constructive Theorem 5 pipeline
 	// (deterministic route: Sections 4.2, 4.3, 5.2).
 	EliminateRegisters = core.EliminateRegisters
+	// EliminateRegistersContext is the context-aware form.
+	EliminateRegistersContext = core.EliminateRegistersContext
 	// EliminateRegistersVia53 runs the pipeline's h_m >= 2 route: one-use
 	// bits realized from a register-free 2-consensus substrate over the
 	// implementation's (possibly nondeterministic) type (Section 5.3).
 	EliminateRegistersVia53 = core.EliminateRegistersVia53
+	// EliminateRegistersVia53Context is the context-aware form.
+	EliminateRegistersVia53Context = core.EliminateRegistersVia53Context
 	// AccessBounds runs the Section 4.2 analysis alone.
 	AccessBounds = core.Bound
+	// AccessBoundsContext is the context-aware form.
+	AccessBoundsContext = core.BoundContext
 	// OneUseBitArray builds the standalone Section 4.3 implementation of a
 	// bounded SRSW bit from (w+1) x r one-use bits.
 	OneUseBitArray = onebit.Implementation
@@ -307,6 +334,9 @@ type RunOutcome = runtimepkg.Outcome
 var (
 	// ClassifyZoo classifies the built-in type zoo.
 	ClassifyZoo = hierarchy.ClassifyZoo
+	// ClassifyZooContext classifies the zoo under a context across
+	// parallel workers.
+	ClassifyZooContext = hierarchy.ClassifyZooContext
 	// Classify classifies one type.
 	Classify = hierarchy.Classify
 	// FindPair searches for a Section 5.2 minimal non-trivial pair.
