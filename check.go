@@ -61,9 +61,14 @@ type Request struct {
 	// Values is the proposal-value range k for KindConsensus (0 = 2).
 	Values int
 	// Explore configures every exploration the pipeline runs: memoization,
-	// depth budget, parallelism, and the OnProgress/ProgressInterval
+	// depth budget, parallelism, the fault model (Explore.Faults enumerates
+	// crash schedules exhaustively), and the OnProgress/ProgressInterval
 	// observability hooks.
 	Explore ExploreOptions
+	// ResumeFrom resumes a KindConsensus or KindBound run from the
+	// Checkpoint a cancelled run returned in Report.Checkpoint; the other
+	// kinds run several explorations per call and reject it.
+	ResumeFrom *Checkpoint
 	// MaxK bounds the Section 5.2 witness search of KindElimination
 	// (0 = 3).
 	MaxK int
@@ -111,6 +116,12 @@ type Report struct {
 	Classifications []*Classification `json:"classifications,omitempty"`
 	// Synthesis carries KindSynthesis results.
 	Synthesis *SynthesisReport `json:"synthesis,omitempty"`
+
+	// Checkpoint is the resumable frontier of a cancelled KindConsensus or
+	// KindBound run, lifted out of the partial consensus report: feed it
+	// back through Request.ResumeFrom (the CLIs' -checkpoint flag
+	// round-trips it through a JSON file). Completed runs never carry one.
+	Checkpoint *Checkpoint `json:"checkpoint,omitempty"`
 }
 
 // OK reports whether the checked property holds: the consensus
@@ -169,6 +180,17 @@ func (r *Report) String() string {
 // as the verdict.
 func Check(ctx context.Context, req Request) (*Report, error) {
 	start := time.Now()
+	if req.ResumeFrom != nil {
+		if req.Kind != KindConsensus && req.Kind != KindBound {
+			return nil, fmt.Errorf("%w: ResumeFrom applies to %s and %s checks only",
+				ErrBadRequest, KindConsensus, KindBound)
+		}
+		req.Explore.ResumeFrom = req.ResumeFrom
+	}
+	if req.Explore.ResumeFrom != nil && req.Kind != KindConsensus && req.Kind != KindBound {
+		return nil, fmt.Errorf("%w: Explore.ResumeFrom applies to %s and %s checks only",
+			ErrBadRequest, KindConsensus, KindBound)
+	}
 	rep := &Report{Kind: req.Kind}
 	var err error
 	switch req.Kind {
@@ -208,6 +230,9 @@ func Check(ctx context.Context, req Request) (*Report, error) {
 		rep.Synthesis, err = runSynthesis(ctx, req)
 	default:
 		return nil, fmt.Errorf("%w: unknown kind %q", ErrBadRequest, req.Kind)
+	}
+	if rep.Consensus != nil {
+		rep.Checkpoint = rep.Consensus.Checkpoint
 	}
 	rep.Elapsed = time.Since(start)
 	return rep, err

@@ -8,6 +8,14 @@
 //
 //	explore [-protocol NAME] [-procs N] [-memoize] [-parallel N]
 //	        [-timeout D] [-progress D] [-json]
+//	        [-faults] [-max-crashes N] [-fault-mode MODE]
+//	        [-checkpoint FILE]
+//
+// With -faults the explorer additionally enumerates every crash schedule
+// (up to -max-crashes per execution) and checks that the survivors still
+// agree on a valid value. With -checkpoint a cancelled run (Ctrl-C or
+// -timeout) writes its resumable state to FILE; rerunning the same
+// command picks up where it left off.
 //
 // Protocols: tas, queue, stack, faa, swap, weakleader, naive (incorrect,
 // registers only), casregister3, noisysticky, and the register-free
@@ -91,15 +99,37 @@ func run(args []string) error {
 		return nil
 	}
 
+	resume, err := common.LoadCheckpoint()
+	if err != nil {
+		return err
+	}
+	if resume != nil {
+		fmt.Fprintf(os.Stderr, "explore: resuming from %s (%s)\n", common.Checkpoint, resume)
+	}
+
 	ctx, cancel := common.Context()
 	defer cancel()
 	rep, err := waitfree.Check(ctx, waitfree.Request{
 		Kind:           waitfree.KindConsensus,
 		Implementation: im,
 		Explore:        common.Options(explore.Options{Memoize: *memoize}),
+		ResumeFrom:     resume,
 	})
 	if err != nil {
+		if rep != nil && rep.Checkpoint != nil && common.Checkpoint != "" {
+			if serr := common.SaveCheckpoint(rep.Checkpoint); serr != nil {
+				fmt.Fprintln(os.Stderr, "explore:", serr)
+			} else {
+				fmt.Fprintf(os.Stderr, "explore: interrupted; %s saved to %s — rerun the same command to resume\n",
+					rep.Checkpoint, common.Checkpoint)
+			}
+		}
 		return err
+	}
+	if common.Checkpoint != "" {
+		// The run completed: a stale checkpoint file would only confuse the
+		// next invocation.
+		os.Remove(common.Checkpoint)
 	}
 	if common.JSON {
 		if err := cliutil.WriteJSON(os.Stdout, rep); err != nil {

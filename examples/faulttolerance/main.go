@@ -2,12 +2,14 @@
 // process finishes in a bounded number of its own steps no matter what the
 // others do — including crashing at the worst possible moment. This
 // example takes the queue-based consensus protocol, runs it through the
-// Theorem 5 register-elimination pipeline, and then crashes one process at
-// EVERY possible step of the register-free protocol: the survivor always
-// decides, validly.
+// Theorem 5 register-elimination pipeline, and then verifies BOTH
+// protocols under exhaustive crash exploration: the explorer enumerates
+// every interleaving AND every way one process can crash inside it, and
+// checks that the survivor always decides a valid value.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -21,49 +23,56 @@ func main() {
 }
 
 func run() error {
-	report, err := waitfree.EliminateRegisters(
-		waitfree.Queue2Consensus(), waitfree.ExploreOptions{}, 3)
+	ctx := context.Background()
+	oneCrash := waitfree.FaultModel{MaxCrashes: 1}
+
+	// First the input protocol itself, under exhaustive <=1-crash
+	// exploration.
+	input := waitfree.Queue2Consensus()
+	rep, err := waitfree.CheckConsensusContext(ctx, input,
+		waitfree.ExploreOptions{Memoize: true, Faults: oneCrash})
 	if err != nil {
 		return err
 	}
-	out := report.Output
-	fmt.Printf("register-free protocol: %v\n", out)
-	fmt.Printf("longest execution: %d object accesses\n\n", report.OutputReport.Depth)
-
-	maxSteps := report.OutputReport.Depth
-	survived, crashed := 0, 0
-	for victim := 0; victim < 2; victim++ {
-		for crashAfter := 0; crashAfter <= maxSteps; crashAfter++ {
-			runner, err := waitfree.NewRunner(out,
-				waitfree.NewCrashScheduler(map[int]int{victim: crashAfter}), nil)
-			if err != nil {
-				return err
-			}
-			scripts := [][]waitfree.Invocation{
-				{waitfree.Propose(0)}, {waitfree.Propose(1)},
-			}
-			outcome, err := runner.Run(scripts, nil)
-			if err != nil {
-				return err
-			}
-			if outcome.Crashed[victim] {
-				crashed++
-			}
-			survivor := 1 - victim
-			if len(outcome.Responses[survivor]) != 1 {
-				return fmt.Errorf("victim=%d crash@%d: survivor did not decide", victim, crashAfter)
-			}
-			d := outcome.Responses[survivor][0]
-			if d.Val != 0 && d.Val != 1 {
-				return fmt.Errorf("victim=%d crash@%d: invalid decision %v", victim, crashAfter, d)
-			}
-			survived++
-		}
+	fmt.Printf("input protocol:  %s\n", rep.Summary())
+	if !rep.OK() {
+		return fmt.Errorf("queue protocol failed under crash exploration")
 	}
-	fmt.Printf("ran %d crash scenarios (%d actually crashed a process mid-protocol)\n", survived, crashed)
-	fmt.Println("the survivor decided a valid value in every single one — wait-freedom at work.")
-	fmt.Println("\n(The same protocol was also verified exhaustively over all interleavings")
-	fmt.Println("by the explorer; crash tolerance follows from wait-freedom because a crash")
-	fmt.Println("is indistinguishable from a process that is merely very slow.)")
+
+	// Then eliminate its registers (Theorem 5) and re-verify the
+	// register-free output the same way.
+	elim, err := waitfree.EliminateRegistersContext(ctx, input,
+		waitfree.ExploreOptions{Memoize: true, Faults: oneCrash}, 3)
+	if err != nil {
+		return err
+	}
+	out := elim.Output
+	outRep := elim.OutputReport
+	fmt.Printf("register-free:   %s\n", outRep.Summary())
+	fmt.Printf("\nregister-free protocol: %v\n", out)
+	fmt.Printf("longest execution: %d object accesses\n\n", outRep.Depth)
+
+	fmt.Printf("the explorer checked %d executions of the register-free protocol,\n", outRep.Leaves)
+	fmt.Println("including every schedule in which one process crashes at any point:")
+	fmt.Println("in every single one the survivor decided a valid value — wait-freedom")
+	fmt.Println("at work. A crash is indistinguishable from a process that is merely")
+	fmt.Println("very slow, so wait-freedom implies crash tolerance; the fault-aware")
+	fmt.Println("explorer verifies that implication directly instead of assuming it.")
+
+	// A concrete crashing run, for flavor: crash process 0 before its very
+	// first step and watch process 1 decide alone.
+	runner, err := waitfree.NewRunner(out,
+		waitfree.NewCrashScheduler(map[int]int{0: 0}), waitfree.RandomResolver(1))
+	if err != nil {
+		return err
+	}
+	outcome, err := runner.Run([][]waitfree.Invocation{
+		{waitfree.Propose(0)}, {waitfree.Propose(1)},
+	}, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nsample run with process 0 crashed at step 0: crashed=%v, survivor decided %v\n",
+		outcome.Crashed, outcome.Responses[1][0])
 	return nil
 }

@@ -1,22 +1,29 @@
 // Package cliutil owns the flags and plumbing shared by every
 // verification CLI: -parallel (worker count), -timeout (run deadline),
-// -progress (live engine statistics on stderr), and -json (the
-// machine-readable report on stdout). The three commands that used to
-// parse -parallel independently (explore, hierarchy, eliminate) now share
-// this one definition, and every command gets the observability flags for
-// free.
+// -progress (live engine statistics on stderr), -json (the
+// machine-readable report on stdout), the crash fault model (-faults,
+// -max-crashes, -fault-mode), -seed (reproducible runner
+// nondeterminism), and -checkpoint (resumable run state on disk). The
+// three commands that used to parse -parallel independently (explore,
+// hierarchy, eliminate) now share this one definition, and every command
+// gets the observability and fault flags for free.
 package cliutil
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"io/fs"
 	"os"
+	"os/signal"
 	"time"
 
 	"waitfree/internal/explore"
+	"waitfree/internal/faults"
+	"waitfree/internal/runtime"
 )
 
 // Flags are the switches shared by the verification CLIs.
@@ -32,36 +39,112 @@ type Flags struct {
 	Progress time.Duration
 	// JSON switches stdout from the human rendering to the JSON report.
 	JSON bool
+	// Faults enables exhaustive crash exploration with the model below.
+	Faults bool
+	// MaxCrashes bounds the crashes per execution when -faults is set.
+	MaxCrashes int
+	// FaultMode is the crash semantics; -fault-mode is validated at flag
+	// parse time, so this is always a legal value afterwards.
+	FaultMode faults.Mode
+	// Seed seeds the runner's nondeterminism resolver (see Resolver).
+	Seed int64
+	// Checkpoint is the path of the resumable-run file: loaded (if
+	// present) before a run, written when a run is cancelled mid-flight.
+	Checkpoint string
 }
 
 // Register installs the shared flags on fs and returns the destination.
 func Register(fs *flag.FlagSet) *Flags {
-	f := &Flags{}
+	f := &Flags{MaxCrashes: 1, Seed: runtime.DefaultSeed}
 	fs.IntVar(&f.Parallel, "parallel", 0, "worker count for independent subtasks (0 = GOMAXPROCS)")
 	fs.DurationVar(&f.Timeout, "timeout", 0, "abort the run after this duration (e.g. 30s; 0 = no timeout)")
 	fs.DurationVar(&f.Progress, "progress", 0, "print engine progress to stderr at this interval (e.g. 500ms; 0 = off)")
 	fs.BoolVar(&f.JSON, "json", false, "emit the machine-readable JSON report on stdout")
+	fs.BoolVar(&f.Faults, "faults", false, "explore crash faults exhaustively (crash-stop model)")
+	fs.IntVar(&f.MaxCrashes, "max-crashes", 1, "crash budget per execution when -faults is set")
+	fs.Func("fault-mode", `crash semantics: "crash-stop" (anytime) or "crash-start" (before the first step)`,
+		func(s string) error {
+			mode, err := faults.ParseMode(s)
+			if err != nil {
+				return err
+			}
+			f.FaultMode = mode
+			return nil
+		})
+	fs.Int64Var(&f.Seed, "seed", runtime.DefaultSeed, "seed for the runner's nondeterminism resolver")
+	fs.StringVar(&f.Checkpoint, "checkpoint", "", "resumable-run file: loaded if present, written on cancellation")
 	return f
 }
 
-// Context returns the run context honoring -timeout. The caller must call
-// cancel.
+// Context returns the run context honoring -timeout and Ctrl-C: an
+// interrupt cancels the context — letting a -checkpoint run save its
+// resumable state on the way out — instead of killing the process. The
+// caller must call cancel.
 func (f *Flags) Context() (context.Context, context.CancelFunc) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	if f.Timeout > 0 {
-		return context.WithTimeout(context.Background(), f.Timeout)
+		tctx, tcancel := context.WithTimeout(ctx, f.Timeout)
+		return tctx, func() { tcancel(); stop() }
 	}
-	return context.WithCancel(context.Background())
+	return ctx, stop
 }
 
-// Options folds the flags into opts: parallelism always, plus the
-// OnProgress stderr hook when -progress is set.
+// Options folds the flags into opts: parallelism always, the fault
+// model when -faults is set, plus the OnProgress stderr hook when
+// -progress is set.
 func (f *Flags) Options(opts explore.Options) explore.Options {
 	opts.Parallelism = f.Parallel
+	if f.Faults {
+		opts.Faults = faults.Model{MaxCrashes: f.MaxCrashes, Mode: f.FaultMode}
+	}
 	if f.Progress > 0 {
 		opts.ProgressInterval = f.Progress
 		opts.OnProgress = func(s explore.Stats) { fmt.Fprintln(os.Stderr, s.String()) }
 	}
 	return opts
+}
+
+// Resolver returns the -seed-keyed nondeterminism resolver for
+// runner-based commands.
+func (f *Flags) Resolver() func(n int) int {
+	return runtime.RandomResolver(f.Seed)
+}
+
+// LoadCheckpoint reads the -checkpoint file. No flag or no file yet is a
+// fresh start, reported as (nil, nil); an unreadable or malformed file is
+// an error (silently restarting a long run from scratch would be worse).
+func (f *Flags) LoadCheckpoint() (*explore.Checkpoint, error) {
+	if f.Checkpoint == "" {
+		return nil, nil
+	}
+	blob, err := os.ReadFile(f.Checkpoint)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("load checkpoint: %w", err)
+	}
+	cp := &explore.Checkpoint{}
+	if err := json.Unmarshal(blob, cp); err != nil {
+		return nil, fmt.Errorf("load checkpoint %s: %w", f.Checkpoint, err)
+	}
+	return cp, nil
+}
+
+// SaveCheckpoint writes cp to the -checkpoint file; a no-op without the
+// flag or without a checkpoint to save.
+func (f *Flags) SaveCheckpoint(cp *explore.Checkpoint) error {
+	if f.Checkpoint == "" || cp == nil {
+		return nil
+	}
+	blob, err := json.MarshalIndent(cp, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(f.Checkpoint, append(blob, '\n'), 0o644); err != nil {
+		return fmt.Errorf("save checkpoint: %w", err)
+	}
+	return nil
 }
 
 // WriteJSON marshals v onto w, indented, as the -json output format.

@@ -4,11 +4,15 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"io"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
 
 	"waitfree/internal/explore"
+	"waitfree/internal/faults"
 )
 
 func TestRegisterParsesSharedFlags(t *testing.T) {
@@ -51,6 +55,75 @@ func TestOptionsFoldsFlags(t *testing.T) {
 	bare := (&Flags{}).Options(explore.Options{})
 	if bare.OnProgress != nil || bare.ProgressInterval != 0 {
 		t.Fatalf("progress hook installed without -progress: %+v", bare)
+	}
+}
+
+func TestRegisterParsesFaultFlags(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	f := Register(fs)
+	if err := fs.Parse([]string{"-faults", "-max-crashes", "2", "-fault-mode", "crash-start", "-seed", "42", "-checkpoint", "cp.json"}); err != nil {
+		t.Fatal(err)
+	}
+	if !f.Faults || f.MaxCrashes != 2 || f.FaultMode != faults.CrashBeforeFirstStep || f.Seed != 42 || f.Checkpoint != "cp.json" {
+		t.Fatalf("parsed %+v", f)
+	}
+	opts := f.Options(explore.Options{})
+	if opts.Faults.MaxCrashes != 2 || opts.Faults.Mode != faults.CrashBeforeFirstStep {
+		t.Fatalf("fault model not folded: %+v", opts.Faults)
+	}
+	if f.Resolver() == nil {
+		t.Fatal("no resolver")
+	}
+
+	// Defaults: faults off, model not folded, even with a crash budget.
+	g := Register(flag.NewFlagSet("y", flag.ContinueOnError))
+	if g.Faults || g.MaxCrashes != 1 {
+		t.Fatalf("defaults %+v", g)
+	}
+	if opts := g.Options(explore.Options{}); opts.Faults.Enabled() {
+		t.Fatalf("fault model folded without -faults: %+v", opts.Faults)
+	}
+
+	// A bad mode is a flag-parse error, not a deferred one.
+	bad := flag.NewFlagSet("z", flag.ContinueOnError)
+	bad.SetOutput(io.Discard)
+	Register(bad)
+	if err := bad.Parse([]string{"-fault-mode", "byzantine"}); err == nil {
+		t.Fatal("unknown -fault-mode accepted")
+	}
+}
+
+func TestCheckpointFileRoundTrip(t *testing.T) {
+	f := &Flags{Checkpoint: filepath.Join(t.TempDir(), "cp.json")}
+	if cp, err := f.LoadCheckpoint(); cp != nil || err != nil {
+		t.Fatalf("missing file: %v, %v", cp, err)
+	}
+	want := &explore.Checkpoint{Version: explore.CheckpointVersion, Impl: "x", Procs: 2, Values: 2, Roots: 4}
+	if err := f.SaveCheckpoint(want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.LoadCheckpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Impl != "x" || got.Roots != 4 || got.Version != explore.CheckpointVersion {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+
+	if err := os.WriteFile(f.Checkpoint, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.LoadCheckpoint(); err == nil {
+		t.Fatal("malformed checkpoint accepted")
+	}
+
+	// No flag: both directions are no-ops.
+	bare := &Flags{}
+	if err := bare.SaveCheckpoint(want); err != nil {
+		t.Fatal(err)
+	}
+	if cp, err := bare.LoadCheckpoint(); cp != nil || err != nil {
+		t.Fatalf("bare flags: %v, %v", cp, err)
 	}
 }
 

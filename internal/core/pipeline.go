@@ -64,7 +64,9 @@ func Bound(im *program.Implementation, opts explore.Options) (*explore.Consensus
 func BoundContext(ctx context.Context, im *program.Implementation, opts explore.Options) (*explore.ConsensusReport, error) {
 	report, err := explore.ConsensusKContext(ctx, im, targetValues(im), opts)
 	if err != nil {
-		return nil, err
+		// Pass any partial report through: a cancelled run's report carries
+		// the resumable checkpoint.
+		return report, err
 	}
 	if !report.OK() {
 		return report, fmt.Errorf("%w: %s", ErrNotWaitFree, report.Summary())

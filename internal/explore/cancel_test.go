@@ -68,8 +68,16 @@ func TestConsensusCancellation(t *testing.T) {
 		if !errors.Is(err, context.Canceled) {
 			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
 		}
-		if rep != nil {
-			t.Fatalf("workers=%d: cancelled run returned a report", workers)
+		// A cancelled run returns a partial report carrying ONLY the
+		// resumable checkpoint and the engine stats — never verdicts.
+		if rep == nil || rep.Checkpoint == nil {
+			t.Fatalf("workers=%d: cancelled run returned no checkpoint (rep=%v)", workers, rep)
+		}
+		if rep.Roots != 0 || rep.Agreement || rep.Validity || rep.WaitFree {
+			t.Errorf("workers=%d: partial report carries verdict fields: %s", workers, rep.Summary())
+		}
+		if cp := rep.Checkpoint; cp.Impl != im.Name || cp.Remaining() <= 0 {
+			t.Errorf("workers=%d: checkpoint %v inconsistent for a mid-run cancel", workers, cp)
 		}
 		if lat := returned.Sub(cancelled); lat > 500*time.Millisecond {
 			t.Errorf("workers=%d: cancel-to-return latency %v", workers, lat)

@@ -1,0 +1,185 @@
+package explore
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"waitfree/internal/faults"
+	"waitfree/internal/program"
+)
+
+// This file implements checkpoint/resume for the consensus engines. A
+// consensus check is a set of independent proposal-vector trees merged in
+// mask order; its natural frontier state is simply "which trees are fully
+// explored, and what did each contribute". A cancelled ConsensusKContext
+// snapshots exactly that into a JSON-serializable Checkpoint, and a later
+// run resumes by merging the stored per-tree results instead of
+// re-exploring them. Because each tree's result is a pure function of the
+// implementation, a resumed run reaches the same report as an
+// uninterrupted one.
+
+// CheckpointVersion is the serialization version stamped into every
+// Checkpoint; resuming from a different version is rejected.
+const CheckpointVersion = 1
+
+// ErrBadCheckpoint is the sentinel wrapped when Options.ResumeFrom does
+// not match the run it is offered to (different implementation, proposal
+// range, process count, or fault model) or is malformed.
+var ErrBadCheckpoint = errors.New("explore: checkpoint does not match this run")
+
+// TreeResult is one fully explored, violation-free proposal-vector tree as
+// stored in a Checkpoint: the tree's merged counters, access bounds, and
+// decided values.
+type TreeResult struct {
+	// Mask identifies the tree's proposal vector (ProposalVectorK order).
+	Mask      int              `json:"mask"`
+	Nodes     int64            `json:"nodes"`
+	Leaves    int64            `json:"leaves"`
+	MemoHits  int64            `json:"memo_hits"`
+	Depth     int              `json:"depth"`
+	MaxAccess []int            `json:"max_access"`
+	OpAccess  []map[string]int `json:"op_access"`
+	ProcSteps []int            `json:"proc_steps"`
+	// Decided lists the values decided in at least one execution of this
+	// tree, sorted.
+	Decided  []int `json:"decided"`
+	Degraded bool  `json:"degraded,omitempty"`
+}
+
+// Checkpoint is the frontier snapshot of a cancelled consensus
+// exploration: enough state to resume the run where it stopped. It is
+// JSON-serializable end to end (the CLIs' -checkpoint flag round-trips it
+// through a file).
+type Checkpoint struct {
+	// Version is CheckpointVersion at snapshot time.
+	Version int `json:"version"`
+	// Impl fingerprints the implementation by name; Procs, Values, and
+	// Roots pin the run's shape. Resume validates all four.
+	Impl   string `json:"impl"`
+	Procs  int    `json:"procs"`
+	Values int    `json:"values"`
+	Roots  int    `json:"roots"`
+	// Faults is the fault model the trees were explored under; resuming
+	// under a different model would merge incomparable tree results.
+	Faults faults.Model `json:"faults"`
+	// Trees holds the fully explored trees, in mask order.
+	Trees []TreeResult `json:"trees"`
+}
+
+// Remaining reports how many trees are left to explore.
+func (c *Checkpoint) Remaining() int { return c.Roots - len(c.Trees) }
+
+// String renders a one-line progress summary.
+func (c *Checkpoint) String() string {
+	return fmt.Sprintf("checkpoint: %s procs=%d values=%d trees %d/%d done",
+		c.Impl, c.Procs, c.Values, len(c.Trees), c.Roots)
+}
+
+// validateFor checks that the checkpoint belongs to this exact run shape.
+func (c *Checkpoint) validateFor(im *program.Implementation, k, roots int, model faults.Model) error {
+	if c.Version != CheckpointVersion {
+		return fmt.Errorf("%w: version %d, want %d", ErrBadCheckpoint, c.Version, CheckpointVersion)
+	}
+	if c.Impl != im.Name {
+		return fmt.Errorf("%w: implementation %q, want %q", ErrBadCheckpoint, c.Impl, im.Name)
+	}
+	if c.Procs != im.Procs || c.Values != k || c.Roots != roots {
+		return fmt.Errorf("%w: shape procs=%d values=%d roots=%d, want procs=%d values=%d roots=%d",
+			ErrBadCheckpoint, c.Procs, c.Values, c.Roots, im.Procs, k, roots)
+	}
+	if c.Faults != model {
+		return fmt.Errorf("%w: fault model %v, want %v", ErrBadCheckpoint, c.Faults, model)
+	}
+	seen := make(map[int]bool, len(c.Trees))
+	for i := range c.Trees {
+		tr := &c.Trees[i]
+		if tr.Mask < 0 || tr.Mask >= roots {
+			return fmt.Errorf("%w: tree mask %d out of range [0,%d)", ErrBadCheckpoint, tr.Mask, roots)
+		}
+		if seen[tr.Mask] {
+			return fmt.Errorf("%w: duplicate tree mask %d", ErrBadCheckpoint, tr.Mask)
+		}
+		seen[tr.Mask] = true
+		if len(tr.MaxAccess) != len(im.Objects) || len(tr.OpAccess) != len(im.Objects) || len(tr.ProcSteps) != im.Procs {
+			return fmt.Errorf("%w: tree %d has mismatched bound shapes", ErrBadCheckpoint, tr.Mask)
+		}
+	}
+	return nil
+}
+
+// treeResultOf converts one completed tree outcome into its checkpoint
+// form.
+func treeResultOf(mask int, out *treeOutcome) TreeResult {
+	res := out.res
+	tr := TreeResult{
+		Mask:      mask,
+		Nodes:     res.Nodes,
+		Leaves:    res.Leaves,
+		MemoHits:  res.MemoHits,
+		Depth:     res.Depth,
+		MaxAccess: append([]int(nil), res.MaxAccess...),
+		OpAccess:  make([]map[string]int, len(res.OpAccess)),
+		ProcSteps: append([]int(nil), res.ProcSteps...),
+		Degraded:  res.Degraded,
+	}
+	for o, ops := range res.OpAccess {
+		tr.OpAccess[o] = make(map[string]int, len(ops))
+		for op, v := range ops {
+			tr.OpAccess[o][op] = v
+		}
+	}
+	for v := range out.decided {
+		tr.Decided = append(tr.Decided, v)
+	}
+	sort.Ints(tr.Decided)
+	return tr
+}
+
+// outcome converts a checkpointed tree back into the in-memory form the
+// merge loop consumes.
+func (tr *TreeResult) outcome() treeOutcome {
+	res := &Result{
+		Nodes:     tr.Nodes,
+		Leaves:    tr.Leaves,
+		MemoHits:  tr.MemoHits,
+		Depth:     tr.Depth,
+		MaxAccess: append([]int(nil), tr.MaxAccess...),
+		OpAccess:  make([]map[string]int, len(tr.OpAccess)),
+		ProcSteps: append([]int(nil), tr.ProcSteps...),
+		Degraded:  tr.Degraded,
+	}
+	for o, ops := range tr.OpAccess {
+		res.OpAccess[o] = make(map[string]int, len(ops))
+		for op, v := range ops {
+			res.OpAccess[o][op] = v
+		}
+	}
+	decided := make(map[int]bool, len(tr.Decided))
+	for _, v := range tr.Decided {
+		decided[v] = true
+	}
+	return treeOutcome{res: res, decided: decided}
+}
+
+// buildCheckpoint snapshots every fully explored, violation-free tree
+// (including ones preloaded from a previous checkpoint, so resuming twice
+// keeps accumulating).
+func buildCheckpoint(im *program.Implementation, k, roots int, model faults.Model, outcomes []treeOutcome) *Checkpoint {
+	cp := &Checkpoint{
+		Version: CheckpointVersion,
+		Impl:    im.Name,
+		Procs:   im.Procs,
+		Values:  k,
+		Roots:   roots,
+		Faults:  model,
+	}
+	for mask := range outcomes {
+		out := &outcomes[mask]
+		if out.res == nil || out.err != nil || out.res.Violation != nil {
+			continue
+		}
+		cp.Trees = append(cp.Trees, treeResultOf(mask, out))
+	}
+	return cp
+}

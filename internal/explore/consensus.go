@@ -9,6 +9,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"waitfree/internal/faults"
 	"waitfree/internal/program"
 	"waitfree/internal/types"
 )
@@ -59,6 +60,22 @@ type ConsensusReport struct {
 	// ViolationProposals is the proposal vector of the violating tree.
 	ViolationProposals []int `json:"violation_proposals,omitempty"`
 
+	// Faults echoes the fault model the check ran under (nil when fault
+	// exploration was disabled). When set, every verdict above also covers
+	// each enumerated crash schedule: survivors decided, agreed, and
+	// decided validly in every execution with up to MaxCrashes crashes.
+	Faults *faults.Model `json:"faults,omitempty"`
+
+	// Degraded reports that at least one tree's memo table hit
+	// Options.MemoBudget and evicted entries; verdicts and bounds are
+	// still exact, MemoHits undercounts.
+	Degraded bool `json:"degraded,omitempty"`
+
+	// Checkpoint is the resumable frontier snapshot of a cancelled run. It
+	// is only set on the partial report a cancelled ConsensusKContext
+	// returns alongside ctx.Err(); completed runs never carry one.
+	Checkpoint *Checkpoint `json:"checkpoint,omitempty"`
+
 	// Stats is the engine's final cumulative snapshot: observational
 	// counters that may exceed Nodes/Leaves/MemoHits when a violation cut
 	// the deterministic merge short of speculatively explored trees.
@@ -74,8 +91,15 @@ func (r *ConsensusReport) Summary() string {
 	if !r.OK() {
 		status = "FAIL"
 	}
-	return fmt.Sprintf("%s: procs=%d roots=%d D=%d nodes=%d leaves=%d agreement=%v validity=%v waitfree=%v",
+	s := fmt.Sprintf("%s: procs=%d roots=%d D=%d nodes=%d leaves=%d agreement=%v validity=%v waitfree=%v",
 		status, r.Procs, r.Roots, r.Depth, r.Nodes, r.Leaves, r.Agreement, r.Validity, r.WaitFree)
+	if r.Faults != nil {
+		s += fmt.Sprintf(" faults=[%v]", *r.Faults)
+	}
+	if r.Degraded {
+		s += " degraded=true"
+	}
+	return s
 }
 
 // objectName returns the display name of object o.
@@ -214,6 +238,11 @@ func ConsensusKContext(ctx context.Context, im *program.Implementation, k int, o
 		report.Objects[i] = im.Objects[i].Name
 	}
 
+	if opts.Faults.Enabled() {
+		model := opts.Faults
+		report.Faults = &model
+	}
+
 	roots := 1
 	for p := 0; p < im.Procs; p++ {
 		roots *= k
@@ -227,9 +256,26 @@ func ConsensusKContext(ctx context.Context, im *program.Implementation, k int, o
 	}
 
 	ctr := newCounters(workers, roots)
+
+	// Resume: trees recorded in the checkpoint are preloaded and never
+	// re-explored; the merge below cannot tell them from live outcomes, so
+	// a resumed run reaches the same report as an uninterrupted one.
+	outcomes := make([]treeOutcome, roots)
+	preloaded := make([]bool, roots)
+	if opts.ResumeFrom != nil {
+		if err := opts.ResumeFrom.validateFor(im, k, roots, opts.Faults); err != nil {
+			return nil, err
+		}
+		for i := range opts.ResumeFrom.Trees {
+			tr := &opts.ResumeFrom.Trees[i]
+			outcomes[tr.Mask] = tr.outcome()
+			preloaded[tr.Mask] = true
+		}
+		ctr.treesDone.Add(int64(len(opts.ResumeFrom.Trees)))
+	}
+
 	stopProgress := startProgress(opts, ctr)
 
-	outcomes := make([]treeOutcome, roots)
 	var next atomic.Int64 // work distribution: masks claimed in order
 	var stop atomic.Int64 // lowest mask whose tree errored or violated
 	stop.Store(int64(roots))
@@ -250,6 +296,9 @@ func ConsensusKContext(ctx context.Context, im *program.Implementation, k int, o
 				if mask >= roots || int64(mask) > stop.Load() {
 					return
 				}
+				if preloaded[mask] {
+					continue
+				}
 				out := exploreTree(ctx, im, k, mask, opts, ctr, widx)
 				outcomes[mask] = out
 				ctr.treesDone.Add(1)
@@ -267,7 +316,16 @@ func ConsensusKContext(ctx context.Context, im *program.Implementation, k int, o
 	wg.Wait()
 	stopProgress()
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		// Snapshot the frontier so the caller can resume: the partial
+		// report carries ONLY the checkpoint and the engine stats; no
+		// verdict fields are meaningful on it.
+		stats := ctr.snapshot()
+		partial := &ConsensusReport{
+			Procs:      im.Procs,
+			Checkpoint: buildCheckpoint(im, k, roots, opts.Faults, outcomes),
+			Stats:      &stats,
+		}
+		return partial, err
 	}
 
 	// Merge in mask order, exactly as the sequential scan would have: all
@@ -292,9 +350,9 @@ func ConsensusKContext(ctx context.Context, im *program.Implementation, k int, o
 			report.Violation = out.res.Violation
 			report.ViolationProposals = ProposalVectorK(mask, im.Procs, k)
 			switch out.res.Violation.Kind {
-			case KindDepthExceeded, KindCycle:
+			case KindDepthExceeded, KindCycle, KindBlockedBySurvivorStarvation:
 				report.WaitFree = false
-			case KindLeafReject:
+			case KindLeafReject, KindInvalidAfterCrash:
 				// checkConsensusLeaf prefixes the failed property.
 				if isValidityDetail(out.res.Violation.Detail) {
 					report.Validity = false
@@ -314,9 +372,18 @@ func ConsensusKContext(ctx context.Context, im *program.Implementation, k int, o
 	return report, nil
 }
 
+// checkConsensusLeaf checks one completed execution: every surviving
+// process decided, all survivors agree, and the decision was proposed.
+// Crashed processes (fault exploration) are exempt — they need not decide,
+// and their proposals still count for validity, matching crash-stop
+// consensus.
 func checkConsensusLeaf(l *Leaf, proposals []int, decided map[int]bool) error {
 	var first types.Response
+	firstProc := -1
 	for p, resps := range l.Responses {
+		if l.Crashed != nil && l.Crashed[p] {
+			continue
+		}
 		if len(resps) == 0 {
 			return fmt.Errorf("agreement: process %d produced no response", p)
 		}
@@ -324,11 +391,15 @@ func checkConsensusLeaf(l *Leaf, proposals []int, decided map[int]bool) error {
 		if r.Label != types.LabelVal {
 			return fmt.Errorf("agreement: process %d answered %v, not a value", p, r)
 		}
-		if p == 0 {
-			first = r
+		if firstProc < 0 {
+			first, firstProc = r, p
 		} else if r != first {
-			return fmt.Errorf("agreement: process 0 decided %v but process %d decided %v", first, p, r)
+			return fmt.Errorf("agreement: process %d decided %v but process %d decided %v", firstProc, first, p, r)
 		}
+	}
+	if firstProc < 0 {
+		// Every process crashed; nothing was decided and nothing to check.
+		return nil
 	}
 	valid := false
 	for _, v := range proposals {
@@ -371,5 +442,8 @@ func mergeResult(report *ConsensusReport, res *Result) {
 		if v > report.ProcSteps[p] {
 			report.ProcSteps[p] = v
 		}
+	}
+	if res.Degraded {
+		report.Degraded = true
 	}
 }

@@ -23,9 +23,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"strings"
 	"time"
 
+	"waitfree/internal/faults"
 	"waitfree/internal/hist"
 	"waitfree/internal/program"
 	"waitfree/internal/types"
@@ -61,6 +63,28 @@ type Options struct {
 	// Spec.Step and Machine implementations to be pure functions of their
 	// arguments (all in-repo types and machines are).
 	Parallelism int
+	// Faults enumerates crash faults exhaustively: at every configuration,
+	// in addition to every enabled step, the DFS explores the branch where
+	// each still-live process crashes permanently (subject to the model's
+	// MaxCrashes bound and Mode). Leaves then only require the surviving
+	// processes to be done; crashed processes are excluded from per-leaf
+	// checks. The zero Model disables fault exploration (the default).
+	Faults faults.Model
+	// MemoBudget bounds the number of retained memo-table entries per
+	// execution tree (0 = unbounded). When a tree's table fills up, the
+	// engine degrades gracefully: cached entries are evicted (configurations
+	// currently on the DFS stack are kept, so cycle detection stays exact)
+	// and the run is flagged Degraded in Result, ConsensusReport, and
+	// Stats. Eviction changes cost, never verdicts, and is deterministic,
+	// so reports remain identical at every parallelism level. Requires
+	// Memoize.
+	MemoBudget int
+	// ResumeFrom, if set, resumes a consensus exploration from a Checkpoint
+	// taken by a cancelled run: proposal-vector trees recorded in the
+	// checkpoint are merged from their stored results instead of being
+	// re-explored. Only ConsensusContext / ConsensusKContext honor it; Run
+	// rejects it (single trees have no frontier to resume).
+	ResumeFrom *Checkpoint
 	// OnProgress, if set, receives engine Stats snapshots every
 	// ProgressInterval while RunContext / ConsensusContext /
 	// ConsensusKContext execute, plus one final snapshot when the engine
@@ -92,6 +116,15 @@ func (o Options) Validate() error {
 	if o.ProgressInterval < 0 {
 		return fmt.Errorf("%w: negative ProgressInterval %v", ErrBadOptions, o.ProgressInterval)
 	}
+	if err := o.Faults.Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadOptions, err)
+	}
+	if o.MemoBudget < 0 {
+		return fmt.Errorf("%w: negative MemoBudget %d", ErrBadOptions, o.MemoBudget)
+	}
+	if o.MemoBudget > 0 && !o.Memoize {
+		return fmt.Errorf("%w: MemoBudget requires Memoize", ErrBadOptions)
+	}
 	return nil
 }
 
@@ -109,18 +142,28 @@ type Leaf struct {
 	History hist.History
 	// Schedule is the access sequence of this execution.
 	Schedule []StepRecord
+	// Crashed[p] reports whether process p crashed along this execution
+	// (fault exploration only; nil when Options.Faults is disabled).
+	Crashed []bool
 }
 
-// StepRecord is one low-level operation of a schedule.
+// StepRecord is one low-level operation of a schedule. A record with Crash
+// set is not an object access: it marks the point at which Proc crashed
+// permanently (Obj is -1 and Inv/Resp are zero).
 type StepRecord struct {
-	Proc int              `json:"proc"`
-	Obj  int              `json:"obj"`
-	Inv  types.Invocation `json:"inv"`
-	Resp types.Response   `json:"resp"`
+	Proc  int              `json:"proc"`
+	Obj   int              `json:"obj"`
+	Inv   types.Invocation `json:"inv"`
+	Resp  types.Response   `json:"resp"`
+	Crash bool             `json:"crash,omitempty"`
 }
 
-// String renders the step as p<proc>:obj<obj>.<inv>-><resp>.
+// String renders the step as p<proc>:obj<obj>.<inv>-><resp>, or
+// p<proc>:CRASH for a crash record.
 func (s StepRecord) String() string {
+	if s.Crash {
+		return fmt.Sprintf("p%d:CRASH", s.Proc)
+	}
 	return fmt.Sprintf("p%d:obj%d.%v->%v", s.Proc, s.Obj, s.Inv, s.Resp)
 }
 
@@ -145,6 +188,15 @@ const (
 	KindCycle
 	// KindLeafReject: the OnLeaf callback rejected an execution.
 	KindLeafReject
+	// KindBlockedBySurvivorStarvation: after one or more crashes, the
+	// surviving processes alone cycled or exceeded the step budget — the
+	// implementation's survivors do not finish in a bounded number of their
+	// own steps, refuting the wait-freedom claim of Section 2.2 directly.
+	KindBlockedBySurvivorStarvation
+	// KindInvalidAfterCrash: an execution with one or more crashes
+	// completed, but the surviving processes' decisions failed the per-leaf
+	// check (agreement or validity among survivors).
+	KindInvalidAfterCrash
 )
 
 func (k ViolationKind) String() string {
@@ -155,6 +207,10 @@ func (k ViolationKind) String() string {
 		return "configuration cycle (not wait-free)"
 	case KindLeafReject:
 		return "execution rejected"
+	case KindBlockedBySurvivorStarvation:
+		return "blocked by survivor starvation (not wait-free under crashes)"
+	case KindInvalidAfterCrash:
+		return "invalid execution after crash"
 	}
 	return "unknown violation"
 }
@@ -169,6 +225,10 @@ func (k ViolationKind) MarshalJSON() ([]byte, error) {
 		return []byte(`"cycle"`), nil
 	case KindLeafReject:
 		return []byte(`"leaf-reject"`), nil
+	case KindBlockedBySurvivorStarvation:
+		return []byte(`"survivor-starvation"`), nil
+	case KindInvalidAfterCrash:
+		return []byte(`"invalid-after-crash"`), nil
 	}
 	return []byte(`"unknown"`), nil
 }
@@ -207,6 +267,10 @@ type Result struct {
 	// Violation is non-nil if exploration found a semantic violation; the
 	// remaining fields then cover only the explored fragment.
 	Violation *Violation
+	// Degraded reports that the memo table hit Options.MemoBudget and
+	// evicted entries; the verdict and all bounds are still exact, but
+	// MemoHits undercounts what an unbounded table would have scored.
+	Degraded bool
 }
 
 // Structural errors.
@@ -248,6 +312,15 @@ type procState struct {
 	// part of the configuration so that memoization never conflates
 	// executions with different outcomes.
 	Resp types.Response
+	// Crashed marks a process stopped permanently by fault exploration. It
+	// is part of the configuration (and its memo key): per-leaf checks
+	// depend on which processes survived.
+	Crashed bool
+	// Stepped records whether the process has performed any object access
+	// yet. It is only maintained under faults.CrashBeforeFirstStep (the one
+	// mode whose crash placement depends on it), so that other modes'
+	// memo tables do not fragment on it.
+	Stepped bool
 }
 
 type config struct {
@@ -282,6 +355,9 @@ func Run(im *program.Implementation, scripts [][]types.Invocation, opts Options)
 func RunContext(ctx context.Context, im *program.Implementation, scripts [][]types.Invocation, opts Options) (*Result, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
+	}
+	if opts.ResumeFrom != nil {
+		return nil, fmt.Errorf("%w: ResumeFrom applies to consensus explorations only", ErrBadOptions)
 	}
 	ctr := newCounters(1, 1)
 	stop := startProgress(opts, ctr)
@@ -329,9 +405,10 @@ func newExplorer(im *program.Implementation, scripts [][]types.Invocation, opts 
 		im:      im,
 		scripts: scripts,
 		opts:    opts,
+		curProc: -1,
 	}
 	if opts.Memoize {
-		e.memo = newMemoTable()
+		e.memo = newMemoTable(opts.MemoBudget)
 		e.enc = newKeyEncoder()
 	}
 	root := &config{
@@ -349,17 +426,30 @@ func newExplorer(im *program.Implementation, scripts [][]types.Invocation, opts 
 	return e, root, nil
 }
 
-// explore runs the DFS from root and aggregates the result.
-func (e *explorer) explore(root *config) (*Result, error) {
+// explore runs the DFS from root and aggregates the result. A panic in
+// user-supplied code (a type spec's transition function or a machine) is
+// recovered and converted into a structured *faults.PanicError carrying the
+// offending configuration's key, instead of killing the worker goroutine
+// and with it the whole process.
+func (e *explorer) explore(root *config) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = faults.NewPanicError("explore", e.curProc, e.panicContext(), r, debug.Stack())
+			res = nil
+		}
+	}()
 	im := e.im
 	sum, err := e.dfs(root, 0)
 	e.flushCounters(0)
-	res := &Result{
+	res = &Result{
 		Nodes:     sum.nodes,
 		Leaves:    sum.leaves,
 		MemoHits:  e.memoHits,
 		Depth:     sum.height,
 		Violation: e.violation,
+	}
+	if e.memo != nil && e.memo.degraded.Load() {
+		res.Degraded = true
 	}
 	res.MaxAccess = make([]int, len(im.Objects))
 	res.OpAccess = make([]map[string]int, len(im.Objects))
@@ -420,7 +510,26 @@ type explorer struct {
 	openOp    []int // per proc: index into history of the open op, -1 if none
 	clock     int
 
+	// Panic-recovery breadcrumbs: the configuration being expanded, the
+	// process being stepped, and its depth. Pointer/int stores only, so the
+	// hot path pays nothing; the recovery handler renders them lazily.
+	curConfig *config
+	curProc   int
+	curDepth  int
+
 	violation *Violation
+}
+
+// panicContext renders the recovery breadcrumbs, including the offending
+// configuration's key (hex), for *faults.PanicError. It is only called
+// after a panic, so it may allocate freely — including a fresh key encoder,
+// because the explorer's own encoder may have been mid-append.
+func (e *explorer) panicContext() string {
+	if e.curConfig == nil {
+		return "root configuration"
+	}
+	key := newKeyEncoder().configKey(e.curConfig)
+	return fmt.Sprintf("depth %d, config key %x", e.curDepth, key)
 }
 
 // startNextOp advances process p past any number of operation boundaries:
@@ -525,23 +634,32 @@ func (e *explorer) dfs(c *config, depth int) (*summary, error) {
 			}
 		}
 	}
+	// A process counts as finished when it is done or crashed: a leaf of a
+	// faulty execution only requires the survivors to have completed.
 	allDone := true
+	crashes := 0
 	for p := range c.procs {
-		if !c.procs[p].Done {
+		if c.procs[p].Crashed {
+			crashes++
+		} else if !c.procs[p].Done {
 			allDone = false
-			break
 		}
 	}
 	if allDone {
 		sum.leaves = 1
 		e.pendLeaves++
-		if err := e.leaf(c, depth); err != nil {
+		if err := e.leaf(c, depth, crashes); err != nil {
 			return sum, err
 		}
 		return sum, nil
 	}
 	if depth >= e.opts.MaxDepth {
-		e.violate(KindDepthExceeded, fmt.Sprintf("execution reached %d object accesses", depth))
+		if crashes > 0 {
+			e.violate(KindBlockedBySurvivorStarvation,
+				fmt.Sprintf("surviving processes reached %d object accesses after %d crash(es)", depth, crashes))
+		} else {
+			e.violate(KindDepthExceeded, fmt.Sprintf("execution reached %d object accesses", depth))
+		}
 		return sum, errAbort
 	}
 
@@ -550,7 +668,12 @@ func (e *explorer) dfs(c *config, depth int) (*summary, error) {
 		kb := e.enc.configKey(c)
 		if cached, ok := e.memo.get(kb); ok {
 			if cached == grayMark {
-				e.violate(KindCycle, "configuration repeats along one execution")
+				if crashes > 0 {
+					e.violate(KindBlockedBySurvivorStarvation,
+						fmt.Sprintf("survivor configuration repeats along one execution after %d crash(es)", crashes))
+				} else {
+					e.violate(KindCycle, "configuration repeats along one execution")
+				}
 				return sum, errAbort
 			}
 			e.memoHits++
@@ -564,7 +687,7 @@ func (e *explorer) dfs(c *config, depth int) (*summary, error) {
 	// All error returns below must clear the gray mark, or a later visit
 	// of this configuration would report a phantom cycle; expand has a
 	// single exit so the cleanup cannot be skipped by any error path.
-	err := e.expand(c, depth, sum)
+	err := e.expand(c, depth, sum, crashes)
 	if e.opts.Memoize {
 		if err != nil {
 			e.memo.drop(key)
@@ -576,12 +699,42 @@ func (e *explorer) dfs(c *config, depth int) (*summary, error) {
 }
 
 // expand explores every enabled step of every process from c, folding the
-// child subtrees into sum.
-func (e *explorer) expand(c *config, depth int, sum *summary) error {
+// child subtrees into sum. Under fault exploration it first explores, for
+// each still-live process, the branch where that process crashes
+// permanently here; crash branches come first so that a violation reachable
+// both with and without crashes surfaces with its crash-annotated schedule.
+func (e *explorer) expand(c *config, depth int, sum *summary, crashes int) error {
+	if e.opts.Faults.Enabled() && crashes < e.opts.Faults.MaxCrashes {
+		for p := range c.procs {
+			ps := &c.procs[p]
+			if ps.Done || ps.Crashed {
+				continue
+			}
+			if e.opts.Faults.Mode == faults.CrashBeforeFirstStep && ps.Stepped {
+				continue
+			}
+			child := c.clone()
+			child.procs[p].Crashed = true
+			e.schedule = append(e.schedule, StepRecord{Proc: p, Obj: -1, Crash: true})
+			// A crash is not an object access: it consumes no depth budget
+			// and bumps no access counters (mergeCrashChild), matching the
+			// paper's counting of low-level operations only. Termination is
+			// still guaranteed — each crash strictly shrinks the live set.
+			childSum, err := e.dfs(child, depth)
+			if childSum != nil {
+				mergeCrashChild(sum, childSum)
+			}
+			e.schedule = e.schedule[:len(e.schedule)-1]
+			if err != nil {
+				return err
+			}
+		}
+	}
 	for p := range c.procs {
-		if c.procs[p].Done {
+		if c.procs[p].Done || c.procs[p].Crashed {
 			continue
 		}
+		e.curConfig, e.curProc, e.curDepth = c, p, depth
 		act := c.procs[p].Pending
 		decl := &e.im.Objects[act.Obj]
 		port := decl.Port(p)
@@ -592,6 +745,9 @@ func (e *explorer) expand(c *config, depth int, sum *summary) error {
 		for _, t := range ts {
 			child := c.clone()
 			child.objs[act.Obj] = t.Next
+			if e.opts.Faults.Enabled() && e.opts.Faults.Mode == faults.CrashBeforeFirstStep {
+				child.procs[p].Stepped = true
+			}
 
 			// Path-local bookkeeping with undo.
 			e.schedule = append(e.schedule, StepRecord{Proc: p, Obj: act.Obj, Inv: act.Inv, Resp: t.Resp})
@@ -673,7 +829,24 @@ func mergeChild(parent, child *summary, obj int, op string, proc int) {
 	}
 }
 
-func (e *explorer) leaf(c *config, depth int) error {
+// mergeCrashChild folds a crash-branch subtree into the parent summary. A
+// crash edge is not an object access: it contributes no height and bumps no
+// per-object or per-process counters, so fault exploration never inflates
+// the Section 4.2 bounds.
+func mergeCrashChild(parent, child *summary) {
+	parent.nodes += child.nodes
+	parent.leaves += child.leaves
+	if child.height > parent.height {
+		parent.height = child.height
+	}
+	for k, v := range child.acc {
+		if v > parent.acc[k] {
+			parent.acc[k] = v
+		}
+	}
+}
+
+func (e *explorer) leaf(c *config, depth, crashes int) error {
 	if e.opts.OnLeaf == nil {
 		return nil
 	}
@@ -691,11 +864,21 @@ func (e *explorer) leaf(c *config, depth int) error {
 			leaf.Responses[p] = append([]types.Response(nil), e.responses[p]...)
 		}
 	}
+	if crashes > 0 {
+		leaf.Crashed = make([]bool, e.im.Procs)
+		for p := range c.procs {
+			leaf.Crashed[p] = c.procs[p].Crashed
+		}
+	}
 	if e.opts.RecordHistory {
 		leaf.History = append(hist.History(nil), e.history...)
 	}
 	if err := e.opts.OnLeaf(leaf); err != nil {
-		e.violate(KindLeafReject, err.Error())
+		if crashes > 0 {
+			e.violate(KindInvalidAfterCrash, err.Error())
+		} else {
+			e.violate(KindLeafReject, err.Error())
+		}
 		return errAbort
 	}
 	return nil
@@ -723,6 +906,9 @@ func (e *explorer) flushCounters(depth int) {
 	}
 	e.ctr.curDepth.Store(int64(depth))
 	e.ctr.bumpMaxDepth(int64(depth))
+	if e.memo != nil && e.memo.degraded.Load() {
+		e.ctr.degraded.Store(true)
+	}
 }
 
 func (e *explorer) violate(kind ViolationKind, detail string) {

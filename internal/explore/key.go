@@ -7,6 +7,7 @@ import (
 	"math"
 	"reflect"
 	"sync"
+	"sync/atomic"
 
 	"waitfree/internal/program"
 	"waitfree/internal/types"
@@ -76,6 +77,19 @@ func (e *keyEncoder) configKey(c *config) []byte {
 		b = append(b, tagProc)
 		b = binary.AppendVarint(b, int64(ps.OpIdx))
 		if ps.Done {
+			b = append(b, tagTrue)
+		} else {
+			b = append(b, tagFalse)
+		}
+		// Crash/step flags are configuration state under fault exploration:
+		// leaf checks depend on which processes survived, so configurations
+		// differing only in them must never be conflated.
+		if ps.Crashed {
+			b = append(b, tagTrue)
+		} else {
+			b = append(b, tagFalse)
+		}
+		if ps.Stepped {
 			b = append(b, tagTrue)
 		} else {
 			b = append(b, tagFalse)
@@ -221,9 +235,18 @@ var grayMark = &summary{}
 // maphash of the key. Shards lock independently, so a table is safe for
 // concurrent explorers; the current explorer uses one table per execution
 // tree single-threadedly, where the uncontended locks are nearly free.
+//
+// A positive budget caps the number of retained entries: when a put would
+// exceed it, every cached (non-gray) entry is evicted and the table is
+// flagged degraded. Gray marks are the DFS stack and are always kept, so
+// cycle detection stays exact; eviction only trades memo hits for repeated
+// work, deterministically.
 type memoTable struct {
-	seed   maphash.Seed
-	shards [memoShardCount]memoShard
+	seed     maphash.Seed
+	budget   int
+	count    atomic.Int64
+	degraded atomic.Bool
+	shards   [memoShardCount]memoShard
 }
 
 type memoShard struct {
@@ -231,12 +254,32 @@ type memoShard struct {
 	m  map[string]*summary
 }
 
-func newMemoTable() *memoTable {
-	t := &memoTable{seed: maphash.MakeSeed()}
+func newMemoTable(budget int) *memoTable {
+	t := &memoTable{seed: maphash.MakeSeed(), budget: budget}
 	for i := range t.shards {
 		t.shards[i].m = make(map[string]*summary)
 	}
 	return t
+}
+
+// evict drops every non-gray entry (the graceful-degradation path of a
+// budgeted table).
+func (t *memoTable) evict() {
+	var kept int64
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		for k, v := range s.m {
+			if v == grayMark {
+				kept++
+				continue
+			}
+			delete(s.m, k)
+		}
+		s.mu.Unlock()
+	}
+	t.count.Store(kept)
+	t.degraded.Store(true)
 }
 
 func (t *memoTable) shardOf(key []byte) *memoShard {
@@ -254,10 +297,17 @@ func (t *memoTable) get(key []byte) (*summary, bool) {
 	return v, ok
 }
 
-// put stores sum under a retained (string) key.
+// put stores sum under a retained (string) key, evicting first if the
+// budget would be exceeded by a new entry.
 func (t *memoTable) put(key string, sum *summary) {
+	if t.budget > 0 && t.count.Load() >= int64(t.budget) {
+		t.evict()
+	}
 	s := &t.shards[maphash.String(t.seed, key)&(memoShardCount-1)]
 	s.mu.Lock()
+	if _, existed := s.m[key]; !existed {
+		t.count.Add(1)
+	}
 	s.m[key] = sum
 	s.mu.Unlock()
 }
@@ -266,6 +316,9 @@ func (t *memoTable) put(key string, sum *summary) {
 func (t *memoTable) drop(key string) {
 	s := &t.shards[maphash.String(t.seed, key)&(memoShardCount-1)]
 	s.mu.Lock()
+	if _, existed := s.m[key]; existed {
+		t.count.Add(-1)
+	}
 	delete(s.m, key)
 	s.mu.Unlock()
 }

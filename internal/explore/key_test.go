@@ -84,7 +84,7 @@ func BenchmarkConfigKey(b *testing.B) {
 }
 
 func TestMemoTableBasics(t *testing.T) {
-	m := newMemoTable()
+	m := newMemoTable(0)
 	sum := &summary{}
 	keys := []string{"", "a", "b", "aa", "\x00\x01", "longer key with bytes"}
 	for _, k := range keys {

@@ -23,11 +23,15 @@ func FormatLanes(steps []StepRecord, im *program.Implementation) string {
 	cells := make([]string, len(steps))
 	width := 0
 	for i, s := range steps {
-		name := fmt.Sprintf("obj%d", s.Obj)
-		if im != nil && s.Obj >= 0 && s.Obj < len(im.Objects) {
-			name = im.Objects[s.Obj].Name
+		if s.Crash {
+			cells[i] = "CRASH"
+		} else {
+			name := fmt.Sprintf("obj%d", s.Obj)
+			if im != nil && s.Obj >= 0 && s.Obj < len(im.Objects) {
+				name = im.Objects[s.Obj].Name
+			}
+			cells[i] = fmt.Sprintf("%s.%v->%v", name, s.Inv, s.Resp)
 		}
-		cells[i] = fmt.Sprintf("%s.%v->%v", name, s.Inv, s.Resp)
 		if len(cells[i]) > width {
 			width = len(cells[i])
 		}

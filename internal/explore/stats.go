@@ -54,6 +54,10 @@ type Stats struct {
 	// cumulative node count, the basis of per-worker throughput.
 	Workers     int     `json:"workers"`
 	WorkerNodes []int64 `json:"worker_nodes,omitempty"`
+	// Degraded reports that at least one tree's memo table hit
+	// Options.MemoBudget and evicted entries (graceful degradation:
+	// verdicts stay exact, memo hits are lost).
+	Degraded bool `json:"degraded,omitempty"`
 	// Elapsed is the wall-clock time since the engine started.
 	Elapsed time.Duration `json:"elapsed_ns"`
 }
@@ -100,6 +104,7 @@ type counters struct {
 	maxDepth  atomic.Int64
 	curDepth  atomic.Int64
 	treesDone atomic.Int64
+	degraded  atomic.Bool
 
 	workerNodes []atomic.Int64
 }
@@ -136,6 +141,7 @@ func (c *counters) snapshot() Stats {
 		TreesTotal:  c.treesTotal,
 		Workers:     len(c.workerNodes),
 		WorkerNodes: make([]int64, len(c.workerNodes)),
+		Degraded:    c.degraded.Load(),
 		Elapsed:     time.Since(c.start),
 	}
 	s.Frontier = s.TreesTotal - s.TreesDone

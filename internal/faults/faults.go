@@ -1,0 +1,148 @@
+// Package faults is the fault-injection vocabulary shared by the three
+// execution engines (packages explore, runtime, and sched).
+//
+// Wait-freedom is the paper's central liveness property: every process
+// decides in a bounded number of its own steps no matter how many of the
+// others crash (Section 2.2). The sampling runtime has always been able to
+// crash processes mid-run (sched.Crash); this package makes crash faults a
+// first-class, exhaustively explorable dimension of the execution-tree
+// explorer as well. A Model describes which crash schedules the explorer
+// enumerates; a PanicError is the structured form a panicking type spec or
+// machine takes when an engine's panic recovery converts it into an error
+// instead of letting it kill the process.
+package faults
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Mode selects which crash placements a Model enumerates.
+type Mode int
+
+const (
+	// CrashStop is the paper's failure model: a process may stop
+	// permanently before any of its object accesses, including after its
+	// last one. The explorer branches on "process p crashes here" at every
+	// configuration where p is still live.
+	CrashStop Mode = iota
+	// CrashBeforeFirstStep restricts crashes to processes that have not yet
+	// performed any object access: only initial crashes are enumerated.
+	// This is the cheap model for checking that survivors cope with
+	// processes that never show up at all.
+	CrashBeforeFirstStep
+)
+
+// String renders the mode.
+func (m Mode) String() string {
+	switch m {
+	case CrashStop:
+		return "crash-stop"
+	case CrashBeforeFirstStep:
+		return "crash-before-first-step"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// MarshalJSON renders the mode as a stable string tag.
+func (m Mode) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + m.String() + `"`), nil
+}
+
+// UnmarshalJSON accepts the tags produced by MarshalJSON (and bare
+// integers, for hand-written checkpoints).
+func (m *Mode) UnmarshalJSON(b []byte) error {
+	switch string(b) {
+	case `"crash-stop"`, "0":
+		*m = CrashStop
+	case `"crash-before-first-step"`, "1":
+		*m = CrashBeforeFirstStep
+	default:
+		return fmt.Errorf("faults: unknown mode %s", b)
+	}
+	return nil
+}
+
+// ParseMode parses the tags produced by Mode.String (used by the CLI
+// -fault-mode flag).
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "", "crash-stop":
+		return CrashStop, nil
+	case "crash-start", "crash-before-first-step":
+		return CrashBeforeFirstStep, nil
+	}
+	return 0, fmt.Errorf("faults: unknown mode %q (want crash-stop or crash-start)", s)
+}
+
+// Model describes the crash faults an exhaustive exploration injects. The
+// zero Model disables fault injection entirely.
+type Model struct {
+	// MaxCrashes bounds the number of processes that may crash along any
+	// single execution. 0 disables fault exploration.
+	MaxCrashes int `json:"max_crashes"`
+	// Mode selects where crashes may be placed.
+	Mode Mode `json:"mode"`
+}
+
+// Enabled reports whether the model injects any faults at all.
+func (m Model) Enabled() bool { return m.MaxCrashes > 0 }
+
+// ErrBadModel is the sentinel wrapped by Model validation failures.
+var ErrBadModel = errors.New("faults: invalid fault model")
+
+// Validate rejects malformed models.
+func (m Model) Validate() error {
+	if m.MaxCrashes < 0 {
+		return fmt.Errorf("%w: negative MaxCrashes %d", ErrBadModel, m.MaxCrashes)
+	}
+	if m.Mode != CrashStop && m.Mode != CrashBeforeFirstStep {
+		return fmt.Errorf("%w: unknown mode %d", ErrBadModel, int(m.Mode))
+	}
+	return nil
+}
+
+// String renders the model for reports and logs.
+func (m Model) String() string {
+	if !m.Enabled() {
+		return "no faults"
+	}
+	return fmt.Sprintf("%v, <=%d crashes", m.Mode, m.MaxCrashes)
+}
+
+// PanicError is a panic from user-supplied code (a type spec's transition
+// function or a process machine) converted into a structured error by an
+// engine's recovery layer. The engines install recovery so that one
+// panicking spec cannot kill the whole process: the explorer surfaces the
+// panic as the run's error, and the concurrent runtime surfaces it as the
+// panicking process's error while the other process goroutines finish
+// normally.
+type PanicError struct {
+	// Engine names the recovery site ("explore" or "runtime").
+	Engine string `json:"engine"`
+	// Proc is the process whose step panicked, or -1 when unknown.
+	Proc int `json:"proc"`
+	// Context describes where the engine was when the panic fired (for the
+	// explorer: the offending configuration's key and depth).
+	Context string `json:"context,omitempty"`
+	// Value is the recovered panic value.
+	Value any `json:"value"`
+	// Stack is the panicking goroutine's stack trace.
+	Stack []byte `json:"stack,omitempty"`
+}
+
+// NewPanicError builds a PanicError from a recovered value.
+func NewPanicError(engine string, proc int, context string, value any, stack []byte) *PanicError {
+	return &PanicError{Engine: engine, Proc: proc, Context: context, Value: value, Stack: stack}
+}
+
+// Error implements error. The stack is included: a recovered panic without
+// its stack is nearly undebuggable.
+func (e *PanicError) Error() string {
+	ctx := ""
+	if e.Context != "" {
+		ctx = " at " + e.Context
+	}
+	return fmt.Sprintf("faults: panic in %s engine (process %d)%s: %v\n%s",
+		e.Engine, e.Proc, ctx, e.Value, e.Stack)
+}

@@ -1,0 +1,92 @@
+package faults
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestModeRoundTrips(t *testing.T) {
+	for _, mode := range []Mode{CrashStop, CrashBeforeFirstStep} {
+		blob, err := json.Marshal(mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Mode
+		if err := json.Unmarshal(blob, &back); err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if back != mode {
+			t.Errorf("JSON round-trip %v -> %s -> %v", mode, blob, back)
+		}
+		parsed, err := ParseMode(mode.String())
+		if err != nil || parsed != mode {
+			t.Errorf("ParseMode(%q) = %v, %v", mode.String(), parsed, err)
+		}
+	}
+	// Bare integers are accepted for hand-written checkpoint files.
+	var m Mode
+	if err := json.Unmarshal([]byte("1"), &m); err != nil || m != CrashBeforeFirstStep {
+		t.Errorf("integer mode: %v, %v", m, err)
+	}
+	if err := json.Unmarshal([]byte(`"crash-restart"`), &m); err == nil {
+		t.Error("unknown mode tag accepted")
+	}
+}
+
+func TestParseModeAliases(t *testing.T) {
+	cases := map[string]Mode{
+		"":                        CrashStop,
+		"crash-stop":              CrashStop,
+		"crash-start":             CrashBeforeFirstStep,
+		"crash-before-first-step": CrashBeforeFirstStep,
+	}
+	for s, want := range cases {
+		got, err := ParseMode(s)
+		if err != nil || got != want {
+			t.Errorf("ParseMode(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParseMode("byzantine"); err == nil {
+		t.Error("ParseMode accepted an unknown mode")
+	}
+}
+
+func TestModelValidate(t *testing.T) {
+	if err := (Model{}).Validate(); err != nil {
+		t.Errorf("zero model invalid: %v", err)
+	}
+	if (Model{}).Enabled() {
+		t.Error("zero model enabled")
+	}
+	if !(Model{MaxCrashes: 2}).Enabled() {
+		t.Error("nonzero model disabled")
+	}
+	if err := (Model{MaxCrashes: -1}).Validate(); !errors.Is(err, ErrBadModel) {
+		t.Errorf("negative MaxCrashes: %v", err)
+	}
+	if err := (Model{Mode: Mode(9)}).Validate(); !errors.Is(err, ErrBadModel) {
+		t.Errorf("unknown mode: %v", err)
+	}
+	if s := (Model{MaxCrashes: 1}).String(); !strings.Contains(s, "crash-stop") || !strings.Contains(s, "1") {
+		t.Errorf("model renders as %q", s)
+	}
+	if s := (Model{}).String(); s != "no faults" {
+		t.Errorf("zero model renders as %q", s)
+	}
+}
+
+func TestPanicErrorMessage(t *testing.T) {
+	pe := NewPanicError("explore", 2, "depth 7, config key ab12", "boom", []byte("goroutine 1 [running]:\nmain.main()"))
+	msg := pe.Error()
+	for _, want := range []string{"explore", "process 2", "depth 7", "boom", "goroutine 1"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("message %q lacks %q", msg, want)
+		}
+	}
+	var asErr *PanicError
+	if !errors.As(error(pe), &asErr) {
+		t.Error("PanicError does not satisfy errors.As on itself")
+	}
+}

@@ -1,0 +1,260 @@
+package runtime
+
+import (
+	"errors"
+	gort "runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"waitfree/internal/consensus"
+	"waitfree/internal/faults"
+	"waitfree/internal/program"
+	"waitfree/internal/sched"
+	"waitfree/internal/types"
+)
+
+// waitForGoroutines polls until the goroutine count drops back to at most
+// base: every process goroutine and scheduler dispatcher must be joined
+// once a run (crashed, panicked, or clean) is over.
+func waitForGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if gort.NumGoroutine() <= base {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Errorf("goroutine leak: %d running, want <= %d", gort.NumGoroutine(), base)
+}
+
+// panicAfterStep is a machine that performs one test-and-set access and
+// then panics — protocol code the runtime must survive.
+var panicAfterStep = program.FuncMachine{
+	StartFn: func(types.Invocation, any) any { return 0 },
+	NextFn: func(state any, _ types.Response) (program.Action, any) {
+		if state.(int) == 0 {
+			return program.InvokeAction(0, types.TAS), 1
+		}
+		panic("protocol exploded")
+	},
+}
+
+// wellBehaved decides its proposal after one test-and-set access.
+var wellBehaved = program.FuncMachine{
+	StartFn: func(inv types.Invocation, _ any) any { return [2]int{0, inv.A} },
+	NextFn: func(state any, _ types.Response) (program.Action, any) {
+		s := state.([2]int)
+		if s[0] == 0 {
+			return program.InvokeAction(0, types.TAS), [2]int{1, s[1]}
+		}
+		return program.ReturnAction(types.ValOf(s[1]), nil), state
+	},
+}
+
+func mixedImpl() *program.Implementation {
+	return &program.Implementation{
+		Name:   "mixed",
+		Target: types.Consensus(2),
+		Procs:  2,
+		Objects: []program.ObjectDecl{
+			{Name: "t", Spec: types.TestAndSet(2), Init: 0, PortOf: []int{1, 2}},
+		},
+		Machines: []program.Machine{panicAfterStep, wellBehaved},
+	}
+}
+
+// TestRunnerPanicRecovery is the panic-safety contract of the concurrent
+// runtime: a panic in one process's protocol code becomes a structured
+// *faults.PanicError attributed to that process, the other processes
+// complete normally, serializing schedulers still terminate (Done is
+// signalled on the panic path), and no goroutines leak.
+func TestRunnerPanicRecovery(t *testing.T) {
+	base := gort.NumGoroutine()
+	for _, useToken := range []bool{false, true} {
+		var scheduler sched.Scheduler
+		var tok *sched.Token
+		if useToken {
+			tok = sched.NewToken(2, 7, nil)
+			scheduler = tok
+		}
+		r, err := New(mixedImpl(), scheduler, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := r.Run(proposals(0, 1), nil)
+		if tok != nil {
+			tok.Stop()
+		}
+		var pe *faults.PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("token=%v: err = %v, want *faults.PanicError", useToken, err)
+		}
+		if pe.Engine != "runtime" || pe.Proc != 0 {
+			t.Errorf("token=%v: panic attributed to %s process %d, want runtime process 0", useToken, pe.Engine, pe.Proc)
+		}
+		if pe.Value != "protocol exploded" {
+			t.Errorf("token=%v: payload %v", useToken, pe.Value)
+		}
+		if !strings.Contains(string(pe.Stack), "faults_test") {
+			t.Errorf("token=%v: stack does not reach the panicking machine:\n%s", useToken, pe.Stack)
+		}
+		if len(out.Responses[1]) != 1 || out.Responses[1][0].Label != types.LabelVal {
+			t.Errorf("token=%v: surviving process did not decide: %v", useToken, out.Responses[1])
+		}
+	}
+	waitForGoroutines(t, base)
+}
+
+// TestCrashAtStepZero pins the earliest possible crash: the process is
+// stopped before its first object access, never touches an object, and
+// the other process still decides its own (valid) proposal.
+func TestCrashAtStepZero(t *testing.T) {
+	im := consensus.TAS2()
+	r, err := New(im, sched.NewCrash(map[int]int{0: 0}), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := r.Run(proposals(0, 1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Crashed[0] || out.Crashed[1] {
+		t.Fatalf("crashed = %v, want exactly process 0", out.Crashed)
+	}
+	if len(out.Responses[0]) != 0 {
+		t.Errorf("crashed process produced responses %v", out.Responses[0])
+	}
+	if len(out.Responses[1]) != 1 || out.Responses[1][0] != types.ValOf(1) {
+		t.Errorf("survivor decided %v, want its own proposal val(1)", out.Responses[1])
+	}
+}
+
+// TestCrashEveryProcess crashes the whole run at step zero: no object is
+// accessed, every process is marked crashed, nothing is decided, and the
+// run still returns cleanly.
+func TestCrashEveryProcess(t *testing.T) {
+	base := gort.NumGoroutine()
+	im := consensus.Queue2()
+	for _, mkSched := range []func() sched.Scheduler{
+		func() sched.Scheduler { return sched.NewCrash(map[int]int{0: 0, 1: 0}) },
+		func() sched.Scheduler { return sched.NewToken(2, 3, map[int]int{0: 0, 1: 0}) },
+	} {
+		s := mkSched()
+		r, err := New(im, s, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := r.Run(proposals(0, 1), nil)
+		if tok, ok := s.(*sched.Token); ok {
+			tok.Stop()
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		for p, crashed := range out.Crashed {
+			if !crashed {
+				t.Errorf("process %d not marked crashed", p)
+			}
+			if len(out.Responses[p]) != 0 {
+				t.Errorf("process %d responded after crashing at step 0: %v", p, out.Responses[p])
+			}
+		}
+		if out.Steps != 0 {
+			t.Errorf("steps = %d, want 0", out.Steps)
+		}
+	}
+	waitForGoroutines(t, base)
+}
+
+// TestDoneWithoutNext pins the scheduler Done contract from the caller
+// side: a process with an empty script finishes without ever calling
+// Next, and serializing schedulers must count its bare Done call.
+func TestDoneWithoutNext(t *testing.T) {
+	base := gort.NumGoroutine()
+	im := consensus.TAS2()
+	tok := sched.NewToken(2, 5, nil)
+	r, err := New(im, tok, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scripts := [][]types.Invocation{{}, {types.Propose(1)}}
+	out, err := r.Run(scripts, nil)
+	tok.Stop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Responses[0]) != 0 {
+		t.Errorf("empty script produced responses %v", out.Responses[0])
+	}
+	if len(out.Responses[1]) != 1 || out.Responses[1][0] != types.ValOf(1) {
+		t.Errorf("process 1 decided %v, want val(1)", out.Responses[1])
+	}
+	waitForGoroutines(t, base)
+}
+
+// TestStutterSchedulerWaitFreedom runs correct protocols with one process
+// maximally delayed: a wait-free implementation must complete every
+// operation anyway, agreeing and deciding validly, with nobody marked
+// crashed.
+func TestStutterSchedulerWaitFreedom(t *testing.T) {
+	base := gort.NumGoroutine()
+	for _, mk := range []func() *program.Implementation{consensus.TAS2, consensus.Queue2} {
+		im := mk()
+		for victim := 0; victim < im.Procs; victim++ {
+			r, err := New(im, sched.NewStutter(im.Procs, victim, 4), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out, err := r.Run(proposals(0, 1), nil)
+			if err != nil {
+				t.Fatalf("%s victim=%d: %v", im.Name, victim, err)
+			}
+			for p, crashed := range out.Crashed {
+				if crashed {
+					t.Errorf("%s victim=%d: process %d marked crashed under stutter", im.Name, victim, p)
+				}
+			}
+			d0, d1 := out.Responses[0][0], out.Responses[1][0]
+			if d0 != d1 || (d0.Val != 0 && d0.Val != 1) {
+				t.Errorf("%s victim=%d: decisions %v vs %v", im.Name, victim, d0, d1)
+			}
+		}
+	}
+	waitForGoroutines(t, base)
+}
+
+// TestSeededResolverReproducible pins the seedable nondeterminism path:
+// the same resolver seed and scheduler seed reproduce a nondeterministic
+// protocol's run exactly; the resolver default is the documented
+// DefaultSeed.
+func TestSeededResolverReproducible(t *testing.T) {
+	run := func(seed int64) [][]types.Response {
+		im := consensus.NoisySticky2()
+		tok := sched.NewToken(im.Procs, 11, nil)
+		r, err := New(im, tok, RandomResolver(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := r.Run(proposals(0, 1), nil)
+		tok.Stop()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out.Responses
+	}
+	for seed := int64(0); seed < 5; seed++ {
+		a, b := run(seed), run(seed)
+		for p := range a {
+			if len(a[p]) != len(b[p]) {
+				t.Fatalf("seed %d: response counts differ for process %d", seed, p)
+			}
+			for i := range a[p] {
+				if a[p][i] != b[p][i] {
+					t.Fatalf("seed %d: run not reproducible: %v vs %v", seed, a[p], b[p])
+				}
+			}
+		}
+	}
+}

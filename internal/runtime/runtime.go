@@ -13,9 +13,11 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
+	"waitfree/internal/faults"
 	"waitfree/internal/hist"
 	"waitfree/internal/program"
 	"waitfree/internal/sched"
@@ -33,18 +35,31 @@ type Object struct {
 	resolve func(n int) int
 }
 
+// DefaultSeed seeds the nondeterminism resolver when the caller supplies
+// none.
+const DefaultSeed int64 = 1
+
+// RandomResolver returns a resolver that picks among nondeterministic
+// transitions uniformly at random from the given seed. The returned
+// function is safe for concurrent use and may be shared across objects;
+// with a fixed seed and a serializing scheduler the whole run is
+// reproducible (and the CLIs' -seed flag feeds through here).
+func RandomResolver(seed int64) func(n int) int {
+	rng := rand.New(rand.NewSource(seed))
+	var mu sync.Mutex
+	return func(n int) int {
+		mu.Lock()
+		defer mu.Unlock()
+		return rng.Intn(n)
+	}
+}
+
 // NewObject creates an object of the given type in the given initial
 // state. resolve picks among nondeterministic transitions (nil means
-// uniform random with the given seed source).
+// RandomResolver(DefaultSeed), private to this object).
 func NewObject(spec *types.Spec, init types.State, resolve func(n int) int) *Object {
 	if resolve == nil {
-		rng := rand.New(rand.NewSource(1))
-		var mu sync.Mutex
-		resolve = func(n int) int {
-			mu.Lock()
-			defer mu.Unlock()
-			return rng.Intn(n)
-		}
+		resolve = RandomResolver(DefaultSeed)
 	}
 	return &Object{spec: spec, state: init, resolve: resolve}
 }
@@ -153,6 +168,16 @@ func (r *Runner) Run(scripts [][]types.Invocation, mems []any) (*Outcome, error)
 		go func(p int) {
 			defer wg.Done()
 			defer r.sch.Done(p)
+			// Deferred after Done so it runs first (LIFO): a panic in
+			// protocol code is converted into a structured error on this
+			// process, and Done is still signalled so serializing schedulers
+			// (Token, Stutter) terminate instead of deadlocking the run.
+			defer func() {
+				if rec := recover(); rec != nil {
+					errs[p] = faults.NewPanicError("runtime", p,
+						fmt.Sprintf("after %d object accesses", steps.Load()), rec, debug.Stack())
+				}
+			}()
 			errs[p] = r.runProc(p, scripts[p], out, &clock, &steps, &histories[p])
 		}(p)
 	}

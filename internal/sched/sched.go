@@ -15,9 +15,17 @@ import (
 //
 // Next blocks until process p may perform its next object access and
 // reports whether p is still alive; false means p has crashed and must
-// stop silently. Done signals that p has finished all of its work (or
-// observed its crash) and will not call Next again. Both methods are
-// called from the process goroutines and must be safe for concurrent use.
+// stop silently. Done signals that p will not call Next again. Both
+// methods are called from the process goroutines and must be safe for
+// concurrent use.
+//
+// Done contract: every process calls Done exactly once, whether it
+// finished its script, observed its crash (Next returned false), or
+// failed with an error — the runtime guarantees the call even when the
+// process's protocol code panics. Schedulers may therefore rely on a
+// complete set of Done calls for their own termination (Token's
+// dispatcher and Stutter's victim wake-up both do); conversely a
+// scheduler must tolerate Done from a process that never called Next.
 type Scheduler interface {
 	Next(p int) bool
 	Done(p int)
@@ -71,6 +79,73 @@ func (c *Crash) Next(p int) bool {
 
 // Done implements Scheduler.
 func (c *Crash) Done(int) {}
+
+// Stutter slows one chosen process to expose wait-freedom violations that
+// depend on a laggard: before each of the victim's object accesses, the
+// other processes must collectively perform pause further accesses (or
+// all finish, whichever comes first). Every process still runs — unlike
+// Crash, Stutter tests the "arbitrarily slow but live" adversary of the
+// paper's Section 1, under which a wait-free implementation must still
+// complete every operation.
+type Stutter struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	procs  int
+	victim int
+	pause  int
+	credit int
+	done   map[int]bool
+}
+
+var _ Scheduler = (*Stutter)(nil)
+
+// NewStutter returns a scheduler over procs processes that delays victim:
+// each of its steps waits for pause steps by the others. pause <= 0 and
+// out-of-range victims degrade to free running.
+func NewStutter(procs, victim, pause int) *Stutter {
+	s := &Stutter{procs: procs, victim: victim, pause: pause, done: make(map[int]bool)}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// Next implements Scheduler.
+func (s *Stutter) Next(p int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if p != s.victim {
+		s.credit++
+		s.cond.Broadcast()
+		return true
+	}
+	// The victim waits for its quota of other-process steps, but never
+	// beyond the point where all other processes are done: wait-freedom is
+	// about slow peers, not dead ones, and the Done contract above
+	// guarantees the wake-up.
+	for s.credit < s.pause && !s.othersDoneLocked() {
+		s.cond.Wait()
+	}
+	s.credit = 0
+	return true
+}
+
+// Done implements Scheduler.
+func (s *Stutter) Done(p int) {
+	s.mu.Lock()
+	s.done[p] = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// othersDoneLocked reports whether every process but the victim is done.
+func (s *Stutter) othersDoneLocked() bool {
+	n := 0
+	for p, d := range s.done {
+		if d && p != s.victim {
+			n++
+		}
+	}
+	return n >= s.procs-1
+}
 
 // Token serializes all processes into one global order chosen pseudo-
 // randomly from a seed: at each point, one waiting live process is picked

@@ -1,0 +1,117 @@
+package sched
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestStutterVictimWaitsForCredit pins the pause semantics: the victim's
+// step may only be granted after the other processes performed pause
+// further steps. The other-step counter is bumped before each grant, so
+// whenever the victim wakes the counter must already cover its quota.
+func TestStutterVictimWaitsForCredit(t *testing.T) {
+	const pause = 3
+	s := NewStutter(2, 0, pause)
+	var others atomic.Int64
+	woke := make(chan int64, 1)
+	go func() {
+		if !s.Next(0) {
+			t.Error("victim reported crashed")
+		}
+		woke <- others.Load()
+	}()
+	for i := 0; i < pause; i++ {
+		others.Add(1)
+		if !s.Next(1) {
+			t.Fatal("non-victim blocked or crashed")
+		}
+	}
+	select {
+	case seen := <-woke:
+		if seen < pause {
+			t.Errorf("victim woke after %d other steps, want >= %d", seen, pause)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("victim never granted despite full credit")
+	}
+}
+
+// TestStutterVictimUnblocksWhenOthersDone pins the liveness half of the
+// Done contract: a victim whose quota can never be met (all other
+// processes finished) must still be granted — wait-freedom is about slow
+// peers, not a deadlocked scheduler.
+func TestStutterVictimUnblocksWhenOthersDone(t *testing.T) {
+	s := NewStutter(3, 2, 1_000_000)
+	woke := make(chan bool, 1)
+	go func() { woke <- s.Next(2) }()
+	if !s.Next(0) {
+		t.Fatal("non-victim blocked")
+	}
+	s.Done(0)
+	// Process 1 finishes without ever calling Next; Done alone must count.
+	s.Done(1)
+	select {
+	case alive := <-woke:
+		if !alive {
+			t.Error("victim reported crashed")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("victim still blocked after all other processes were done")
+	}
+	// The victim's later steps keep being granted.
+	done := make(chan struct{})
+	go func() {
+		s.Next(2)
+		s.Done(2)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("victim blocked again after peers finished")
+	}
+}
+
+// TestStutterCreditResets checks that each victim step consumes the whole
+// credit: two victim steps need two quotas.
+func TestStutterCreditResets(t *testing.T) {
+	s := NewStutter(2, 0, 2)
+	granted := make(chan struct{})
+	go func() {
+		s.Next(0)
+		granted <- struct{}{}
+		s.Next(0)
+		granted <- struct{}{}
+	}()
+	for i := 0; i < 2; i++ {
+		s.Next(1)
+	}
+	select {
+	case <-granted:
+	case <-time.After(2 * time.Second):
+		t.Fatal("first victim step never granted")
+	}
+	for i := 0; i < 2; i++ {
+		s.Next(1)
+	}
+	select {
+	case <-granted:
+	case <-time.After(2 * time.Second):
+		t.Fatal("second victim step never granted: credit did not reset")
+	}
+}
+
+// TestStutterOutOfRangeVictim degrades to free running: with no process
+// matching the victim index, nothing ever blocks.
+func TestStutterOutOfRangeVictim(t *testing.T) {
+	s := NewStutter(2, -1, 5)
+	for p := 0; p < 2; p++ {
+		for i := 0; i < 10; i++ {
+			if !s.Next(p) {
+				t.Fatalf("process %d blocked or crashed", p)
+			}
+		}
+		s.Done(p)
+	}
+}

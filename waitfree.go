@@ -31,6 +31,7 @@ import (
 	"waitfree/internal/consensus"
 	"waitfree/internal/core"
 	"waitfree/internal/explore"
+	"waitfree/internal/faults"
 	"waitfree/internal/hierarchy"
 	"waitfree/internal/multivalue"
 	"waitfree/internal/onebit"
@@ -85,6 +86,45 @@ type (
 	// ConsensusReport is the verdict of checking a consensus
 	// implementation over all proposal vectors and interleavings.
 	ConsensusReport = explore.ConsensusReport
+)
+
+// Fault injection: exhaustive crash exploration, structured panic
+// recovery, and resumable checkpointed runs.
+type (
+	// FaultModel describes the crash faults an exhaustive exploration
+	// injects (ExploreOptions.Faults); the zero model disables them.
+	FaultModel = faults.Model
+	// FaultMode selects where crashes may be placed.
+	FaultMode = faults.Mode
+	// PanicError is a panic in protocol code converted into a structured
+	// error by an engine's recovery layer.
+	PanicError = faults.PanicError
+	// Checkpoint is the resumable frontier snapshot of a cancelled
+	// consensus exploration (ExploreOptions.ResumeFrom, Report.Checkpoint).
+	Checkpoint = explore.Checkpoint
+)
+
+// Crash placement modes.
+const (
+	// CrashStop is the paper's failure model: a process may stop
+	// permanently before any of its object accesses.
+	CrashStop = faults.CrashStop
+	// CrashBeforeFirstStep enumerates only initial crashes: processes that
+	// never perform any object access.
+	CrashBeforeFirstStep = faults.CrashBeforeFirstStep
+)
+
+// Fault vocabulary helpers.
+var (
+	// ParseFaultMode parses the -fault-mode CLI tags ("crash-stop",
+	// "crash-start").
+	ParseFaultMode = faults.ParseMode
+	// ErrBadFaultModel is the sentinel wrapped by FaultModel validation
+	// failures.
+	ErrBadFaultModel = faults.ErrBadModel
+	// ErrBadCheckpoint is the sentinel returned when ResumeFrom does not
+	// match the run it is offered to.
+	ErrBadCheckpoint = explore.ErrBadCheckpoint
 )
 
 // Hierarchy classification.
@@ -325,6 +365,13 @@ var (
 	// NewTokenScheduler serializes all steps into one seeded pseudo-random
 	// global order (reproducible interleavings).
 	NewTokenScheduler = sched.NewToken
+	// NewStutterScheduler delays one chosen process: each of its steps
+	// waits for a quota of steps by the others (the "arbitrarily slow but
+	// live" adversary wait-freedom is defined against).
+	NewStutterScheduler = sched.NewStutter
+	// RandomResolver builds a seeded resolver for nondeterministic
+	// transitions, shared safely across a runner's objects.
+	RandomResolver = runtimepkg.RandomResolver
 )
 
 // RunOutcome is the result of one concurrent run.
