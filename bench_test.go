@@ -191,6 +191,43 @@ func BenchmarkExplorerParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkConsensusSymmetry sweeps symmetry reduction across process
+// counts on the register-free n-process protocols: 2^n trees collapse to
+// n+1 orbits, so the off/auto ratio approaches n!/(n+1)-fold less tree
+// work as n grows. The report is byte-identical at every setting (pinned
+// by TestSymmetryParityCorpus); the sweep exposes the saved time.
+func BenchmarkConsensusSymmetry(b *testing.B) {
+	protocols := []struct {
+		name string
+		mk   func(int) *program.Implementation
+	}{
+		{"sticky", consensus.Sticky},
+		{"cas", consensus.CAS},
+	}
+	for _, pc := range protocols {
+		name, mk := pc.name, pc.mk
+		for _, procs := range []int{3, 4, 5} {
+			for _, mode := range []explore.SymmetryMode{explore.SymmetryOff, explore.SymmetryAuto} {
+				b.Run(fmt.Sprintf("%s/n=%d/symmetry=%v", name, procs, mode), func(b *testing.B) {
+					im := mk(procs)
+					var nodes int64
+					for i := 0; i < b.N; i++ {
+						report, err := explore.Consensus(im, explore.Options{Memoize: true, Symmetry: mode})
+						if err != nil {
+							b.Fatal(err)
+						}
+						if !report.OK() {
+							b.Fatal(report.Summary())
+						}
+						nodes = report.Stats.Nodes
+					}
+					b.ReportMetric(float64(nodes), "explored-nodes")
+				})
+			}
+		}
+	}
+}
+
 // ---- E4: Section 5.1/5.2 witness search ----
 
 func BenchmarkWitnessSearch(b *testing.B) {

@@ -61,9 +61,11 @@ type Request struct {
 	// Values is the proposal-value range k for KindConsensus (0 = 2).
 	Values int
 	// Explore configures every exploration the pipeline runs: memoization,
-	// depth budget, parallelism, the fault model (Explore.Faults enumerates
-	// crash schedules exhaustively), and the OnProgress/ProgressInterval
-	// observability hooks.
+	// depth budget, parallelism, symmetry reduction (Explore.Symmetry
+	// explores one tree per process-permutation orbit when the
+	// implementation qualifies, with an identical report), the fault model
+	// (Explore.Faults enumerates crash schedules exhaustively), and the
+	// OnProgress/ProgressInterval observability hooks.
 	Explore ExploreOptions
 	// ResumeFrom resumes a KindConsensus or KindBound run from the
 	// Checkpoint a cancelled run returned in Report.Checkpoint; the other

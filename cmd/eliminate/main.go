@@ -9,6 +9,7 @@
 //
 //	eliminate [-protocol tas|queue|stack|faa|swap|noisysticky] [-memoize]
 //	          [-parallel N] [-timeout D] [-progress D] [-json]
+//	          [-symmetry MODE]
 package main
 
 import (

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	experiments [-only E4] [-timeout D] [-json]
+//	experiments [-only E4] [-timeout D] [-json] [-symmetry MODE]
 package main
 
 import (

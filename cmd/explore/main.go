@@ -7,7 +7,7 @@
 // Usage:
 //
 //	explore [-protocol NAME] [-procs N] [-memoize] [-parallel N]
-//	        [-timeout D] [-progress D] [-json]
+//	        [-timeout D] [-progress D] [-json] [-symmetry MODE]
 //	        [-faults] [-max-crashes N] [-fault-mode MODE]
 //	        [-checkpoint FILE]
 //
@@ -15,7 +15,10 @@
 // (up to -max-crashes per execution) and checks that the survivors still
 // agree on a valid value. With -checkpoint a cancelled run (Ctrl-C or
 // -timeout) writes its resumable state to FILE; rerunning the same
-// command picks up where it left off.
+// command picks up where it left off. -symmetry (off, auto, require;
+// default auto) explores one execution tree per process-permutation
+// orbit when the protocol is process-symmetric — the report is identical,
+// only the work shrinks.
 //
 // Protocols: tas, queue, stack, faa, swap, weakleader, naive (incorrect,
 // registers only), casregister3, noisysticky, and the register-free

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	hierarchy [-witnesses] [-parallel N] [-timeout D] [-progress D] [-json]
+//	          [-symmetry MODE]
 package main
 
 import (

@@ -8,6 +8,7 @@
 //	synthesize [-objects tas|tas+bits|cas|sticky|register|onebits]
 //	           [-depth N] [-symmetric] [-budget N]
 //	           [-parallel N] [-timeout D] [-progress D] [-json]
+//	           [-symmetry MODE]
 package main
 
 import (

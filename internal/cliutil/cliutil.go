@@ -3,7 +3,8 @@
 // -progress (live engine statistics on stderr), -json (the
 // machine-readable report on stdout), the crash fault model (-faults,
 // -max-crashes, -fault-mode), -seed (reproducible runner
-// nondeterminism), and -checkpoint (resumable run state on disk). The
+// nondeterminism), -symmetry (process-permutation reduction), and
+// -checkpoint (resumable run state on disk). The
 // three commands that used to parse -parallel independently (explore,
 // hierarchy, eliminate) now share this one definition, and every command
 // gets the observability and fault flags for free.
@@ -48,6 +49,10 @@ type Flags struct {
 	FaultMode faults.Mode
 	// Seed seeds the runner's nondeterminism resolver (see Resolver).
 	Seed int64
+	// Symmetry selects process-permutation symmetry reduction for the
+	// consensus engines; the default SymmetryAuto reduces exactly when the
+	// implementation qualifies, so reports never change, only work.
+	Symmetry explore.SymmetryMode
 	// Checkpoint is the path of the resumable-run file: loaded (if
 	// present) before a run, written when a run is cancelled mid-flight.
 	Checkpoint string
@@ -55,7 +60,7 @@ type Flags struct {
 
 // Register installs the shared flags on fs and returns the destination.
 func Register(fs *flag.FlagSet) *Flags {
-	f := &Flags{MaxCrashes: 1, Seed: runtime.DefaultSeed}
+	f := &Flags{MaxCrashes: 1, Seed: runtime.DefaultSeed, Symmetry: explore.SymmetryAuto}
 	fs.IntVar(&f.Parallel, "parallel", 0, "worker count for independent subtasks (0 = GOMAXPROCS)")
 	fs.DurationVar(&f.Timeout, "timeout", 0, "abort the run after this duration (e.g. 30s; 0 = no timeout)")
 	fs.DurationVar(&f.Progress, "progress", 0, "print engine progress to stderr at this interval (e.g. 500ms; 0 = off)")
@@ -72,6 +77,15 @@ func Register(fs *flag.FlagSet) *Flags {
 			return nil
 		})
 	fs.Int64Var(&f.Seed, "seed", runtime.DefaultSeed, "seed for the runner's nondeterminism resolver")
+	fs.Func("symmetry", `symmetry reduction: "off", "auto" (reduce when the protocol qualifies; default), or "require"`,
+		func(s string) error {
+			mode, err := explore.ParseSymmetryMode(s)
+			if err != nil {
+				return err
+			}
+			f.Symmetry = mode
+			return nil
+		})
 	fs.StringVar(&f.Checkpoint, "checkpoint", "", "resumable-run file: loaded if present, written on cancellation")
 	return f
 }
@@ -89,11 +103,12 @@ func (f *Flags) Context() (context.Context, context.CancelFunc) {
 	return ctx, stop
 }
 
-// Options folds the flags into opts: parallelism always, the fault
-// model when -faults is set, plus the OnProgress stderr hook when
-// -progress is set.
+// Options folds the flags into opts: parallelism and the symmetry mode
+// always, the fault model when -faults is set, plus the OnProgress stderr
+// hook when -progress is set.
 func (f *Flags) Options(opts explore.Options) explore.Options {
 	opts.Parallelism = f.Parallel
+	opts.Symmetry = f.Symmetry
 	if f.Faults {
 		opts.Faults = faults.Model{MaxCrashes: f.MaxCrashes, Mode: f.FaultMode}
 	}

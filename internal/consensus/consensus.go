@@ -245,9 +245,10 @@ func CAS(procs int) *program.Implementation {
 		machines[p] = machine
 	}
 	return &program.Implementation{
-		Name:   "cas-consensus",
-		Target: types.Consensus(procs),
-		Procs:  procs,
+		Name:           "cas-consensus",
+		Target:         types.Consensus(procs),
+		Procs:          procs,
+		SymmetricProcs: true,
 		Objects: []program.ObjectDecl{{
 			Name:   "cas",
 			Spec:   types.CompareSwap(procs, 3),
@@ -282,9 +283,10 @@ func Sticky(procs int) *program.Implementation {
 		machines[p] = machine
 	}
 	return &program.Implementation{
-		Name:   "sticky-consensus",
-		Target: types.Consensus(procs),
-		Procs:  procs,
+		Name:           "sticky-consensus",
+		Target:         types.Consensus(procs),
+		Procs:          procs,
+		SymmetricProcs: true,
 		Objects: []program.ObjectDecl{{
 			Name:   "sticky",
 			Spec:   types.StickyCell(procs, 2),
@@ -321,9 +323,10 @@ func AugQueue(procs int) *program.Implementation {
 		machines[p] = machine
 	}
 	return &program.Implementation{
-		Name:   "augqueue-consensus",
-		Target: types.Consensus(procs),
-		Procs:  procs,
+		Name:           "augqueue-consensus",
+		Target:         types.Consensus(procs),
+		Procs:          procs,
+		SymmetricProcs: true,
 		Objects: []program.ObjectDecl{{
 			Name:   "augq",
 			Spec:   types.AugmentedQueue(procs, 2, procs),
@@ -428,9 +431,10 @@ func FetchCons(procs int) *program.Implementation {
 		machines[p] = machine
 	}
 	return &program.Implementation{
-		Name:   "fetchcons-consensus",
-		Target: types.Consensus(procs),
-		Procs:  procs,
+		Name:           "fetchcons-consensus",
+		Target:         types.Consensus(procs),
+		Procs:          procs,
+		SymmetricProcs: true,
 		Objects: []program.ObjectDecl{{
 			Name:   "list",
 			Spec:   types.FetchAndCons(procs, 2, procs),
@@ -464,9 +468,10 @@ func NoisySticky2() *program.Implementation {
 		},
 	}
 	return &program.Implementation{
-		Name:   "noisysticky-consensus",
-		Target: types.Consensus(2),
-		Procs:  2,
+		Name:           "noisysticky-consensus",
+		Target:         types.Consensus(2),
+		Procs:          2,
+		SymmetricProcs: true,
 		Objects: []program.ObjectDecl{{
 			Name:   "noisy",
 			Spec:   types.NoisySticky(2, 2),

@@ -18,6 +18,12 @@ import (
 // re-exploring them. Because each tree's result is a pure function of the
 // implementation, a resumed run reaches the same report as an
 // uninterrupted one.
+//
+// Checkpoints are symmetry-agnostic in both directions: a tree result is
+// the same whether the tree was explored or replayed from its orbit
+// representative, so a checkpoint written under Options.Symmetry resumes
+// cleanly without it and vice versa. A symmetry-reduced resume replays
+// missing orbit members from any preloaded sibling (see ConsensusKContext).
 
 // CheckpointVersion is the serialization version stamped into every
 // Checkpoint; resuming from a different version is rejected.
@@ -67,8 +73,16 @@ type Checkpoint struct {
 	Trees []TreeResult `json:"trees"`
 }
 
-// Remaining reports how many trees are left to explore.
-func (c *Checkpoint) Remaining() int { return c.Roots - len(c.Trees) }
+// Remaining reports how many trees are left to explore. A malformed
+// checkpoint can claim more trees than roots; Remaining clamps to zero so
+// progress arithmetic (ETA bars, "N trees left" messages) never goes
+// negative — validateFor rejects such a checkpoint before it is resumed.
+func (c *Checkpoint) Remaining() int {
+	if r := c.Roots - len(c.Trees); r > 0 {
+		return r
+	}
+	return 0
+}
 
 // String renders a one-line progress summary.
 func (c *Checkpoint) String() string {
@@ -90,6 +104,9 @@ func (c *Checkpoint) validateFor(im *program.Implementation, k, roots int, model
 	}
 	if c.Faults != model {
 		return fmt.Errorf("%w: fault model %v, want %v", ErrBadCheckpoint, c.Faults, model)
+	}
+	if len(c.Trees) > c.Roots {
+		return fmt.Errorf("%w: %d trees recorded for %d roots", ErrBadCheckpoint, len(c.Trees), c.Roots)
 	}
 	seen := make(map[int]bool, len(c.Trees))
 	for i := range c.Trees {

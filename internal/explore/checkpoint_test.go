@@ -154,6 +154,13 @@ func TestResumeFromValidation(t *testing.T) {
 		{"bound shape", func(c *Checkpoint) {
 			c.Trees = []TreeResult{{Mask: 0, MaxAccess: []int{0}, OpAccess: []map[string]int{{}}, ProcSteps: []int{0, 0}}}
 		}},
+		{"excess trees", func(c *Checkpoint) {
+			tr := TreeResult{MaxAccess: []int{0, 0, 0}, OpAccess: []map[string]int{{}, {}, {}}, ProcSteps: []int{0, 0}}
+			for mask := 0; mask < c.Roots+1; mask++ {
+				tr.Mask = mask % c.Roots // more trees than roots, before the per-tree scan trips on the reuse
+				c.Trees = append(c.Trees, tr)
+			}
+		}},
 	}
 	for _, m := range mutations {
 		cp := good()
@@ -167,5 +174,20 @@ func TestResumeFromValidation(t *testing.T) {
 	scripts := proposalScripts([]int{0, 1})
 	if _, err := Run(im, scripts, Options{ResumeFrom: good()}); !errors.Is(err, ErrBadOptions) {
 		t.Errorf("Run accepted ResumeFrom: %v", err)
+	}
+}
+
+// TestCheckpointRemainingClamped pins Remaining on malformed counts: a
+// checkpoint claiming more trees than roots (rejected by validateFor, but
+// Remaining is also called on display paths before validation) must report
+// zero, not a negative count.
+func TestCheckpointRemainingClamped(t *testing.T) {
+	cp := &Checkpoint{Roots: 8, Trees: make([]TreeResult, 3)}
+	if got := cp.Remaining(); got != 5 {
+		t.Errorf("Remaining() = %d, want 5", got)
+	}
+	cp = &Checkpoint{Roots: 2, Trees: make([]TreeResult, 5)}
+	if got := cp.Remaining(); got != 0 {
+		t.Errorf("Remaining() on an overfull checkpoint = %d, want 0", got)
 	}
 }

@@ -183,17 +183,27 @@ type treeOutcome struct {
 	err     error
 }
 
+// consensusScripts builds the one-Propose-per-process scripts of a
+// proposal vector.
+func consensusScripts(proposals []int) [][]types.Invocation {
+	scripts := make([][]types.Invocation, len(proposals))
+	for p, v := range proposals {
+		scripts[p] = []types.Invocation{types.Propose(v)}
+	}
+	return scripts
+}
+
 // exploreTree explores the single execution tree rooted at the proposal
 // vector of mask. Each tree gets its own decided set and (under Memoize)
-// its own memo table: a table shared across trees would be unsound,
-// because memo hits skip the per-leaf agreement/validity checks, and
-// validity depends on the tree's proposal vector.
+// its own memo table: a table shared across arbitrary trees would be
+// unsound, because memo hits skip the per-leaf agreement/validity checks,
+// and validity depends on the tree's proposal vector. Trees in one
+// process-permutation orbit are the exception — for them the symmetry
+// layer skips exploration entirely and replays the representative's
+// outcome (see symmetry.go).
 func exploreTree(ctx context.Context, im *program.Implementation, k, mask int, opts Options, ctr *counters, widx int) treeOutcome {
 	proposals := ProposalVectorK(mask, im.Procs, k)
-	scripts := make([][]types.Invocation, im.Procs)
-	for p := range scripts {
-		scripts[p] = []types.Invocation{types.Propose(proposals[p])}
-	}
+	scripts := consensusScripts(proposals)
 	decided := make(map[int]bool)
 	treeOpts := opts
 	treeOpts.OnLeaf = func(l *Leaf) error {
@@ -208,6 +218,11 @@ func exploreTree(ctx context.Context, im *program.Implementation, k, mask int, o
 // workers; outcomes are merged in proposal-vector order, which makes the
 // report a pure function of the implementation — identical at every
 // parallelism level, including the Nodes/Leaves/MemoHits accounting.
+//
+// Under Options.Symmetry the unit of work becomes the process-permutation
+// orbit: one representative tree is explored per orbit and the member
+// trees replay its outcome, so the engine performs up to n! times less
+// work while the merged report stays byte-identical (see symmetry.go).
 //
 // Cancellation or deadline expiry stops every worker within flushEvery
 // configurations and returns ctx.Err(); if Options.OnProgress is set, one
@@ -255,11 +270,26 @@ func ConsensusKContext(ctx context.Context, im *program.Implementation, k int, o
 		workers = roots
 	}
 
+	// Symmetry reduction: partition the masks into process-permutation
+	// orbits and explore one representative per orbit. With symmetry off
+	// (or inapplicable) every mask is its own singleton orbit and the
+	// worker loop below degenerates to plain per-mask distribution.
+	orbits, reduced, err := planOrbits(im, k, roots, opts)
+	if err != nil {
+		return nil, err
+	}
+
 	ctr := newCounters(workers, roots)
+	if reduced {
+		ctr.orbitsTotal = len(orbits)
+	}
 
 	// Resume: trees recorded in the checkpoint are preloaded and never
 	// re-explored; the merge below cannot tell them from live outcomes, so
 	// a resumed run reaches the same report as an uninterrupted one.
+	// Checkpoints are symmetry-agnostic: a reduced run consumes unreduced
+	// checkpoints (and vice versa), and an orbit with any preloaded member
+	// replays the rest from it instead of exploring its representative.
 	outcomes := make([]treeOutcome, roots)
 	preloaded := make([]bool, roots)
 	if opts.ResumeFrom != nil {
@@ -276,9 +306,17 @@ func ConsensusKContext(ctx context.Context, im *program.Implementation, k int, o
 
 	stopProgress := startProgress(opts, ctr)
 
-	var next atomic.Int64 // work distribution: masks claimed in order
+	var next atomic.Int64 // work distribution: orbits claimed in representative-mask order
 	var stop atomic.Int64 // lowest mask whose tree errored or violated
 	stop.Store(int64(roots))
+	lowerStop := func(mask int) {
+		for {
+			cur := stop.Load()
+			if int64(mask) >= cur || stop.CompareAndSwap(cur, int64(mask)) {
+				return
+			}
+		}
+	}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -288,28 +326,63 @@ func ConsensusKContext(ctx context.Context, im *program.Implementation, k int, o
 				if ctx.Err() != nil {
 					return
 				}
-				mask := int(next.Add(1) - 1)
-				// Masks strictly above the lowest known-bad mask can never
-				// be merged (the merge stops there, as a sequential scan
-				// would); skipping them only sheds work, never results,
-				// because stop only decreases.
-				if mask >= roots || int64(mask) > stop.Load() {
+				idx := int(next.Add(1) - 1)
+				// Representatives strictly above the lowest known-bad mask
+				// can never be merged (the merge stops there, as a
+				// sequential scan would); skipping them only sheds work,
+				// never results, because stop only decreases.
+				if idx >= len(orbits) || int64(orbits[idx].rep) > stop.Load() {
 					return
 				}
-				if preloaded[mask] {
-					continue
-				}
-				out := exploreTree(ctx, im, k, mask, opts, ctr, widx)
-				outcomes[mask] = out
-				ctr.treesDone.Add(1)
-				if out.err != nil || out.res.Violation != nil {
-					for {
-						cur := stop.Load()
-						if int64(mask) >= cur || stop.CompareAndSwap(cur, int64(mask)) {
+				ob := &orbits[idx]
+				// The orbit's source outcome: the preloaded representative
+				// if the resume checkpoint has it, else any preloaded
+				// member, else a live exploration of the representative.
+				var src *treeOutcome
+				var srcPerm []int // source's role map onto the representative (nil = it IS the representative)
+				if preloaded[ob.rep] {
+					src = &outcomes[ob.rep]
+				} else {
+					for i := range ob.members {
+						if preloaded[ob.members[i].mask] {
+							src, srcPerm = &outcomes[ob.members[i].mask], ob.members[i].perm
 							break
 						}
 					}
 				}
+				if src == nil {
+					out := exploreTree(ctx, im, k, ob.rep, opts, ctr, widx)
+					outcomes[ob.rep] = out
+					ctr.treesDone.Add(1)
+					if out.err != nil || out.res.Violation != nil {
+						lowerStop(ob.rep)
+					}
+					src = &outcomes[ob.rep]
+				} else if !preloaded[ob.rep] {
+					// The representative itself replays from a preloaded
+					// member (checkpointed trees are always clean).
+					outcomes[ob.rep] = replayOutcome(src, srcPerm, nil)
+					ctr.treesDone.Add(1)
+					ctr.replayedTrees.Add(1)
+					src, srcPerm = &outcomes[ob.rep], nil
+				}
+				// Members replay only from a clean source: a violating or
+				// erred representative caps the merge at its own mask, so
+				// members — all strictly above it, the representative being
+				// the orbit minimum — could never be merged, exactly as an
+				// unreduced run sheds the masks above its first bad one.
+				if src.err == nil && src.res.Violation == nil {
+					for i := range ob.members {
+						m := &ob.members[i]
+						if preloaded[m.mask] {
+							continue
+						}
+						outcomes[m.mask] = replayOutcome(src, srcPerm, m.perm)
+						ctr.treesDone.Add(1)
+						ctr.replayedTrees.Add(1)
+					}
+				}
+				ctr.orbitsDone.Add(1)
 			}
 		}(w)
 	}

@@ -85,6 +85,22 @@ type Options struct {
 	// re-explored. Only ConsensusContext / ConsensusKContext honor it; Run
 	// rejects it (single trees have no frontier to resume).
 	ResumeFrom *Checkpoint
+	// Symmetry selects process-permutation symmetry reduction for
+	// Consensus/ConsensusK: proposal vectors that are permutations of one
+	// another generate isomorphic execution trees when the implementation
+	// is process-symmetric (declared SymmetricProcs over oblivious, fully
+	// ported objects), so only one representative tree per orbit is
+	// explored and the other members replay its outcome. The merged
+	// ConsensusReport is byte-identical to an unreduced run — verdicts,
+	// Depth, access bounds, Nodes, Leaves, MemoHits — while the engine
+	// Stats, which count work actually performed, shrink by up to n!.
+	// SymmetryOff (the zero value) explores every tree; SymmetryAuto
+	// reduces when the implementation qualifies and silently falls back
+	// otherwise; SymmetryRequire errors with ErrNotSymmetric instead of
+	// falling back. Run ignores Symmetry (a single tree has no orbit), and
+	// MemoBudget disables reduction (eviction timing is traversal-order
+	// dependent; see planOrbits).
+	Symmetry SymmetryMode
 	// OnProgress, if set, receives engine Stats snapshots every
 	// ProgressInterval while RunContext / ConsensusContext /
 	// ConsensusKContext execute, plus one final snapshot when the engine
@@ -124,6 +140,9 @@ func (o Options) Validate() error {
 	}
 	if o.MemoBudget > 0 && !o.Memoize {
 		return fmt.Errorf("%w: MemoBudget requires Memoize", ErrBadOptions)
+	}
+	if o.Symmetry < SymmetryOff || o.Symmetry > SymmetryRequire {
+		return fmt.Errorf("%w: unknown Symmetry mode %d", ErrBadOptions, int(o.Symmetry))
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package explore
 
 import (
+	"sync"
 	"testing"
 	"time"
 
@@ -13,6 +14,63 @@ import (
 // semantic report field at any parallelism level. Verdict, Depth, Nodes,
 // Leaves, and MemoHits are compared against an uninstrumented baseline —
 // the same values PR 1 pinned for the corpus.
+// TestProgressSnapshotRetention pins the documented ownership contract of
+// Stats.WorkerNodes: every snapshot owns a freshly allocated slice, so an
+// OnProgress callback may retain it and read it from another goroutine
+// while the engine keeps flushing counters. Run under -race (CI does) this
+// fails if a snapshot ever aliases live engine state; run normally it
+// still verifies retained snapshots are never mutated after publication.
+func TestProgressSnapshotRetention(t *testing.T) {
+	var mu sync.Mutex
+	var retained [][]int64
+	var frozen [][]int64
+	done := make(chan struct{})
+	reader := make(chan struct{})
+	go func() {
+		defer close(reader)
+		for {
+			mu.Lock()
+			for _, ws := range retained {
+				for i := range ws {
+					_ = ws[i] // races with counter flushes if snapshot aliased them
+				}
+			}
+			mu.Unlock()
+			select {
+			case <-done:
+				return
+			default:
+			}
+		}
+	}()
+	opts := Options{
+		Parallelism:      4,
+		ProgressInterval: time.Microsecond,
+		OnProgress: func(s Stats) {
+			mu.Lock()
+			retained = append(retained, s.WorkerNodes)
+			frozen = append(frozen, append([]int64(nil), s.WorkerNodes...))
+			mu.Unlock()
+		},
+	}
+	if _, err := Consensus(consensus.CAS(3), opts); err != nil {
+		t.Fatal(err)
+	}
+	close(done)
+	<-reader
+	if len(retained) == 0 {
+		t.Fatal("no progress snapshots published")
+	}
+	for i := range retained {
+		for w := range retained[i] {
+			if retained[i][w] != frozen[i][w] {
+				t.Fatalf("snapshot %d worker %d mutated after publication: %d != %d",
+					i, w, retained[i][w], frozen[i][w])
+			}
+		}
+	}
+}
+
 func TestInstrumentedParity(t *testing.T) {
 	for _, im := range consensus.Corpus() {
 		for _, memoize := range []bool{false, true} {

@@ -1,11 +1,13 @@
 package explore
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"hash/maphash"
 	"math"
 	"reflect"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -26,10 +28,16 @@ import (
 // user-defined machine/object states, interning their reflect.Types into
 // small ids.
 //
-// Keys only need to be injective and stable within one explorer: the memo
-// table lives for a single execution tree (see ConsensusK for why sharing
-// across trees would be unsound), and type-id interning is per-encoder, so
-// encounter order cannot differ between two encodings of equal configs.
+// Keys only need to be injective and stable within one encoder: type-id
+// interning is per-encoder, so encounter order cannot differ between two
+// encodings of equal configs. The memo table still lives for a single
+// execution tree — memo hits skip the per-leaf checks, and validity
+// depends on the tree's proposal vector — but the per-tree restriction no
+// longer caps deduplication across symmetric trees: the symmetry layer
+// (symmetry.go) goes further than sharing a table across the orbit of a
+// proposal vector's permutations, skipping the member trees outright and
+// replaying the representative's outcome, with canonKey certifying at the
+// roots that the orbit really is one tree up to process renaming.
 
 // Key tags. Every encoded value starts with a tag byte so that values of
 // different shapes can never collide byte-wise (e.g. int 1 vs true vs "1").
@@ -47,6 +55,7 @@ const (
 	tagReflect
 	tagFloat
 	tagFmt
+	tagMap
 )
 
 // keyEncoder renders configurations into compact deterministic byte keys.
@@ -73,34 +82,73 @@ func (e *keyEncoder) configKey(c *config) []byte {
 	}
 	b = append(b, tagSep)
 	for i := range c.procs {
-		ps := &c.procs[i]
-		b = append(b, tagProc)
-		b = binary.AppendVarint(b, int64(ps.OpIdx))
-		if ps.Done {
-			b = append(b, tagTrue)
-		} else {
-			b = append(b, tagFalse)
-		}
-		// Crash/step flags are configuration state under fault exploration:
-		// leaf checks depend on which processes survived, so configurations
-		// differing only in them must never be conflated.
-		if ps.Crashed {
-			b = append(b, tagTrue)
-		} else {
-			b = append(b, tagFalse)
-		}
-		if ps.Stepped {
-			b = append(b, tagTrue)
-		} else {
-			b = append(b, tagFalse)
-		}
-		b = e.appendAny(b, ps.Mem)
-		b = e.appendAny(b, ps.Mst)
-		b = e.appendAction(b, ps.Pending)
-		b = appendResponse(b, ps.Resp)
+		b = e.appendProc(b, &c.procs[i])
 	}
 	e.buf = b
 	return b
+}
+
+// appendProc encodes one process's control state.
+func (e *keyEncoder) appendProc(b []byte, ps *procState) []byte {
+	b = append(b, tagProc)
+	b = binary.AppendVarint(b, int64(ps.OpIdx))
+	if ps.Done {
+		b = append(b, tagTrue)
+	} else {
+		b = append(b, tagFalse)
+	}
+	// Crash/step flags are configuration state under fault exploration:
+	// leaf checks depend on which processes survived, so configurations
+	// differing only in them must never be conflated.
+	if ps.Crashed {
+		b = append(b, tagTrue)
+	} else {
+		b = append(b, tagFalse)
+	}
+	if ps.Stepped {
+		b = append(b, tagTrue)
+	} else {
+		b = append(b, tagFalse)
+	}
+	b = e.appendAny(b, ps.Mem)
+	b = e.appendAny(b, ps.Mst)
+	b = e.appendAction(b, ps.Pending)
+	return appendResponse(b, ps.Resp)
+}
+
+// canonKey encodes c up to process permutation: the object states
+// positionally (a process permutation of a fully ported oblivious
+// implementation fixes every object slot), then the per-process encodings
+// in sorted byte order. Configurations that differ only by a renaming of
+// behaviorally identical processes therefore share a canonical key — the
+// certificate verifyOrbitRoots checks before symmetry reduction trusts a
+// declared SymmetricProcs. Off the memo hot path, so the key is freshly
+// allocated (unlike configKey's reused buffer) and survives later calls.
+// perm lists the processes in canonical order (perm[i] occupies slot i);
+// equal encodings tie-break by index, keeping the order deterministic.
+func (e *keyEncoder) canonKey(c *config) (key []byte, perm []int) {
+	encs := make([][]byte, len(c.procs))
+	for p := range c.procs {
+		encs[p] = e.appendProc(nil, &c.procs[p])
+	}
+	perm = make([]int, len(c.procs))
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.Slice(perm, func(i, j int) bool {
+		if cmp := bytes.Compare(encs[perm[i]], encs[perm[j]]); cmp != 0 {
+			return cmp < 0
+		}
+		return perm[i] < perm[j]
+	})
+	for i := range c.objs {
+		key = e.appendAny(key, c.objs[i])
+	}
+	key = append(key, tagSep)
+	for _, p := range perm {
+		key = append(key, encs[p]...)
+	}
+	return key, perm
 }
 
 func appendResponse(b []byte, r types.Response) []byte {
@@ -207,6 +255,30 @@ func (e *keyEncoder) appendValue(b []byte, rv reflect.Value) []byte {
 			return append(b, tagNil)
 		}
 		return e.appendReflect(b, rv.Elem())
+	case reflect.Map:
+		// Map iteration order is randomized, so entries are encoded
+		// individually and sorted by their encoded bytes — distinct keys
+		// have distinct self-delimiting encodings, so this is equivalent to
+		// sorting by key and the rendering is deterministic. The historical
+		// tagFmt fallback left determinism to fmt's key sorting, which does
+		// not cover every key type and ties the key format to fmt internals.
+		if rv.IsNil() {
+			return append(b, tagNil)
+		}
+		b = append(b, tagMap)
+		b = binary.AppendUvarint(b, uint64(rv.Len()))
+		entries := make([][]byte, 0, rv.Len())
+		iter := rv.MapRange()
+		for iter.Next() {
+			eb := e.appendReflect(nil, iter.Key())
+			eb = e.appendReflect(eb, iter.Value())
+			entries = append(entries, eb)
+		}
+		sort.Slice(entries, func(i, j int) bool { return bytes.Compare(entries[i], entries[j]) < 0 })
+		for _, eb := range entries {
+			b = append(b, eb...)
+		}
+		return b
 	default:
 		// States are documented as pointer-free comparable values, so this
 		// branch is unreachable for well-formed types. Keep correctness for

@@ -9,12 +9,17 @@ import (
 
 // FormatLanes renders a schedule as an ASCII sequence diagram with one
 // column per process — the natural way to read a counterexample. im (may
-// be nil) supplies object names; without it, objects print as obj<N>.
+// be nil) supplies object names and the process count; without it, objects
+// print as obj<N> and columns cover only the processes that took a step,
+// so trailing silent processes get no lane.
 func FormatLanes(steps []StepRecord, im *program.Implementation) string {
 	if len(steps) == 0 {
 		return "(empty schedule)"
 	}
 	procs := 0
+	if im != nil {
+		procs = im.Procs
+	}
 	for _, s := range steps {
 		if s.Proc+1 > procs {
 			procs = s.Proc + 1
@@ -55,7 +60,6 @@ func FormatLanes(steps []StepRecord, im *program.Implementation) string {
 			}
 			fmt.Fprintf(&b, "%-*s", width+2, cell)
 		}
-		b.WriteString(strings.TrimRight("", " "))
 		b.WriteString("\n")
 	}
 	return strings.TrimRight(b.String(), "\n")

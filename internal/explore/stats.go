@@ -45,13 +45,25 @@ type Stats struct {
 	// (a liveness indicator, not a bound).
 	MaxDepth int `json:"max_depth"`
 	CurDepth int `json:"cur_depth"`
-	// TreesDone / TreesTotal count fully explored proposal-vector trees;
+	// TreesDone / TreesTotal count finished proposal-vector trees (explored
+	// or, under symmetry reduction, replayed from an orbit sibling);
 	// Frontier is the remainder (trees still queued or in flight).
 	TreesDone  int `json:"trees_done"`
 	TreesTotal int `json:"trees_total"`
 	Frontier   int `json:"frontier"`
+	// Orbits / OrbitsDone count process-permutation orbits when symmetry
+	// reduction is active (zero otherwise); ReplayedTrees counts the member
+	// trees whose outcome was replayed from an explored representative
+	// instead of being explored. TreesDone - ReplayedTrees is the number of
+	// trees the engine actually walked.
+	Orbits        int   `json:"orbits,omitempty"`
+	OrbitsDone    int   `json:"orbits_done,omitempty"`
+	ReplayedTrees int64 `json:"replayed_trees,omitempty"`
 	// Workers is the worker-goroutine count; WorkerNodes[w] is worker w's
-	// cumulative node count, the basis of per-worker throughput.
+	// cumulative node count, the basis of per-worker throughput. The slice
+	// is freshly allocated for every snapshot — never a view of live engine
+	// state — so an OnProgress callback may retain it or read it from
+	// another goroutine without racing the workers' counter flushes.
 	Workers     int     `json:"workers"`
 	WorkerNodes []int64 `json:"worker_nodes,omitempty"`
 	// Degraded reports that at least one tree's memo table hit
@@ -90,6 +102,9 @@ func (s Stats) String() string {
 	fmt.Fprintf(&b, "explore: trees %d/%d nodes=%d leaves=%d memo=%d depth<=%d cur=%d workers=%d %.0f nodes/s elapsed=%s",
 		s.TreesDone, s.TreesTotal, s.Nodes, s.Leaves, s.MemoHits,
 		s.MaxDepth, s.CurDepth, s.Workers, s.NodesPerSecond(), s.Elapsed.Round(time.Millisecond))
+	if s.Orbits > 0 {
+		fmt.Fprintf(&b, " orbits=%d/%d replayed=%d", s.OrbitsDone, s.Orbits, s.ReplayedTrees)
+	}
 	return b.String()
 }
 
@@ -97,14 +112,20 @@ func (s Stats) String() string {
 type counters struct {
 	start      time.Time
 	treesTotal int
+	// orbitsTotal is nonzero exactly when symmetry reduction is active
+	// (set by ConsensusKContext after planOrbits); it gates the orbit
+	// fields in snapshots so unreduced runs keep their exact Stats shape.
+	orbitsTotal int
 
-	nodes     atomic.Int64
-	leaves    atomic.Int64
-	memoHits  atomic.Int64
-	maxDepth  atomic.Int64
-	curDepth  atomic.Int64
-	treesDone atomic.Int64
-	degraded  atomic.Bool
+	nodes         atomic.Int64
+	leaves        atomic.Int64
+	memoHits      atomic.Int64
+	maxDepth      atomic.Int64
+	curDepth      atomic.Int64
+	treesDone     atomic.Int64
+	orbitsDone    atomic.Int64
+	replayedTrees atomic.Int64
+	degraded      atomic.Bool
 
 	workerNodes []atomic.Int64
 }
@@ -145,6 +166,14 @@ func (c *counters) snapshot() Stats {
 		Elapsed:     time.Since(c.start),
 	}
 	s.Frontier = s.TreesTotal - s.TreesDone
+	if c.orbitsTotal > 0 {
+		s.Orbits = c.orbitsTotal
+		s.OrbitsDone = int(c.orbitsDone.Load())
+		s.ReplayedTrees = c.replayedTrees.Load()
+	}
+	// WorkerNodes is copied element-wise into the fresh slice allocated
+	// above: snapshots own their slice outright (see the Stats field docs),
+	// so OnProgress callbacks that retain one never alias live counters.
 	for i := range c.workerNodes {
 		s.WorkerNodes[i] = c.workerNodes[i].Load()
 	}

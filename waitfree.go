@@ -86,6 +86,33 @@ type (
 	// ConsensusReport is the verdict of checking a consensus
 	// implementation over all proposal vectors and interleavings.
 	ConsensusReport = explore.ConsensusReport
+	// SymmetryMode selects process-permutation symmetry reduction for the
+	// consensus checks (ExploreOptions.Symmetry).
+	SymmetryMode = explore.SymmetryMode
+)
+
+// Symmetry reduction modes (ExploreOptions.Symmetry).
+const (
+	// SymmetryOff explores every proposal-vector tree.
+	SymmetryOff = explore.SymmetryOff
+	// SymmetryAuto reduces when the implementation qualifies and silently
+	// explores unreduced otherwise.
+	SymmetryAuto = explore.SymmetryAuto
+	// SymmetryRequire reduces or fails with ErrNotSymmetric.
+	SymmetryRequire = explore.SymmetryRequire
+)
+
+// Symmetry vocabulary helpers.
+var (
+	// ParseSymmetryMode parses the -symmetry CLI tags ("off", "auto",
+	// "require").
+	ParseSymmetryMode = explore.ParseSymmetryMode
+	// ErrNotSymmetric is the sentinel wrapped when SymmetryRequire is set
+	// but the run cannot be symmetry-reduced.
+	ErrNotSymmetric = explore.ErrNotSymmetric
+	// ProcessSymmetric reports whether an implementation satisfies the
+	// statically checkable process-symmetry conditions.
+	ProcessSymmetric = explore.Symmetric
 )
 
 // Fault injection: exhaustive crash exploration, structured panic
