@@ -174,12 +174,17 @@ func (r *Report) String() string {
 }
 
 // Check runs the pipeline selected by req under ctx and returns its
-// report. Cancellation and deadline expiry stop the underlying engines
-// promptly (within one counter-flush period, microseconds in practice)
-// and surface as ctx.Err(). Some failures return both a partial report
-// and an error (for example KindBound on an incorrect input returns the
-// report carrying the counterexample); callers must treat a non-nil error
-// as the verdict.
+// report. Explicit cancellation stops the underlying engines promptly
+// (within one counter-flush period, microseconds in practice) and
+// surfaces as ctx.Err(). For KindConsensus, deadline expiry and the soft
+// stops in req.Explore (MaxNodes, StallAfter) instead degrade to a
+// Consensus report with Partial set, a Coverage block, and a resumable
+// Checkpoint — the error is nil (or a *explore.StallError) and
+// Report.OK() is false. The other kinds treat partial coverage as
+// inconclusive and return an error alongside the partial report. Some
+// failures return both a partial report and an error (for example
+// KindBound on an incorrect input returns the report carrying the
+// counterexample); callers must treat a non-nil error as the verdict.
 func Check(ctx context.Context, req Request) (*Report, error) {
 	start := time.Now()
 	if req.ResumeFrom != nil {
@@ -268,6 +273,11 @@ func runSynthesis(ctx context.Context, req Request) (*SynthesisReport, error) {
 	rep.Reverification, err = explore.ConsensusContext(ctx, im, req.Explore)
 	if err != nil {
 		return rep, err
+	}
+	if rep.Reverification.Partial {
+		// An incomplete re-verification condemns nothing: report it as
+		// inconclusive rather than as a failed protocol.
+		return rep, fmt.Errorf("waitfree: synthesized protocol re-verification stopped with partial coverage: %s", rep.Reverification.Summary())
 	}
 	if !rep.Reverification.OK() {
 		return rep, fmt.Errorf("waitfree: synthesized protocol failed re-verification: %s", rep.Reverification.Summary())

@@ -198,14 +198,73 @@ func TestCheckCancellation(t *testing.T) {
 			t.Errorf("%s: err = %v, want context.Canceled", req.Kind, err)
 		}
 	}
-	// Deadline expiry mid-run on the slowest corpus member.
+	// Deadline expiry mid-run degrades KindConsensus to a partial-coverage
+	// report (nil error) with the resumable checkpoint lifted to the top
+	// level — the durable-runs contract, not the Ctrl-C contract.
 	dctx, dcancel := context.WithTimeout(context.Background(), 2*time.Millisecond)
 	defer dcancel()
-	if _, err := waitfree.Check(dctx, waitfree.Request{
+	rep, err := waitfree.Check(dctx, waitfree.Request{
 		Kind:           waitfree.KindConsensus,
 		Implementation: waitfree.CASRegister3Consensus(),
-	}); !errors.Is(err, context.DeadlineExceeded) {
-		t.Errorf("err = %v, want context.DeadlineExceeded", err)
+	})
+	if err != nil {
+		t.Fatalf("deadline: err = %v, want nil (partial report)", err)
+	}
+	if rep.Consensus == nil || !rep.Consensus.Partial || rep.Consensus.Coverage == nil {
+		t.Fatalf("deadline: report not partial: %+v", rep.Consensus)
+	}
+	if rep.OK() {
+		t.Error("partial report claims OK")
+	}
+	if rep.Checkpoint == nil {
+		t.Error("partial report's checkpoint was not lifted to the Report")
+	}
+}
+
+// TestCheckPartialBudget drives the soft node budget through the unified
+// API: KindConsensus degrades to a resumable partial report, while
+// KindBound — whose bounds only exist for fully covered inputs — reports
+// the stop as inconclusive, not as a verification failure.
+func TestCheckPartialBudget(t *testing.T) {
+	req := waitfree.Request{
+		Kind:           waitfree.KindConsensus,
+		Implementation: waitfree.CASRegister3Consensus(),
+		Explore:        waitfree.ExploreOptions{Memoize: true, Parallelism: 1, MaxNodes: 500},
+	}
+	rep, err := waitfree.Check(context.Background(), req)
+	if err != nil {
+		t.Fatalf("consensus: err = %v, want nil", err)
+	}
+	if !rep.Consensus.Partial || rep.Checkpoint == nil || rep.OK() {
+		t.Fatalf("consensus: want partial report with checkpoint, got %+v", rep.Consensus)
+	}
+
+	// Resume the same request from the partial checkpoint, without the
+	// budget: the completed report must verify.
+	req.Explore.MaxNodes = 0
+	req.ResumeFrom = rep.Checkpoint
+	full, err := waitfree.Check(context.Background(), req)
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if !full.OK() || full.Checkpoint != nil || full.Consensus.Partial {
+		t.Fatalf("resume: want complete verified report, got %s", full.Consensus.Summary())
+	}
+
+	bound := waitfree.Request{
+		Kind:           waitfree.KindBound,
+		Implementation: waitfree.CASRegister3Consensus(),
+		Explore:        waitfree.ExploreOptions{Memoize: true, Parallelism: 1, MaxNodes: 500},
+	}
+	brep, err := waitfree.Check(context.Background(), bound)
+	if !errors.Is(err, waitfree.ErrInconclusive) {
+		t.Fatalf("bound: err = %v, want ErrInconclusive", err)
+	}
+	if errors.Is(err, waitfree.ErrNotWaitFree) {
+		t.Error("bound: partial coverage misreported as a failed verification")
+	}
+	if brep == nil || brep.Checkpoint == nil {
+		t.Error("bound: inconclusive stop lost the resumable checkpoint")
 	}
 }
 

@@ -9,7 +9,12 @@
 //
 //	eliminate [-protocol tas|queue|stack|faa|swap|noisysticky] [-memoize]
 //	          [-parallel N] [-timeout D] [-progress D] [-json]
-//	          [-symmetry MODE]
+//	          [-symmetry MODE] [-max-nodes N] [-stall-after D]
+//
+// The pipeline's explorations honor the long-run guards: -max-nodes,
+// -timeout, and -stall-after stop an oversized exploration with an
+// "inconclusive" error (the input is neither verified nor condemned)
+// instead of running unbounded.
 package main
 
 import (
@@ -48,9 +53,13 @@ func run(args []string) error {
 		return err
 	}
 
+	exOpts, err := common.Supervise(common.Options(explore.Options{Memoize: *memoize}))
+	if err != nil {
+		return err
+	}
 	req := waitfree.Request{
 		Kind:    waitfree.KindElimination,
-		Explore: common.Options(explore.Options{Memoize: *memoize}),
+		Explore: exOpts,
 	}
 	if *name == "noisysticky" {
 		// The nondeterministic case: Theorem 5's h_m >= 2 route (Section

@@ -9,13 +9,22 @@
 //	explore [-protocol NAME] [-procs N] [-memoize] [-parallel N]
 //	        [-timeout D] [-progress D] [-json] [-symmetry MODE]
 //	        [-faults] [-max-crashes N] [-fault-mode MODE]
-//	        [-checkpoint FILE]
+//	        [-checkpoint FILE] [-checkpoint-every D]
+//	        [-stall-after D] [-max-nodes N]
 //
 // With -faults the explorer additionally enumerates every crash schedule
 // (up to -max-crashes per execution) and checks that the survivors still
-// agree on a valid value. With -checkpoint a cancelled run (Ctrl-C or
-// -timeout) writes its resumable state to FILE; rerunning the same
-// command picks up where it left off. -symmetry (off, auto, require;
+// agree on a valid value. With -checkpoint a cancelled run (Ctrl-C) or a
+// run stopped early (-timeout, -max-nodes, -stall-after) writes its
+// resumable state to FILE; rerunning the same command picks up where it
+// left off. -checkpoint-every additionally rewrites FILE durably
+// (checksummed, atomic-rename) at that interval while the run is in
+// flight, so even a SIGKILLed run loses at most one interval of work; a
+// corrupted FILE is detected on load and its longest valid prefix is
+// resumed. -timeout and -max-nodes stop an oversized run with a
+// partial-coverage report instead of an error dump; -stall-after flags a
+// worker that stops making progress (a wedged spec) with the exact
+// configuration it was stuck on. -symmetry (off, auto, require;
 // default auto) explores one execution tree per process-permutation
 // orbit when the protocol is process-symmetric — the report is identical,
 // only the work shrinks.
@@ -26,6 +35,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -104,18 +114,32 @@ func run(args []string) error {
 
 	resume, err := common.LoadCheckpoint()
 	if err != nil {
-		return err
+		// A corrupt checkpoint file (torn write, truncation, bit rot) may
+		// still carry a verified prefix of finished trees: resume from it
+		// rather than discarding everything the dead run had saved.
+		var ce *waitfree.CorruptCheckpointError
+		if errors.As(err, &ce) && ce.Salvaged != nil && len(ce.Salvaged.Trees) > 0 {
+			fmt.Fprintf(os.Stderr, "explore: %v\nexplore: resuming from the salvaged prefix (%d trees)\n",
+				err, len(ce.Salvaged.Trees))
+			resume = ce.Salvaged
+		} else {
+			return err
+		}
 	}
 	if resume != nil {
 		fmt.Fprintf(os.Stderr, "explore: resuming from %s (%s)\n", common.Checkpoint, resume)
 	}
 
+	exOpts, err := common.Supervise(common.Options(explore.Options{Memoize: *memoize}))
+	if err != nil {
+		return err
+	}
 	ctx, cancel := common.Context()
 	defer cancel()
 	rep, err := waitfree.Check(ctx, waitfree.Request{
 		Kind:           waitfree.KindConsensus,
 		Implementation: im,
-		Explore:        common.Options(explore.Options{Memoize: *memoize}),
+		Explore:        exOpts,
 		ResumeFrom:     resume,
 	})
 	if err != nil {
@@ -128,6 +152,27 @@ func run(args []string) error {
 			}
 		}
 		return err
+	}
+	if rep.Consensus != nil && rep.Consensus.Partial {
+		// The run stopped early (-timeout, -max-nodes, -stall-after) with
+		// partial coverage: print what WAS covered, keep the resumable
+		// state, and exit nonzero — partial coverage is not a verdict.
+		if common.JSON {
+			if werr := cliutil.WriteJSON(os.Stdout, rep); werr != nil {
+				return werr
+			}
+		} else {
+			fmt.Print(rep.String())
+		}
+		if common.Checkpoint != "" {
+			if serr := common.SaveCheckpoint(rep.Checkpoint); serr != nil {
+				fmt.Fprintln(os.Stderr, "explore:", serr)
+			} else {
+				fmt.Fprintf(os.Stderr, "explore: %s saved to %s — rerun the same command to resume\n",
+					rep.Checkpoint, common.Checkpoint)
+			}
+		}
+		return fmt.Errorf("stopped with partial coverage (%s)", rep.Consensus.Coverage.Reason)
 	}
 	if common.Checkpoint != "" {
 		// The run completed: a stale checkpoint file would only confuse the

@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
 
 func TestRunCorrectProtocols(t *testing.T) {
 	for _, name := range []string{"tas", "queue", "cas", "sticky", "augqueue", "fetchcons", "weakleader", "noisysticky"} {
@@ -37,5 +42,40 @@ func TestRunSharedFlags(t *testing.T) {
 	}
 	if err := run([]string{"-protocol", "casregister3", "-timeout", "1ns"}); err == nil {
 		t.Fatal("expired deadline not reported")
+	}
+}
+
+// TestRunPartialThenResume drives the durable-runs loop end to end at the
+// CLI layer: a -max-nodes run stops with partial coverage and a saved
+// checkpoint, and rerunning the same command without the budget resumes
+// it to a clean verdict.
+func TestRunPartialThenResume(t *testing.T) {
+	cp := filepath.Join(t.TempDir(), "cp")
+	err := run([]string{"-protocol", "casregister3", "-memoize", "-parallel", "1",
+		"-max-nodes", "500", "-checkpoint", cp})
+	if err == nil || !strings.Contains(err.Error(), "partial coverage") {
+		t.Fatalf("budgeted run: err = %v, want partial-coverage error", err)
+	}
+	if _, serr := os.Stat(cp); serr != nil {
+		t.Fatalf("partial run saved no checkpoint: %v", serr)
+	}
+	if err := run([]string{"-protocol", "casregister3", "-memoize", "-parallel", "1",
+		"-checkpoint", cp}); err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if _, serr := os.Stat(cp); !os.IsNotExist(serr) {
+		t.Errorf("completed resume left a stale checkpoint: %v", serr)
+	}
+}
+
+// TestRunDurabilityFlagValidation pins the -checkpoint-every usage error
+// and that a valid autosave configuration runs cleanly.
+func TestRunDurabilityFlagValidation(t *testing.T) {
+	if err := run([]string{"-protocol", "tas", "-checkpoint-every", "1s"}); err == nil {
+		t.Fatal("-checkpoint-every accepted without -checkpoint")
+	}
+	cp := filepath.Join(t.TempDir(), "cp")
+	if err := run([]string{"-protocol", "tas", "-checkpoint", cp, "-checkpoint-every", "1ms"}); err != nil {
+		t.Fatal(err)
 	}
 }

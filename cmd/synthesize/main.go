@@ -8,7 +8,11 @@
 //	synthesize [-objects tas|tas+bits|cas|sticky|register|onebits]
 //	           [-depth N] [-symmetric] [-budget N]
 //	           [-parallel N] [-timeout D] [-progress D] [-json]
-//	           [-symmetry MODE]
+//	           [-symmetry MODE] [-max-nodes N] [-stall-after D]
+//
+// The re-verification exploration honors the long-run guards: -max-nodes,
+// -timeout, and -stall-after stop an oversized re-verification with an
+// "inconclusive" error instead of running unbounded.
 package main
 
 import (
@@ -78,11 +82,15 @@ func run(args []string) error {
 		fmt.Printf("searching for a 2-process consensus protocol over %q (depth <= %d, symmetric=%v)\n",
 			*setName, *depth, *symmetric)
 	}
+	exOpts, err := common.Supervise(common.Options(waitfree.ExploreOptions{}))
+	if err != nil {
+		return err
+	}
 	rep, err := waitfree.Check(ctx, waitfree.Request{
 		Kind:      waitfree.KindSynthesis,
 		Objects:   mk(),
 		Synthesis: waitfree.SynthOptions{Depth: *depth, Symmetric: *symmetric, Budget: *budget},
-		Explore:   common.Options(waitfree.ExploreOptions{}),
+		Explore:   exOpts,
 	})
 	if err != nil {
 		return err

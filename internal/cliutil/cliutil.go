@@ -22,6 +22,7 @@ import (
 	"os/signal"
 	"time"
 
+	"waitfree/internal/durable"
 	"waitfree/internal/explore"
 	"waitfree/internal/faults"
 	"waitfree/internal/runtime"
@@ -54,8 +55,19 @@ type Flags struct {
 	// implementation qualifies, so reports never change, only work.
 	Symmetry explore.SymmetryMode
 	// Checkpoint is the path of the resumable-run file: loaded (if
-	// present) before a run, written when a run is cancelled mid-flight.
+	// present) before a run, written when a run is cancelled mid-flight or
+	// ends partial, and — with CheckpointEvery — autosaved while it runs.
 	Checkpoint string
+	// CheckpointEvery autosaves Checkpoint at this interval during the
+	// run (0 = only on cancellation); requires Checkpoint.
+	CheckpointEvery time.Duration
+	// StallAfter arms the stall watchdog: a worker making no progress for
+	// this long stops the run with a partial report (0 = off).
+	StallAfter time.Duration
+	// MaxNodes is the soft node budget: the run degrades to a
+	// partial-coverage report after entering this many configurations
+	// (0 = unbounded).
+	MaxNodes int64
 }
 
 // Register installs the shared flags on fs and returns the destination.
@@ -86,7 +98,10 @@ func Register(fs *flag.FlagSet) *Flags {
 			f.Symmetry = mode
 			return nil
 		})
-	fs.StringVar(&f.Checkpoint, "checkpoint", "", "resumable-run file: loaded if present, written on cancellation")
+	fs.StringVar(&f.Checkpoint, "checkpoint", "", "resumable-run file: loaded if present, written on cancellation or partial coverage")
+	fs.DurationVar(&f.CheckpointEvery, "checkpoint-every", 0, "autosave the -checkpoint file at this interval while the run is in flight (e.g. 30s; 0 = off)")
+	fs.DurationVar(&f.StallAfter, "stall-after", 0, "stop with a partial report when a worker makes no progress for this long (e.g. 1m; 0 = off)")
+	fs.Int64Var(&f.MaxNodes, "max-nodes", 0, "soft node budget: degrade to a partial-coverage report after this many configurations (0 = unbounded)")
 	return f
 }
 
@@ -116,7 +131,34 @@ func (f *Flags) Options(opts explore.Options) explore.Options {
 		opts.ProgressInterval = f.Progress
 		opts.OnProgress = func(s explore.Stats) { fmt.Fprintln(os.Stderr, s.String()) }
 	}
+	opts.MaxNodes = f.MaxNodes
+	opts.StallAfter = f.StallAfter
 	return opts
+}
+
+// Supervise folds the autosave flags into opts: with -checkpoint-every,
+// the engine durably rewrites the -checkpoint file at that interval while
+// the run is in flight, so a killed process loses at most one interval of
+// work. Call it after Options; it errors when -checkpoint-every has no
+// -checkpoint file to write.
+func (f *Flags) Supervise(opts explore.Options) (explore.Options, error) {
+	if f.CheckpointEvery <= 0 {
+		return opts, nil
+	}
+	if f.Checkpoint == "" {
+		return opts, errors.New("-checkpoint-every requires -checkpoint FILE")
+	}
+	opts.CheckpointEvery = f.CheckpointEvery
+	path := f.Checkpoint
+	opts.OnCheckpoint = func(cp *explore.Checkpoint) {
+		// Autosave failures must not kill a healthy run: durable.Save has
+		// already retried transient errors, so just warn and keep going —
+		// the previous checkpoint file is still intact (atomic rename).
+		if err := durable.Save(path, cp); err != nil {
+			fmt.Fprintf(os.Stderr, "autosave: %v\n", err)
+		}
+	}
+	return opts, nil
 }
 
 // Resolver returns the -seed-keyed nondeterminism resolver for
@@ -125,38 +167,35 @@ func (f *Flags) Resolver() func(n int) int {
 	return runtime.RandomResolver(f.Seed)
 }
 
-// LoadCheckpoint reads the -checkpoint file. No flag or no file yet is a
-// fresh start, reported as (nil, nil); an unreadable or malformed file is
-// an error (silently restarting a long run from scratch would be worse).
+// LoadCheckpoint reads the -checkpoint file through the durable layer. No
+// flag or no file yet is a fresh start, reported as (nil, nil); an
+// unreadable, empty, truncated, or checksum-corrupt file is an error
+// (silently restarting a long run from scratch would be worse). A corrupt
+// file's error wraps durable.ErrCorruptCheckpoint and — via errors.As on
+// *durable.CorruptError — may carry the longest valid tree prefix, so a
+// command can offer it as a salvage resume (cmd/explore does).
 func (f *Flags) LoadCheckpoint() (*explore.Checkpoint, error) {
 	if f.Checkpoint == "" {
 		return nil, nil
 	}
-	blob, err := os.ReadFile(f.Checkpoint)
+	cp, err := durable.Load(f.Checkpoint)
 	if errors.Is(err, fs.ErrNotExist) {
 		return nil, nil
 	}
 	if err != nil {
 		return nil, fmt.Errorf("load checkpoint: %w", err)
 	}
-	cp := &explore.Checkpoint{}
-	if err := json.Unmarshal(blob, cp); err != nil {
-		return nil, fmt.Errorf("load checkpoint %s: %w", f.Checkpoint, err)
-	}
 	return cp, nil
 }
 
-// SaveCheckpoint writes cp to the -checkpoint file; a no-op without the
-// flag or without a checkpoint to save.
+// SaveCheckpoint durably writes cp to the -checkpoint file (atomic
+// replace, checksummed, retried); a no-op without the flag or without a
+// checkpoint to save.
 func (f *Flags) SaveCheckpoint(cp *explore.Checkpoint) error {
 	if f.Checkpoint == "" || cp == nil {
 		return nil
 	}
-	blob, err := json.MarshalIndent(cp, "", "  ")
-	if err != nil {
-		return err
-	}
-	if err := os.WriteFile(f.Checkpoint, append(blob, '\n'), 0o644); err != nil {
+	if err := durable.Save(f.Checkpoint, cp); err != nil {
 		return fmt.Errorf("save checkpoint: %w", err)
 	}
 	return nil

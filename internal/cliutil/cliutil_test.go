@@ -2,6 +2,7 @@ package cliutil
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"io"
@@ -11,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"waitfree/internal/durable"
 	"waitfree/internal/explore"
 	"waitfree/internal/faults"
 )
@@ -22,6 +24,18 @@ func TestRegisterParsesSharedFlags(t *testing.T) {
 		t.Fatal(err)
 	}
 	if f.Parallel != 3 || f.Timeout != 2*time.Second || f.Progress != 150*time.Millisecond || !f.JSON {
+		t.Fatalf("parsed %+v", f)
+	}
+}
+
+func TestRegisterParsesDurabilityFlags(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	f := Register(fs)
+	args := []string{"-checkpoint", "cp", "-checkpoint-every", "30s", "-stall-after", "1m", "-max-nodes", "5000"}
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	if f.Checkpoint != "cp" || f.CheckpointEvery != 30*time.Second || f.StallAfter != time.Minute || f.MaxNodes != 5000 {
 		t.Fatalf("parsed %+v", f)
 	}
 }
@@ -55,6 +69,43 @@ func TestOptionsFoldsFlags(t *testing.T) {
 	bare := (&Flags{}).Options(explore.Options{})
 	if bare.OnProgress != nil || bare.ProgressInterval != 0 {
 		t.Fatalf("progress hook installed without -progress: %+v", bare)
+	}
+
+	budgets := (&Flags{MaxNodes: 9000, StallAfter: time.Minute}).Options(explore.Options{})
+	if budgets.MaxNodes != 9000 || budgets.StallAfter != time.Minute {
+		t.Fatalf("budgets not folded: %+v", budgets)
+	}
+}
+
+// TestSupervise pins the autosave wiring: -checkpoint-every without a
+// -checkpoint file is a usage error, and with one it installs an
+// OnCheckpoint hook that durably rewrites the file.
+func TestSupervise(t *testing.T) {
+	if _, err := (&Flags{CheckpointEvery: time.Second}).Supervise(explore.Options{}); err == nil {
+		t.Fatal("-checkpoint-every accepted without -checkpoint")
+	}
+
+	noop, err := (&Flags{Checkpoint: "cp"}).Supervise(explore.Options{})
+	if err != nil || noop.OnCheckpoint != nil || noop.CheckpointEvery != 0 {
+		t.Fatalf("autosave armed without -checkpoint-every: %+v, %v", noop, err)
+	}
+
+	f := &Flags{Checkpoint: filepath.Join(t.TempDir(), "cp"), CheckpointEvery: time.Second}
+	opts, err := f.Supervise(explore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.CheckpointEvery != time.Second || opts.OnCheckpoint == nil {
+		t.Fatalf("autosave not armed: %+v", opts)
+	}
+	want := &explore.Checkpoint{Version: explore.CheckpointVersion, Impl: "x", Procs: 2, Values: 2, Roots: 4}
+	opts.OnCheckpoint(want)
+	got, err := f.LoadCheckpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Impl != "x" || got.Roots != 4 {
+		t.Fatalf("autosaved checkpoint lost data: %+v", got)
 	}
 }
 
@@ -113,8 +164,55 @@ func TestCheckpointFileRoundTrip(t *testing.T) {
 	if err := os.WriteFile(f.Checkpoint, []byte("not json"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := f.LoadCheckpoint(); err == nil {
-		t.Fatal("malformed checkpoint accepted")
+	if _, err := f.LoadCheckpoint(); !errors.Is(err, durable.ErrCorruptCheckpoint) {
+		t.Fatalf("malformed checkpoint: err = %v, want ErrCorruptCheckpoint", err)
+	}
+
+	// An empty file is NOT a fresh start: it usually means a crashed
+	// non-atomic writer, and silently restarting a long run would lose
+	// everything it had saved.
+	if err := os.WriteFile(f.Checkpoint, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = f.LoadCheckpoint()
+	if !errors.Is(err, durable.ErrCorruptCheckpoint) {
+		t.Fatalf("empty checkpoint: err = %v, want ErrCorruptCheckpoint", err)
+	}
+	var ce *durable.CorruptError
+	if !errors.As(err, &ce) || ce.Path != f.Checkpoint {
+		t.Fatalf("corrupt error does not carry the path: %v", err)
+	}
+
+	// A truncated durable file surfaces the corruption AND the salvageable
+	// prefix for commands that opt in.
+	if err := f.SaveCheckpoint(want); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(f.Checkpoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(f.Checkpoint, blob[:len(blob)-10], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = f.LoadCheckpoint()
+	if !errors.As(err, &ce) {
+		t.Fatalf("truncated checkpoint: err = %v, want *durable.CorruptError", err)
+	}
+	if ce.Salvaged == nil || ce.Salvaged.Impl != "x" {
+		t.Fatalf("truncation lost the salvageable header: %+v", ce.Salvaged)
+	}
+
+	// Pre-durable checkpoints were bare JSON; they still load.
+	legacy, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(f.Checkpoint, legacy, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := f.LoadCheckpoint(); err != nil || got.Impl != "x" {
+		t.Fatalf("legacy JSON checkpoint: %+v, %v", got, err)
 	}
 
 	// No flag: both directions are no-ops.

@@ -26,6 +26,12 @@ var (
 	// ErrNoTypeObjects: the implementation has no non-register objects, so
 	// there is no type T to realize one-use bits from.
 	ErrNoTypeObjects = errors.New("core: no non-register objects to infer the type T from")
+	// ErrInconclusive: an exploration the pipeline depends on stopped with
+	// partial coverage (soft node budget, deadline, or the stall watchdog)
+	// before it could settle the property. Unlike ErrNotWaitFree this says
+	// nothing about the input; the partial report — carrying a resumable
+	// checkpoint — is returned alongside the error.
+	ErrInconclusive = errors.New("core: exploration stopped with partial coverage; verdict inconclusive")
 )
 
 // registerSpecName matches the objects that step 2 eliminates.
@@ -67,6 +73,12 @@ func BoundContext(ctx context.Context, im *program.Implementation, opts explore.
 		// Pass any partial report through: a cancelled run's report carries
 		// the resumable checkpoint.
 		return report, err
+	}
+	if report.Partial {
+		// Partial coverage proves nothing either way: distinguish "stopped
+		// early" from "failed verification" so callers can resume instead
+		// of condemning the input.
+		return report, fmt.Errorf("%w: %s", ErrInconclusive, report.Summary())
 	}
 	if !report.OK() {
 		return report, fmt.Errorf("%w: %s", ErrNotWaitFree, report.Summary())
@@ -356,6 +368,9 @@ func EliminateRegistersContext(ctx context.Context, im *program.Implementation, 
 		RegistersEliminated: len(bounds),
 		OneUseBitsUsed:      step1.CountObjects(oneUseSpecName),
 		TypeObjectsAdded:    out.CountObjects(spec.Name) - im.CountObjects(spec.Name),
+	}
+	if outputReport.Partial {
+		return report, fmt.Errorf("%w: transformed implementation: %s", ErrInconclusive, outputReport.Summary())
 	}
 	if !outputReport.OK() {
 		return report, fmt.Errorf("core: transformed implementation failed verification: %s", outputReport.Summary())

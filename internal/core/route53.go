@@ -140,6 +140,9 @@ func EliminateRegistersVia53Context(ctx context.Context, im *program.Implementat
 		OneUseBitsUsed:      step1.CountObjects(oneUseSpecName),
 		TypeObjectsAdded:    out.CountObjects(typeName) - im.CountObjects(typeName),
 	}
+	if outputReport.Partial {
+		return report, fmt.Errorf("%w: transformed implementation: %s", ErrInconclusive, outputReport.Summary())
+	}
 	if !outputReport.OK() {
 		return report, fmt.Errorf("core: transformed implementation failed verification: %s", outputReport.Summary())
 	}

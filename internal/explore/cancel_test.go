@@ -117,14 +117,35 @@ func TestConsensusPreCancelled(t *testing.T) {
 	}
 }
 
-// TestConsensusDeadline checks that deadline expiry surfaces as
-// context.DeadlineExceeded through the same path as cancellation.
+// TestConsensusDeadline checks the partial-coverage contract for wall-clock
+// budgets: deadline expiry mid-run is NOT an error — it degrades to a
+// report with Partial set, a Coverage block naming the deadline, and a
+// resumable checkpoint (explicit cancellation stays the hard error path,
+// see TestConsensusCancellation).
 func TestConsensusDeadline(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Millisecond)
 	defer cancel()
-	_, err := ConsensusContext(ctx, consensus.CASRegister3(), Options{})
-	if !errors.Is(err, context.DeadlineExceeded) {
-		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	rep, err := ConsensusContext(ctx, consensus.CASRegister3(), Options{})
+	if err != nil {
+		t.Fatalf("err = %v, want nil (deadline degrades to a partial report)", err)
+	}
+	if rep == nil || !rep.Partial {
+		t.Fatalf("report = %+v, want Partial", rep)
+	}
+	if rep.OK() {
+		t.Errorf("partial report claims OK: %s", rep.Summary())
+	}
+	if rep.Coverage == nil || rep.Coverage.Reason != CoverageDeadline {
+		t.Fatalf("coverage = %+v, want reason %q", rep.Coverage, CoverageDeadline)
+	}
+	if rep.Coverage.TreesDone >= rep.Coverage.TreesTotal {
+		t.Errorf("coverage %v claims all trees done on a 2ms budget", rep.Coverage)
+	}
+	if rep.Checkpoint == nil {
+		t.Fatal("partial report carries no checkpoint")
+	}
+	if got, want := rep.Checkpoint.Impl, consensus.CASRegister3().Name; got != want {
+		t.Errorf("checkpoint impl = %q, want %q", got, want)
 	}
 }
 
@@ -156,6 +177,12 @@ func TestOptionsValidate(t *testing.T) {
 		{"negative depth", Options{MaxDepth: -1}, true},
 		{"negative parallelism", Options{Parallelism: -2}, true},
 		{"negative interval", Options{ProgressInterval: -time.Second}, true},
+		{"negative max nodes", Options{MaxNodes: -1}, true},
+		{"negative stall after", Options{StallAfter: -time.Second}, true},
+		{"negative checkpoint every", Options{CheckpointEvery: -time.Second}, true},
+		{"checkpoint every without sink", Options{CheckpointEvery: time.Second}, true},
+		{"checkpoint every with sink", Options{CheckpointEvery: time.Second, OnCheckpoint: func(*Checkpoint) {}}, false},
+		{"budgets", Options{MaxNodes: 10, StallAfter: time.Second}, false},
 	}
 	for _, c := range cases {
 		err := c.opts.Validate()

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"waitfree/internal/faults"
 	"waitfree/internal/program"
@@ -181,8 +182,10 @@ func (tr *TreeResult) outcome() treeOutcome {
 
 // buildCheckpoint snapshots every fully explored, violation-free tree
 // (including ones preloaded from a previous checkpoint, so resuming twice
-// keeps accumulating).
-func buildCheckpoint(im *program.Implementation, k, roots int, model faults.Model, outcomes []treeOutcome) *Checkpoint {
+// keeps accumulating). done gates the reads: outcomes[mask] is only
+// touched after done[mask] observes true, so the autosave supervisor can
+// snapshot concurrently with running workers without racing their stores.
+func buildCheckpoint(im *program.Implementation, k, roots int, model faults.Model, outcomes []treeOutcome, done []atomic.Bool) *Checkpoint {
 	cp := &Checkpoint{
 		Version: CheckpointVersion,
 		Impl:    im.Name,
@@ -192,6 +195,9 @@ func buildCheckpoint(im *program.Implementation, k, roots int, model faults.Mode
 		Faults:  model,
 	}
 	for mask := range outcomes {
+		if !done[mask].Load() {
+			continue
+		}
 		out := &outcomes[mask]
 		if out.res == nil || out.err != nil || out.res.Violation != nil {
 			continue

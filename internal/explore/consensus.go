@@ -2,6 +2,7 @@ package explore
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -71,9 +72,21 @@ type ConsensusReport struct {
 	// still exact, MemoHits undercounts.
 	Degraded bool `json:"degraded,omitempty"`
 
-	// Checkpoint is the resumable frontier snapshot of a cancelled run. It
-	// is only set on the partial report a cancelled ConsensusKContext
-	// returns alongside ctx.Err(); completed runs never carry one.
+	// Partial reports that the run stopped early under a soft budget
+	// (Options.MaxNodes), a context deadline, or the stall watchdog,
+	// without reaching a verdict: the verdict fields cover only the merged
+	// prefix (Coverage.TreesMerged trees) and OK() is false. Partial runs
+	// carry a Checkpoint to resume from. A run whose merged prefix already
+	// exhibits a violation is conclusive and is NOT marked partial — a
+	// counterexample refutes the implementation no matter what was left
+	// unexplored.
+	Partial bool `json:"partial,omitempty"`
+	// Coverage describes how far a partial run got; nil on complete runs.
+	Coverage *Coverage `json:"coverage,omitempty"`
+
+	// Checkpoint is the resumable frontier snapshot of an unfinished run:
+	// set alongside ctx.Err() when the run was cancelled, and on every
+	// Partial report. Completed runs never carry one.
 	Checkpoint *Checkpoint `json:"checkpoint,omitempty"`
 
 	// Stats is the engine's final cumulative snapshot: observational
@@ -82,13 +95,19 @@ type ConsensusReport struct {
 	Stats *Stats `json:"stats,omitempty"`
 }
 
-// OK reports whether the implementation passed all checks.
-func (r *ConsensusReport) OK() bool { return r.Agreement && r.Validity && r.WaitFree }
+// OK reports whether the implementation passed all checks. A Partial
+// report never passes: its verdicts cover only the merged prefix.
+func (r *ConsensusReport) OK() bool {
+	return !r.Partial && r.Agreement && r.Validity && r.WaitFree
+}
 
 // Summary renders a one-line verdict.
 func (r *ConsensusReport) Summary() string {
 	status := "OK"
-	if !r.OK() {
+	switch {
+	case r.Partial:
+		status = "PARTIAL"
+	case !r.OK():
 		status = "FAIL"
 	}
 	s := fmt.Sprintf("%s: procs=%d roots=%d D=%d nodes=%d leaves=%d agreement=%v validity=%v waitfree=%v",
@@ -98,6 +117,9 @@ func (r *ConsensusReport) Summary() string {
 	}
 	if r.Degraded {
 		s += " degraded=true"
+	}
+	if r.Coverage != nil {
+		s += fmt.Sprintf(" trees=%d/%d", r.Coverage.TreesDone, r.Coverage.TreesTotal)
 	}
 	return s
 }
@@ -118,6 +140,10 @@ func (r *ConsensusReport) String() string {
 	var b strings.Builder
 	b.WriteString(r.Summary())
 	b.WriteByte('\n')
+	if r.Coverage != nil {
+		b.WriteString(r.Coverage.String())
+		b.WriteByte('\n')
+	}
 	fmt.Fprintf(&b, "decisions reachable: %v\n", r.Decisions)
 	fmt.Fprintf(&b, "per-process wait-freedom bounds (own steps): %v\n", r.ProcSteps)
 	b.WriteString("per-object access bounds over all executions (Section 4.2):\n")
@@ -224,10 +250,16 @@ func exploreTree(ctx context.Context, im *program.Implementation, k, mask int, o
 // trees replay its outcome, so the engine performs up to n! times less
 // work while the merged report stays byte-identical (see symmetry.go).
 //
-// Cancellation or deadline expiry stops every worker within flushEvery
-// configurations and returns ctx.Err(); if Options.OnProgress is set, one
-// final Stats snapshot is published before returning, carrying the partial
-// engine totals.
+// Cancellation stops every worker within flushEvery configurations and
+// returns ctx.Err() alongside a resumable partial report (Checkpoint and
+// Stats only — the Ctrl-C contract). Deadline expiry, Options.MaxNodes,
+// and the Options.StallAfter watchdog instead degrade to a
+// ConsensusReport with Partial set, a Coverage block, and a resumable
+// Checkpoint; the error is nil for deadline and budget stops and a
+// *StallError for watchdog stops. Options.CheckpointEvery/OnCheckpoint
+// autosave the same checkpoint periodically while the run is in flight.
+// If Options.OnProgress is set, one final Stats snapshot is published
+// before returning, carrying the partial engine totals.
 func ConsensusKContext(ctx context.Context, im *program.Implementation, k int, opts Options) (*ConsensusReport, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
@@ -290,8 +322,13 @@ func ConsensusKContext(ctx context.Context, im *program.Implementation, k int, o
 	// Checkpoints are symmetry-agnostic: a reduced run consumes unreduced
 	// checkpoints (and vice versa), and an orbit with any preloaded member
 	// replays the rest from it instead of exploring its representative.
+	// done[mask] flags outcomes that are complete and safe to read from
+	// other goroutines: workers store it (atomically, after writing the
+	// outcome) so the autosave supervisor and the partial-coverage merge
+	// can snapshot mid-run without racing.
 	outcomes := make([]treeOutcome, roots)
 	preloaded := make([]bool, roots)
+	done := make([]atomic.Bool, roots)
 	if opts.ResumeFrom != nil {
 		if err := opts.ResumeFrom.validateFor(im, k, roots, opts.Faults); err != nil {
 			return nil, err
@@ -300,9 +337,21 @@ func ConsensusKContext(ctx context.Context, im *program.Implementation, k int, o
 			tr := &opts.ResumeFrom.Trees[i]
 			outcomes[tr.Mask] = tr.outcome()
 			preloaded[tr.Mask] = true
+			done[tr.Mask].Store(true)
 		}
 		ctr.treesDone.Add(int64(len(opts.ResumeFrom.Trees)))
 	}
+
+	// The engine's internal run context: soft stops (node budget, stall
+	// watchdog) cancel runCtx without touching the caller's ctx, so the
+	// post-join dispatch can tell the caller's hard cancellation (resumable
+	// error, the Ctrl-C contract) from the engine's own soft stops
+	// (partial-coverage report, nil error).
+	runCtx, softStop := context.WithCancel(ctx)
+	defer softStop()
+	ctr.maxNodes = opts.MaxNodes
+	ctr.captureKeys = opts.StallAfter > 0
+	ctr.softCancel = softStop
 
 	stopProgress := startProgress(opts, ctr)
 
@@ -322,8 +371,9 @@ func ConsensusKContext(ctx context.Context, im *program.Implementation, k int, o
 		wg.Add(1)
 		go func(widx int) {
 			defer wg.Done()
+			defer ctr.claimBeat(widx, -1)
 			for {
-				if ctx.Err() != nil {
+				if runCtx.Err() != nil {
 					return
 				}
 				idx := int(next.Add(1) - 1)
@@ -335,6 +385,7 @@ func ConsensusKContext(ctx context.Context, im *program.Implementation, k int, o
 					return
 				}
 				ob := &orbits[idx]
+				ctr.claimBeat(widx, ob.rep)
 				// The orbit's source outcome: the preloaded representative
 				// if the resume checkpoint has it, else any preloaded
 				// member, else a live exploration of the representative.
@@ -351,8 +402,9 @@ func ConsensusKContext(ctx context.Context, im *program.Implementation, k int, o
 					}
 				}
 				if src == nil {
-					out := exploreTree(ctx, im, k, ob.rep, opts, ctr, widx)
+					out := exploreTree(runCtx, im, k, ob.rep, opts, ctr, widx)
 					outcomes[ob.rep] = out
+					done[ob.rep].Store(true)
 					ctr.treesDone.Add(1)
 					if out.err != nil || out.res.Violation != nil {
 						lowerStop(ob.rep)
@@ -362,6 +414,7 @@ func ConsensusKContext(ctx context.Context, im *program.Implementation, k int, o
 					// The representative itself replays from a preloaded
 					// member (checkpointed trees are always clean).
 					outcomes[ob.rep] = replayOutcome(src, srcPerm, nil)
+					done[ob.rep].Store(true)
 					ctr.treesDone.Add(1)
 					ctr.replayedTrees.Add(1)
 					src, srcPerm = &outcomes[ob.rep], nil
@@ -378,6 +431,7 @@ func ConsensusKContext(ctx context.Context, im *program.Implementation, k int, o
 							continue
 						}
 						outcomes[m.mask] = replayOutcome(src, srcPerm, m.perm)
+						done[m.mask].Store(true)
 						ctr.treesDone.Add(1)
 						ctr.replayedTrees.Add(1)
 					}
@@ -386,34 +440,135 @@ func ConsensusKContext(ctx context.Context, im *program.Implementation, k int, o
 			}
 		}(w)
 	}
-	wg.Wait()
+	wgDone := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(wgDone)
+	}()
+	snapshotCP := func() *Checkpoint {
+		return buildCheckpoint(im, k, roots, opts.Faults, outcomes, done)
+	}
+	sup := startSupervisor(opts, ctr, im, k, snapshotCP, wgDone)
+	if sup != nil {
+		// A worker stuck inside user code never polls the context: the
+		// watchdog closes abandon after its grace period so the run can
+		// still report (the stuck goroutine reclaims itself if the user
+		// code ever returns).
+		select {
+		case <-wgDone:
+		case <-sup.abandon:
+		}
+		sup.stop()
+	} else {
+		<-wgDone
+	}
 	stopProgress()
-	if err := ctx.Err(); err != nil {
-		// Snapshot the frontier so the caller can resume: the partial
-		// report carries ONLY the checkpoint and the engine stats; no
-		// verdict fields are meaningful on it.
+
+	if err := ctx.Err(); errors.Is(err, context.Canceled) {
+		// Hard cancellation (the Ctrl-C contract): snapshot the frontier so
+		// the caller can resume. The partial report carries ONLY the
+		// checkpoint and the engine stats; no verdict fields are meaningful
+		// on it.
 		stats := ctr.snapshot()
 		partial := &ConsensusReport{
 			Procs:      im.Procs,
-			Checkpoint: buildCheckpoint(im, k, roots, opts.Faults, outcomes),
+			Checkpoint: snapshotCP(),
 			Stats:      &stats,
 		}
 		return partial, err
 	}
 
-	// Merge in mask order, exactly as the sequential scan would have: all
-	// trees up to and including the first bad one contribute to the
-	// report; later trees (possibly explored speculatively) are dropped.
-	last := roots - 1
-	if bad := int(stop.Load()); bad < roots {
-		last = bad
+	var stallErr *StallError
+	if sup != nil {
+		stallErr = sup.stallErr()
 	}
+	reason := ""
+	switch {
+	case ctx.Err() != nil: // deadline expiry: degrade, don't error
+		reason = CoverageDeadline
+	case ctr.tripReason.Load() == tripStall:
+		reason = CoverageStall
+	case ctr.tripReason.Load() == tripNodeBudget:
+		reason = CoverageNodeBudget
+	}
+
+	if reason == "" {
+		// Merge in mask order, exactly as the sequential scan would have:
+		// all trees up to and including the first bad one contribute to the
+		// report; later trees (possibly explored speculatively) are
+		// dropped.
+		last := roots - 1
+		if bad := int(stop.Load()); bad < roots {
+			last = bad
+		}
+		if err := mergeTrees(report, outcomes, last, im, k); err != nil {
+			return nil, err
+		}
+		stats := ctr.snapshot()
+		report.Stats = &stats
+		return report, nil
+	}
+
+	// Soft stop: merge the contiguous prefix of cleanly finished trees and
+	// degrade to a partial-coverage report instead of erroring, mirroring
+	// the Degraded memo-budget contract. Trees aborted by the soft
+	// cancellation itself are unfinished, not failed; a genuinely erred
+	// tree inside the prefix still surfaces as an error, and a violation
+	// inside the prefix makes the run conclusive.
+	prefix := 0
+	for prefix < roots && done[prefix].Load() && !abortedOutcome(&outcomes[prefix]) {
+		prefix++
+	}
+	if err := mergeTrees(report, outcomes, prefix-1, im, k); err != nil {
+		return nil, err
+	}
+	stats := ctr.snapshot()
+	report.Stats = &stats
+	if report.Violation != nil || prefix == roots {
+		// Conclusive despite the early stop: a counterexample in the merged
+		// prefix refutes the implementation no matter what was left
+		// unexplored, and a full prefix IS the complete run (the stop
+		// tripped after the last tree finished).
+		if stallErr != nil {
+			return report, stallErr
+		}
+		return report, nil
+	}
+	report.Partial = true
+	report.Coverage = &Coverage{
+		Reason:          reason,
+		TreesDone:       int(ctr.treesDone.Load()),
+		TreesTotal:      roots,
+		TreesMerged:     prefix,
+		Nodes:           ctr.nodes.Load(),
+		DeepestFrontier: int(ctr.maxDepth.Load()),
+	}
+	report.Checkpoint = snapshotCP()
+	if stallErr != nil {
+		return report, stallErr
+	}
+	return report, nil
+}
+
+// abortedOutcome reports whether a tree's error is the run's own
+// cancellation unwinding (an unfinished tree), as opposed to a genuine
+// exploration failure.
+func abortedOutcome(out *treeOutcome) bool {
+	return out.err != nil &&
+		(errors.Is(out.err, context.Canceled) || errors.Is(out.err, context.DeadlineExceeded))
+}
+
+// mergeTrees folds outcomes[0..last] into report in mask order — exactly
+// the scan a sequential run performs — stopping at the first violating
+// tree and classifying its violation. The error of an erred tree is
+// returned wrapped with the tree's proposal vector.
+func mergeTrees(report *ConsensusReport, outcomes []treeOutcome, last int, im *program.Implementation, k int) error {
 	decided := make(map[int]bool)
 	for mask := 0; mask <= last; mask++ {
 		out := &outcomes[mask]
 		report.Roots++
 		if out.err != nil {
-			return nil, fmt.Errorf("proposals %v: %w", ProposalVectorK(mask, im.Procs, k), out.err)
+			return fmt.Errorf("proposals %v: %w", ProposalVectorK(mask, im.Procs, k), out.err)
 		}
 		mergeResult(report, out.res)
 		for v := range out.decided {
@@ -440,9 +595,7 @@ func ConsensusKContext(ctx context.Context, im *program.Implementation, k int, o
 		report.Decisions = append(report.Decisions, v)
 	}
 	sort.Ints(report.Decisions)
-	stats := ctr.snapshot()
-	report.Stats = &stats
-	return report, nil
+	return nil
 }
 
 // checkConsensusLeaf checks one completed execution: every surviving

@@ -101,6 +101,36 @@ type Options struct {
 	// MemoBudget disables reduction (eviction timing is traversal-order
 	// dependent; see planOrbits).
 	Symmetry SymmetryMode
+	// MaxNodes is a soft budget on explored configurations for the
+	// consensus engines: once the engine counters pass it, workers stop
+	// claiming work, unwind, and ConsensusKContext returns a
+	// ConsensusReport with Partial set and a Coverage block describing how
+	// far the run got — with a nil error, consistent with the Degraded
+	// memo-budget contract. The budget is soft: workers notice it at their
+	// next counter flush, so the overshoot is bounded by
+	// workers*flushEvery. 0 means unbounded. Run ignores MaxNodes (a
+	// single tree has no partial-merge frontier).
+	MaxNodes int64
+	// StallAfter arms the stall watchdog for the consensus engines: a
+	// supervisor goroutine flags any worker that makes no node progress
+	// for this long, stops the run, and surfaces a *StallError carrying
+	// the worker, its tree, and the config key of its last flushed
+	// configuration — turning a wedged Spec.Step or Machine from a silent
+	// hang into a diagnosable report. 0 disables the watchdog. Run ignores
+	// StallAfter.
+	StallAfter time.Duration
+	// CheckpointEvery autosaves the consensus frontier: every interval,
+	// the supervisor snapshots a Checkpoint of the trees finished so far
+	// and hands it to OnCheckpoint, so an OOM-kill or power loss costs at
+	// most one interval of work. Requires OnCheckpoint; 0 with OnCheckpoint
+	// set means DefaultCheckpointEvery. Run ignores both.
+	CheckpointEvery time.Duration
+	// OnCheckpoint receives autosave snapshots (see CheckpointEvery). It
+	// is called from the supervisor goroutine only — never concurrently
+	// with itself — and the Checkpoint it receives is freshly built, never
+	// aliased by the engine afterwards. Callers typically persist it with
+	// the durable package.
+	OnCheckpoint func(*Checkpoint)
 	// OnProgress, if set, receives engine Stats snapshots every
 	// ProgressInterval while RunContext / ConsensusContext /
 	// ConsensusKContext execute, plus one final snapshot when the engine
@@ -143,6 +173,18 @@ func (o Options) Validate() error {
 	}
 	if o.Symmetry < SymmetryOff || o.Symmetry > SymmetryRequire {
 		return fmt.Errorf("%w: unknown Symmetry mode %d", ErrBadOptions, int(o.Symmetry))
+	}
+	if o.MaxNodes < 0 {
+		return fmt.Errorf("%w: negative MaxNodes %d", ErrBadOptions, o.MaxNodes)
+	}
+	if o.StallAfter < 0 {
+		return fmt.Errorf("%w: negative StallAfter %v", ErrBadOptions, o.StallAfter)
+	}
+	if o.CheckpointEvery < 0 {
+		return fmt.Errorf("%w: negative CheckpointEvery %v", ErrBadOptions, o.CheckpointEvery)
+	}
+	if o.CheckpointEvery > 0 && o.OnCheckpoint == nil {
+		return fmt.Errorf("%w: CheckpointEvery requires OnCheckpoint", ErrBadOptions)
 	}
 	return nil
 }
@@ -521,6 +563,12 @@ type explorer struct {
 	memo     *memoTable
 	enc      *keyEncoder
 	memoHits int64
+
+	// beatEnc renders heartbeat config keys when the stall watchdog is
+	// armed (counters.captureKeys). It is separate from enc, whose buffer
+	// may be mid-append, and lazily allocated so unwatched runs pay
+	// nothing.
+	beatEnc *keyEncoder
 
 	// Path-local data (push/pop around recursion).
 	schedule  []StepRecord
@@ -927,6 +975,20 @@ func (e *explorer) flushCounters(depth int) {
 	e.ctr.bumpMaxDepth(int64(depth))
 	if e.memo != nil && e.memo.degraded.Load() {
 		e.ctr.degraded.Store(true)
+	}
+	// Heartbeat: every flush proves this worker is making node progress.
+	beat := &e.ctr.beats[e.widx]
+	beat.lastProgress.Store(time.Now().UnixNano())
+	beat.depth.Store(int64(depth))
+	if e.ctr.captureKeys && e.curConfig != nil {
+		if e.beatEnc == nil {
+			e.beatEnc = newKeyEncoder()
+		}
+		key := fmt.Sprintf("%x", e.beatEnc.configKey(e.curConfig))
+		beat.key.Store(&key)
+	}
+	if e.ctr.maxNodes > 0 && e.ctr.nodes.Load() >= e.ctr.maxNodes {
+		e.ctr.trip(tripNodeBudget)
 	}
 }
 

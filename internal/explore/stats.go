@@ -70,8 +70,43 @@ type Stats struct {
 	// Options.MemoBudget and evicted entries (graceful degradation:
 	// verdicts stay exact, memo hits are lost).
 	Degraded bool `json:"degraded,omitempty"`
+	// Heartbeats[w] is worker w's liveness record: what it is exploring
+	// and when it last flushed progress. The stall watchdog
+	// (Options.StallAfter) reads the same records; snapshots copy them, so
+	// retaining a Stats never aliases live engine state.
+	Heartbeats []WorkerHeartbeat `json:"heartbeats,omitempty"`
 	// Elapsed is the wall-clock time since the engine started.
 	Elapsed time.Duration `json:"elapsed_ns"`
+}
+
+// WorkerHeartbeat is one worker's liveness record within a Stats
+// snapshot.
+type WorkerHeartbeat struct {
+	// Worker is the worker index (aligned with WorkerNodes).
+	Worker int `json:"worker"`
+	// Mask is the proposal-vector tree the worker is exploring, -1 when it
+	// is idle (between trees, or exited).
+	Mask int `json:"mask"`
+	// Depth is the configuration depth at the worker's last counter flush.
+	Depth int `json:"depth"`
+	// SinceProgress is how long ago the worker last flushed node progress.
+	SinceProgress time.Duration `json:"since_progress_ns"`
+	// ConfigKey is the hex key of the configuration at the last flush,
+	// captured only when the stall watchdog is armed (Options.StallAfter):
+	// the same diagnostic the panic handler attaches, so a wedged spec can
+	// be replayed.
+	ConfigKey string `json:"config_key,omitempty"`
+}
+
+func (h WorkerHeartbeat) String() string {
+	if h.Mask < 0 {
+		return fmt.Sprintf("worker %d: idle", h.Worker)
+	}
+	s := fmt.Sprintf("worker %d: mask=%d depth=%d idle=%v", h.Worker, h.Mask, h.Depth, h.SinceProgress.Round(time.Millisecond))
+	if h.ConfigKey != "" {
+		s += " key=" + h.ConfigKey
+	}
+	return s
 }
 
 // NodesPerSecond returns the aggregate node throughput so far.
@@ -128,13 +163,71 @@ type counters struct {
 	degraded      atomic.Bool
 
 	workerNodes []atomic.Int64
+	beats       []workerBeat
+
+	// Soft-stop machinery (consensus engines only; nil/zero elsewhere):
+	// maxNodes is Options.MaxNodes, softCancel cancels the engine's
+	// internal run context, and tripped/tripReason latch the first soft
+	// stop so the post-join dispatch can tell a budget stop from a stall.
+	// captureKeys arms per-flush config-key capture for the heartbeats.
+	maxNodes    int64
+	captureKeys bool
+	softCancel  func()
+	tripped     atomic.Bool
+	tripReason  atomic.Int32
+}
+
+// Soft-stop trip reasons.
+const (
+	tripNone int32 = iota
+	tripNodeBudget
+	tripStall
+)
+
+// workerBeat is one worker's live heartbeat record, written by the worker
+// at claim time and every counter flush, read by snapshots and the stall
+// watchdog.
+type workerBeat struct {
+	lastProgress atomic.Int64 // unix nanoseconds of the last flush
+	mask         atomic.Int64 // current tree mask, -1 when idle
+	depth        atomic.Int64
+	key          atomic.Pointer[string] // hex config key (captureKeys only)
 }
 
 func newCounters(workers, treesTotal int) *counters {
-	return &counters{
+	c := &counters{
 		start:       time.Now(),
 		treesTotal:  treesTotal,
 		workerNodes: make([]atomic.Int64, workers),
+		beats:       make([]workerBeat, workers),
+	}
+	now := c.start.UnixNano()
+	for i := range c.beats {
+		c.beats[i].mask.Store(-1)
+		c.beats[i].lastProgress.Store(now)
+	}
+	return c
+}
+
+// claimBeat records that worker widx started working on tree mask (-1 =
+// idle); claiming counts as progress so a worker racing through many tiny
+// trees never looks stalled.
+func (c *counters) claimBeat(widx, mask int) {
+	b := &c.beats[widx]
+	b.mask.Store(int64(mask))
+	b.lastProgress.Store(time.Now().UnixNano())
+}
+
+// trip latches the first soft stop and cancels the engine's internal run
+// context. A no-op outside the consensus engines (softCancel nil) and
+// after the first trip.
+func (c *counters) trip(reason int32) {
+	if c.softCancel == nil {
+		return
+	}
+	if c.tripped.CompareAndSwap(false, true) {
+		c.tripReason.Store(reason)
+		c.softCancel()
 	}
 }
 
@@ -176,6 +269,21 @@ func (c *counters) snapshot() Stats {
 	// so OnProgress callbacks that retain one never alias live counters.
 	for i := range c.workerNodes {
 		s.WorkerNodes[i] = c.workerNodes[i].Load()
+	}
+	now := time.Now().UnixNano()
+	s.Heartbeats = make([]WorkerHeartbeat, len(c.beats))
+	for i := range c.beats {
+		b := &c.beats[i]
+		hb := WorkerHeartbeat{
+			Worker:        i,
+			Mask:          int(b.mask.Load()),
+			Depth:         int(b.depth.Load()),
+			SinceProgress: time.Duration(now - b.lastProgress.Load()),
+		}
+		if kp := b.key.Load(); kp != nil {
+			hb.ConfigKey = *kp
+		}
+		s.Heartbeats[i] = hb
 	}
 	return s
 }

@@ -3,7 +3,17 @@ package types
 import (
 	"errors"
 	"fmt"
+	"strings"
 )
+
+// ErrAuditInconclusive reports an Audit that could not settle its verdict
+// because the reachable state space exceeded the exploration limit: no
+// contradiction was found, but the flags were not verified either. It
+// used to be reported as a silent pass, which let a lying Spec through
+// whenever its state space was merely large; callers that want a
+// best-effort lint can errors.Is for this sentinel and downgrade it to a
+// warning (cmd/hierarchy -audit does).
+var ErrAuditInconclusive = errors.New("types: audit inconclusive (state space exceeds the exploration limit)")
 
 // Audit cross-checks a Spec's declared flags against its computed
 // behavior over the fragment reachable from init: the Deterministic flag
@@ -13,6 +23,11 @@ import (
 // responses. It is the lint that keeps the type zoo honest — a Spec whose
 // flags lie poisons every analysis built on them (triviality, witness
 // search, the explorer's branching).
+//
+// Definite contradictions are reported first — even a truncated
+// exploration that found a branch condemns a Deterministic flag. If every
+// check that DID complete passes but any exploration hit limit, Audit
+// returns ErrAuditInconclusive instead of pretending the spec verified.
 func Audit(spec *Spec, init State, limit int) error {
 	if spec.Name == "" {
 		return errors.New("types: spec has no name")
@@ -44,10 +59,11 @@ func Audit(spec *Spec, init State, limit int) error {
 	}
 
 	// Every alphabet invocation must be usable somewhere reachable.
-	states, err := Reachable(spec, init, limit)
-	if err != nil && !errors.Is(err, ErrStateSpaceTooLarge) {
-		return err
+	states, reachErr := Reachable(spec, init, limit)
+	if reachErr != nil && !errors.Is(reachErr, ErrStateSpaceTooLarge) {
+		return reachErr
 	}
+	truncatedReach := errors.Is(reachErr, ErrStateSpaceTooLarge)
 	for _, inv := range spec.Alphabet {
 		used := false
 	scan:
@@ -59,9 +75,28 @@ func Audit(spec *Spec, init State, limit int) error {
 				}
 			}
 		}
-		if !used {
+		// An entry unused within a TRUNCATED state set may still be legal
+		// in a state beyond the limit: that is inconclusive (reported
+		// below), not a definite failure.
+		if !used && !truncatedReach {
 			return fmt.Errorf("types: %q alphabet entry %v is illegal in every reachable state", spec.Name, inv)
 		}
+	}
+
+	// No contradiction found — but a check that ran out of state budget
+	// proved nothing. Name the checks left unsettled.
+	var unsettled []string
+	if errors.Is(detErr, ErrStateSpaceTooLarge) {
+		unsettled = append(unsettled, "determinism")
+	}
+	if errors.Is(oblErr, ErrStateSpaceTooLarge) {
+		unsettled = append(unsettled, "obliviousness")
+	}
+	if truncatedReach {
+		unsettled = append(unsettled, "alphabet reachability")
+	}
+	if len(unsettled) > 0 {
+		return fmt.Errorf("%w: %q: unverified: %s", ErrAuditInconclusive, spec.Name, strings.Join(unsettled, ", "))
 	}
 	return nil
 }

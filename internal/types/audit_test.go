@@ -1,6 +1,7 @@
 package types
 
 import (
+	"errors"
 	"strings"
 	"testing"
 )
@@ -19,7 +20,6 @@ func TestAuditZoo(t *testing.T) {
 		{SRSWRegister(4), 0},
 		{TestAndSet(2), 0},
 		{Swap(2, 2), 0},
-		{FetchAdd(2), 0},
 		{CompareSwap(2, 3), 2},
 		{Queue(2, 2, 3), QueueState()},
 		{Stack(2, 2, 3), QueueState()},
@@ -33,13 +33,47 @@ func TestAuditZoo(t *testing.T) {
 		{LatchFlag(), LatchFlagInit()},
 		{Beacon(2), 0},
 		{Blinker(2), 0},
-		{IncOnly(2), 0},
 		{WeakLeader(2), 0},
 	}
 	for _, tc := range cases {
 		if err := Audit(tc.spec, tc.init, 64); err != nil {
 			t.Errorf("%s: %v", tc.spec.Name, err)
 		}
+	}
+}
+
+// TestAuditInconclusive pins the exhaustion contract: a spec whose state
+// space exceeds the limit audits as ErrAuditInconclusive — never as a
+// silent pass (the old behavior) — while a contradiction found before the
+// budget runs out is still a definite failure.
+func TestAuditInconclusive(t *testing.T) {
+	// The unbounded-counter specs (inc-only, fetch-and-add) can never be
+	// fully explored: no budget makes their audit conclusive, and the old
+	// silent pass hid exactly that.
+	for _, spec := range []*Spec{IncOnly(2), FetchAdd(2)} {
+		if err := Audit(spec, 0, 64); !errors.Is(err, ErrAuditInconclusive) {
+			t.Fatalf("%s at limit 64: err = %v, want ErrAuditInconclusive", spec.Name, err)
+		}
+	}
+	// Definite contradictions beat exhaustion: an unbounded spec that
+	// branches at every state condemns its Deterministic flag even though
+	// full exploration is impossible.
+	branching := &Spec{
+		Name:          "unbounded-branching",
+		Ports:         1,
+		Deterministic: true,
+		Alphabet:      []Invocation{Read},
+		Step: func(q State, port int, inv Invocation) []Transition {
+			n := q.(int)
+			return []Transition{
+				{Next: n + 1, Resp: ValOf(n)},
+				{Next: n + 2, Resp: ValOf(n)},
+			}
+		},
+	}
+	err := Audit(branching, 0, 8)
+	if err == nil || errors.Is(err, ErrAuditInconclusive) || !strings.Contains(err.Error(), "branches") {
+		t.Errorf("branching unbounded spec: err = %v, want a definite determinism failure", err)
 	}
 }
 

@@ -47,8 +47,10 @@ func Reachable(spec *Spec, init State, limit int) ([]State, error) {
 // every state reachable from init has exactly one allowed transition. It
 // returns nil if the (bounded) reachable fragment is deterministic.
 func CheckDeterministic(spec *Spec, init State, limit int) error {
+	// A truncated reachable set is still scanned: a branch found within it
+	// is a definite verdict, reported in preference to ErrStateSpaceTooLarge.
 	states, err := Reachable(spec, init, limit)
-	if err != nil {
+	if err != nil && !errors.Is(err, ErrStateSpaceTooLarge) {
 		return err
 	}
 	for _, q := range states {
@@ -62,7 +64,7 @@ func CheckDeterministic(spec *Spec, init State, limit int) error {
 			}
 		}
 	}
-	return nil
+	return err
 }
 
 // CheckOblivious verifies that identical invocations on different ports
@@ -70,8 +72,10 @@ func CheckDeterministic(spec *Spec, init State, limit int) error {
 // (the paper's obliviousness condition). Transition sets are compared as
 // multisets.
 func CheckOblivious(spec *Spec, init State, limit int) error {
+	// As in CheckDeterministic, port-dependence found within a truncated
+	// reachable set is a definite verdict and outranks exhaustion.
 	states, err := Reachable(spec, init, limit)
-	if err != nil {
+	if err != nil && !errors.Is(err, ErrStateSpaceTooLarge) {
 		return err
 	}
 	for _, q := range states {
@@ -86,7 +90,7 @@ func CheckOblivious(spec *Spec, init State, limit int) error {
 			}
 		}
 	}
-	return nil
+	return err
 }
 
 func transitionBag(ts []Transition) map[Transition]int {

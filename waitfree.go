@@ -30,6 +30,7 @@ package waitfree
 import (
 	"waitfree/internal/consensus"
 	"waitfree/internal/core"
+	"waitfree/internal/durable"
 	"waitfree/internal/explore"
 	"waitfree/internal/faults"
 	"waitfree/internal/hierarchy"
@@ -154,6 +155,48 @@ var (
 	ErrBadCheckpoint = explore.ErrBadCheckpoint
 )
 
+// Durable runs: checksummed checkpoint files, partial-coverage reports,
+// and the stall watchdog (ExploreOptions.MaxNodes, StallAfter,
+// CheckpointEvery/OnCheckpoint; see DESIGN.md section 9).
+type (
+	// Coverage describes how far a partial consensus run got before a soft
+	// budget, the deadline, or the stall watchdog stopped it
+	// (ConsensusReport.Coverage).
+	Coverage = explore.Coverage
+	// StallError reports a worker flagged by the ExploreOptions.StallAfter
+	// watchdog, identifying the tree, depth, and configuration it was
+	// stuck on.
+	StallError = explore.StallError
+	// WorkerHeartbeat is one worker's liveness record inside an
+	// ExploreStats snapshot.
+	WorkerHeartbeat = explore.WorkerHeartbeat
+	// CorruptCheckpointError describes an unreadable checkpoint file and
+	// carries the longest salvageable tree prefix, if any.
+	CorruptCheckpointError = durable.CorruptError
+)
+
+// Durable checkpoint files.
+var (
+	// SaveCheckpoint atomically writes a checksummed checkpoint file
+	// (temp-file rename, fsync, transient-error retry).
+	SaveCheckpoint = durable.Save
+	// LoadCheckpoint reads a checkpoint file written by SaveCheckpoint
+	// (or a legacy bare-JSON file), verifying every checksum; corruption
+	// surfaces as ErrCorruptCheckpoint with any salvageable prefix
+	// attached to the *CorruptCheckpointError.
+	LoadCheckpoint = durable.Load
+	// ErrCorruptCheckpoint is the sentinel wrapped by every checkpoint
+	// corruption error.
+	ErrCorruptCheckpoint = durable.ErrCorruptCheckpoint
+	// ErrNotWaitFree: an access-bound or elimination input failed
+	// verification (bounds only exist for correct wait-free inputs).
+	ErrNotWaitFree = core.ErrNotWaitFree
+	// ErrInconclusive: a pipeline exploration stopped with partial
+	// coverage (MaxNodes, deadline, stall watchdog) before it could settle
+	// the property; resume from the accompanying report's Checkpoint.
+	ErrInconclusive = core.ErrInconclusive
+)
+
 // Hierarchy classification.
 type (
 	// Classification is a zoo member's computed profile.
@@ -227,8 +270,14 @@ var (
 
 // AuditSpec lints a type definition: declared determinism/obliviousness
 // flags must match computed behavior over the reachable fragment, and
-// every alphabet entry must be usable somewhere.
+// every alphabet entry must be usable somewhere. A spec whose state space
+// exceeds the exploration limit without any contradiction found audits as
+// ErrAuditInconclusive, never as a silent pass.
 var AuditSpec = types.Audit
+
+// ErrAuditInconclusive is the sentinel wrapped when AuditSpec runs out of
+// state budget before verifying every declared flag.
+var ErrAuditInconclusive = types.ErrAuditInconclusive
 
 // QueueStateOf encodes a queue content (front first) as a state value.
 var QueueStateOf = types.QueueState
