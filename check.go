@@ -2,6 +2,7 @@ package waitfree
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"strings"
@@ -10,6 +11,7 @@ import (
 	"waitfree/internal/core"
 	"waitfree/internal/explore"
 	"waitfree/internal/hierarchy"
+	"waitfree/internal/rescache"
 	"waitfree/internal/synth"
 )
 
@@ -81,6 +83,17 @@ type Request struct {
 	// Objects and Synthesis drive KindSynthesis.
 	Objects   []SynthObject
 	Synthesis SynthOptions
+	// Cache, if set, fronts the pipeline with the content-addressed
+	// result cache (OpenCache): a request whose canonical key is already
+	// stored returns the stored report — byte-identical JSON to a fresh
+	// run — without exploring anything. Fresh conclusive reports are
+	// stored on the way out; partial, degraded, resumed, and erroring
+	// runs are never cached, and requests the cache cannot key
+	// (ErrUncacheable, unencodable implementations) bypass it. Under an
+	// active cache the report is canonicalized: Elapsed is zero and the
+	// observational Stats blocks are omitted, so cold and warm runs
+	// marshal identically. Report.Cache describes what the cache did.
+	Cache *Cache
 }
 
 // SynthesisReport is the synthesis half of the Report union.
@@ -124,11 +137,18 @@ type Report struct {
 	// back through Request.ResumeFrom (the CLIs' -checkpoint flag
 	// round-trips it through a JSON file). Completed runs never carry one.
 	Checkpoint *Checkpoint `json:"checkpoint,omitempty"`
+
+	// Cache describes what Request.Cache did for this request (nil when
+	// no cache was configured). Deliberately excluded from the JSON form:
+	// a warm hit must marshal byte-identically to the cold run that
+	// stored it.
+	Cache *CacheOutcome `json:"-"`
 }
 
 // OK reports whether the checked property holds: the consensus
 // implementation verified, the elimination output verified, the zoo
-// classified, or synthesis reached a conclusive verdict.
+// classified with every entry conclusive, or synthesis reached a
+// conclusive verdict.
 func (r *Report) OK() bool {
 	switch r.Kind {
 	case KindConsensus, KindBound:
@@ -136,7 +156,17 @@ func (r *Report) OK() bool {
 	case KindElimination:
 		return r.Elimination != nil && r.Elimination.OutputReport != nil && r.Elimination.OutputReport.OK()
 	case KindClassification:
-		return len(r.Classifications) > 0
+		if len(r.Classifications) == 0 {
+			return false
+		}
+		for _, c := range r.Classifications {
+			if c.Inconclusive {
+				// A truncated witness search is a bounded claim, not a
+				// verdict ("stopped early", never "wrong").
+				return false
+			}
+		}
+		return true
 	case KindSynthesis:
 		return r.Synthesis != nil && r.Synthesis.Verdict != "unknown"
 	}
@@ -152,7 +182,7 @@ func (r *Report) String() string {
 		b.WriteString(r.Consensus.String())
 	case r.Elimination != nil:
 		b.WriteString(r.Elimination.String())
-	case r.Classifications != nil:
+	case len(r.Classifications) > 0:
 		for _, c := range r.Classifications {
 			b.WriteString(c.String())
 			b.WriteByte('\n')
@@ -192,12 +222,31 @@ func Check(ctx context.Context, req Request) (*Report, error) {
 			return nil, fmt.Errorf("%w: ResumeFrom applies to %s and %s checks only",
 				ErrBadRequest, KindConsensus, KindBound)
 		}
+		if req.Explore.ResumeFrom != nil && req.Explore.ResumeFrom != req.ResumeFrom {
+			// Silently preferring one frontier would resume from the
+			// wrong place; make the caller choose.
+			return nil, fmt.Errorf("%w: Request.ResumeFrom and Explore.ResumeFrom are both set and name different checkpoints; set exactly one",
+				ErrBadRequest)
+		}
 		req.Explore.ResumeFrom = req.ResumeFrom
 	}
 	if req.Explore.ResumeFrom != nil && req.Kind != KindConsensus && req.Kind != KindBound {
 		return nil, fmt.Errorf("%w: Explore.ResumeFrom applies to %s and %s checks only",
 			ErrBadRequest, KindConsensus, KindBound)
 	}
+	if req.Cache != nil {
+		return checkCached(ctx, req, start)
+	}
+	rep, err := runPipeline(ctx, req)
+	if rep != nil {
+		rep.Elapsed = time.Since(start)
+	}
+	return rep, err
+}
+
+// runPipeline dispatches a (validated) request to its pipeline. The
+// report is non-nil except on request validation failures.
+func runPipeline(ctx context.Context, req Request) (*Report, error) {
 	rep := &Report{Kind: req.Kind}
 	var err error
 	switch req.Kind {
@@ -241,8 +290,110 @@ func Check(ctx context.Context, req Request) (*Report, error) {
 	if rep.Consensus != nil {
 		rep.Checkpoint = rep.Consensus.Checkpoint
 	}
-	rep.Elapsed = time.Since(start)
 	return rep, err
+}
+
+// checkCached fronts runPipeline with the content-addressed result cache:
+// key the request, serve a stored report on a hit, and store fresh
+// conclusive reports on a miss. Any keying failure (uncacheable options,
+// an implementation with no bounded canonical encoding) bypasses the
+// cache and runs the pipeline normally.
+func checkCached(ctx context.Context, req Request, start time.Time) (*Report, error) {
+	outcome := &CacheOutcome{}
+	key, kerr := rescache.RequestKey(rescache.KeySpec{
+		Kind:           string(req.Kind),
+		Values:         req.Values,
+		MaxK:           req.MaxK,
+		Implementation: req.Implementation,
+		Substrate:      req.Substrate,
+		Objects:        req.Objects,
+		Synthesis:      req.Synthesis,
+		Explore:        req.Explore,
+	})
+	if kerr != nil {
+		outcome.Uncacheable = true
+		outcome.Reason = kerr.Error()
+		rep, err := runPipeline(ctx, req)
+		if rep != nil {
+			rep.Elapsed = time.Since(start)
+			rep.Cache = outcome
+		}
+		return rep, err
+	}
+	outcome.Key = key.Hex()
+	if data, ok := req.Cache.Get(key); ok {
+		rep := &Report{}
+		if err := json.Unmarshal(data, rep); err == nil && rep.Kind == req.Kind {
+			outcome.Hit = true
+			outcome.Stats = req.Cache.Stats()
+			rep.Cache = outcome
+			return rep, nil
+		}
+		// The entry's bytes verified but don't decode to a report for
+		// this request (a format change across versions): treat as a
+		// miss and overwrite below.
+	}
+	rep, err := runPipeline(ctx, req)
+	if rep == nil {
+		return nil, err
+	}
+	// Canonicalize so the report is a pure function of the request: the
+	// stored bytes, this cold report, and every future warm hit marshal
+	// identically.
+	rep.Elapsed = 0
+	for _, cr := range rep.consensusReports() {
+		cr.Stats = nil
+	}
+	if err == nil && rep.storable() {
+		if data, merr := json.Marshal(rep); merr == nil {
+			if perr := req.Cache.Put(key, data); perr != nil {
+				outcome.StoreErr = perr.Error()
+			} else {
+				outcome.Stored = true
+			}
+		}
+	}
+	outcome.Stats = req.Cache.Stats()
+	rep.Cache = outcome
+	return rep, err
+}
+
+// consensusReports collects every exploration report embedded in the
+// union: the consensus/bound result, the elimination endpoints, and the
+// synthesis re-verification.
+func (r *Report) consensusReports() []*ConsensusReport {
+	var out []*ConsensusReport
+	if r.Consensus != nil {
+		out = append(out, r.Consensus)
+	}
+	if r.Elimination != nil {
+		if r.Elimination.InputReport != nil {
+			out = append(out, r.Elimination.InputReport)
+		}
+		if r.Elimination.OutputReport != nil {
+			out = append(out, r.Elimination.OutputReport)
+		}
+	}
+	if r.Synthesis != nil && r.Synthesis.Reverification != nil {
+		out = append(out, r.Synthesis.Reverification)
+	}
+	return out
+}
+
+// storable reports whether the result may enter the cache: only complete,
+// exact runs qualify. Partial coverage proves nothing beyond its prefix,
+// a Degraded run's counters depend on eviction order, and a checkpoint
+// marks unfinished work.
+func (r *Report) storable() bool {
+	if r.Checkpoint != nil {
+		return false
+	}
+	for _, cr := range r.consensusReports() {
+		if cr.Partial || cr.Degraded || cr.Checkpoint != nil {
+			return false
+		}
+	}
+	return true
 }
 
 // runSynthesis drives the synthesis pipeline: search, then independent

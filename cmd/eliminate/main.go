@@ -9,12 +9,13 @@
 //
 //	eliminate [-protocol tas|queue|stack|faa|swap|noisysticky] [-memoize]
 //	          [-parallel N] [-timeout D] [-progress D] [-json]
-//	          [-symmetry MODE] [-max-nodes N] [-stall-after D]
+//	          [-symmetry MODE] [-max-nodes N] [-stall-after D] [-cache DIR]
 //
 // The pipeline's explorations honor the long-run guards: -max-nodes,
 // -timeout, and -stall-after stop an oversized exploration with an
 // "inconclusive" error (the input is neither verified nor condemned)
-// instead of running unbounded.
+// instead of running unbounded. -cache DIR serves a repeat elimination
+// from the content-addressed result cache with byte-identical JSON.
 package main
 
 import (
@@ -74,9 +75,16 @@ func run(args []string) error {
 		req.Implementation = mk()
 	}
 
+	req.Cache, err = common.OpenCache()
+	if err != nil {
+		return err
+	}
 	ctx, cancel := common.Context()
 	defer cancel()
 	rep, err := waitfree.Check(ctx, req)
+	if rep != nil {
+		cliutil.LogCacheOutcome(rep.Cache)
+	}
 	if err != nil {
 		return err
 	}

@@ -5,7 +5,11 @@
 //
 // Usage:
 //
-//	experiments [-only E4] [-timeout D] [-json] [-symmetry MODE]
+//	experiments [-only E4] [-timeout D] [-json] [-symmetry MODE] [-cache DIR]
+//
+// -cache DIR serves the harness's consensus explorations from the
+// content-addressed result cache across runs, storing fresh conclusive
+// verdicts on the way out.
 package main
 
 import (
@@ -31,6 +35,12 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	cache, err := common.OpenCache()
+	if err != nil {
+		return err
+	}
+	experiments.SetCache(cache)
 
 	ctx, cancel := common.Context()
 	defer cancel()

@@ -10,7 +10,7 @@
 //	        [-timeout D] [-progress D] [-json] [-symmetry MODE]
 //	        [-faults] [-max-crashes N] [-fault-mode MODE]
 //	        [-checkpoint FILE] [-checkpoint-every D]
-//	        [-stall-after D] [-max-nodes N]
+//	        [-stall-after D] [-max-nodes N] [-cache DIR]
 //
 // With -faults the explorer additionally enumerates every crash schedule
 // (up to -max-crashes per execution) and checks that the survivors still
@@ -27,7 +27,10 @@
 // configuration it was stuck on. -symmetry (off, auto, require;
 // default auto) explores one execution tree per process-permutation
 // orbit when the protocol is process-symmetric — the report is identical,
-// only the work shrinks.
+// only the work shrinks. -cache DIR serves repeat (and process-permuted)
+// requests from the content-addressed result cache with byte-identical
+// JSON, storing fresh conclusive verdicts on the way out; resumed and
+// partial runs bypass it.
 //
 // Protocols: tas, queue, stack, faa, swap, weakleader, naive (incorrect,
 // registers only), casregister3, noisysticky, and the register-free
@@ -134,6 +137,10 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	cache, err := common.OpenCache()
+	if err != nil {
+		return err
+	}
 	ctx, cancel := common.Context()
 	defer cancel()
 	rep, err := waitfree.Check(ctx, waitfree.Request{
@@ -141,7 +148,11 @@ func run(args []string) error {
 		Implementation: im,
 		Explore:        exOpts,
 		ResumeFrom:     resume,
+		Cache:          cache,
 	})
+	if rep != nil {
+		cliutil.LogCacheOutcome(rep.Cache)
+	}
 	if err != nil {
 		if rep != nil && rep.Checkpoint != nil && common.Checkpoint != "" {
 			if serr := common.SaveCheckpoint(rep.Checkpoint); serr != nil {

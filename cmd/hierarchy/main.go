@@ -6,12 +6,16 @@
 // Usage:
 //
 //	hierarchy [-witnesses] [-parallel N] [-timeout D] [-progress D] [-json]
-//	          [-symmetry MODE] [-max-nodes N] [-stall-after D]
+//	          [-symmetry MODE] [-max-nodes N] [-stall-after D] [-cache DIR]
 //
 // The classification explorations honor the long-run guards: -max-nodes,
 // -timeout, and -stall-after stop an oversized exploration early instead
 // of running unbounded. With -audit, specs whose state spaces exceed the
 // lint budget are reported as inconclusive rather than silently passed.
+// Entries whose own witness searches truncate are likewise marked
+// inconclusive ("?" in the TRIVIAL column). -cache DIR serves a repeat
+// classification from the content-addressed result cache with
+// byte-identical JSON.
 package main
 
 import (
@@ -75,12 +79,20 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	cache, err := common.OpenCache()
+	if err != nil {
+		return err
+	}
 	ctx, cancel := common.Context()
 	defer cancel()
 	rep, err := waitfree.Check(ctx, waitfree.Request{
 		Kind:    waitfree.KindClassification,
 		Explore: exOpts,
+		Cache:   cache,
 	})
+	if rep != nil {
+		cliutil.LogCacheOutcome(rep.Cache)
+	}
 	if err != nil {
 		return err
 	}
@@ -91,8 +103,12 @@ func run(args []string) error {
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "TYPE\tOBLIVIOUS\tDETERMINISTIC\tTRIVIAL\tCONSENSUS#\th_m\tTHEOREM 5")
 	for _, c := range rep.Classifications {
-		fmt.Fprintf(w, "%s\t%v\t%v\t%v\t%s\t%s\t%s\n",
-			c.Name, c.Oblivious, c.Deterministic, c.Trivial, c.Consensus, c.HM, c.Theorem5)
+		trivial := fmt.Sprintf("%v", c.Trivial)
+		if c.Inconclusive {
+			trivial += "?" // truncated witness search: bounded claim, not a verdict
+		}
+		fmt.Fprintf(w, "%s\t%v\t%v\t%s\t%s\t%s\t%s\n",
+			c.Name, c.Oblivious, c.Deterministic, trivial, c.Consensus, c.HM, c.Theorem5)
 	}
 	if err := w.Flush(); err != nil {
 		return err

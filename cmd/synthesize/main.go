@@ -8,11 +8,13 @@
 //	synthesize [-objects tas|tas+bits|cas|sticky|register|onebits]
 //	           [-depth N] [-symmetric] [-budget N]
 //	           [-parallel N] [-timeout D] [-progress D] [-json]
-//	           [-symmetry MODE] [-max-nodes N] [-stall-after D]
+//	           [-symmetry MODE] [-max-nodes N] [-stall-after D] [-cache DIR]
 //
 // The re-verification exploration honors the long-run guards: -max-nodes,
 // -timeout, and -stall-after stop an oversized re-verification with an
-// "inconclusive" error instead of running unbounded.
+// "inconclusive" error instead of running unbounded. -cache DIR serves a
+// repeat search from the content-addressed result cache with
+// byte-identical JSON.
 package main
 
 import (
@@ -86,12 +88,20 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	cache, err := common.OpenCache()
+	if err != nil {
+		return err
+	}
 	rep, err := waitfree.Check(ctx, waitfree.Request{
 		Kind:      waitfree.KindSynthesis,
 		Objects:   mk(),
 		Synthesis: waitfree.SynthOptions{Depth: *depth, Symmetric: *symmetric, Budget: *budget},
 		Explore:   exOpts,
+		Cache:     cache,
 	})
+	if rep != nil {
+		cliutil.LogCacheOutcome(rep.Cache)
+	}
 	if err != nil {
 		return err
 	}

@@ -25,6 +25,7 @@ import (
 	"waitfree/internal/durable"
 	"waitfree/internal/explore"
 	"waitfree/internal/faults"
+	"waitfree/internal/rescache"
 	"waitfree/internal/runtime"
 )
 
@@ -68,6 +69,11 @@ type Flags struct {
 	// partial-coverage report after entering this many configurations
 	// (0 = unbounded).
 	MaxNodes int64
+	// CacheDir is the content-addressed result cache directory: requests
+	// whose canonical key is already stored are served from it with
+	// byte-identical JSON instead of re-explored, and fresh conclusive
+	// reports are stored into it ("" = no cache).
+	CacheDir string
 }
 
 // Register installs the shared flags on fs and returns the destination.
@@ -102,7 +108,29 @@ func Register(fs *flag.FlagSet) *Flags {
 	fs.DurationVar(&f.CheckpointEvery, "checkpoint-every", 0, "autosave the -checkpoint file at this interval while the run is in flight (e.g. 30s; 0 = off)")
 	fs.DurationVar(&f.StallAfter, "stall-after", 0, "stop with a partial report when a worker makes no progress for this long (e.g. 1m; 0 = off)")
 	fs.Int64Var(&f.MaxNodes, "max-nodes", 0, "soft node budget: degrade to a partial-coverage report after this many configurations (0 = unbounded)")
+	fs.StringVar(&f.CacheDir, "cache", "", "result cache DIR: serve repeat requests from the content-addressed cache and store fresh verdicts into it")
 	return f
+}
+
+// OpenCache opens the -cache result cache (nil cache without the flag —
+// callers pass it straight to waitfree's Request.Cache either way).
+func (f *Flags) OpenCache() (*rescache.Cache, error) {
+	if f.CacheDir == "" {
+		return nil, nil
+	}
+	c, err := rescache.Open(rescache.Options{Dir: f.CacheDir})
+	if err != nil {
+		return nil, fmt.Errorf("open cache: %w", err)
+	}
+	return c, nil
+}
+
+// LogCacheOutcome prints the cache's one-line verdict for a request to
+// stderr; a no-op without -cache (outcome nil).
+func LogCacheOutcome(outcome *rescache.Outcome) {
+	if outcome != nil {
+		fmt.Fprintln(os.Stderr, outcome.String())
+	}
 }
 
 // Context returns the run context honoring -timeout and Ctrl-C: an

@@ -284,7 +284,13 @@ func (r *Report) Summary() string {
 // output verification.
 func (r *Report) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "output: %v\n\n", r.Output)
+	if r.Output != nil {
+		fmt.Fprintf(&b, "output: %v\n\n", r.Output)
+	} else {
+		// Reports rehydrated from JSON (the result cache) carry only the
+		// marshaled fields; Input/Output are json:"-".
+		fmt.Fprintf(&b, "output: %s\n\n", r.OutputName)
+	}
 	b.WriteString("Section 4.2 access bounds of the input:\n")
 	fmt.Fprintf(&b, "  uniform bound D = %d object accesses per execution\n", r.InputReport.Depth)
 	for _, bd := range r.Bounds {

@@ -36,6 +36,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"syscall"
 	"time"
 
 	"waitfree/internal/explore"
@@ -261,18 +262,7 @@ func Save(path string, cp *explore.Checkpoint) error {
 	if err != nil {
 		return fmt.Errorf("durable: encode checkpoint: %w", err)
 	}
-	backoff := retryBackoff
-	var lastErr error
-	for attempt := 0; attempt < saveAttempts; attempt++ {
-		if attempt > 0 {
-			time.Sleep(backoff)
-			backoff *= 2
-		}
-		if lastErr = writeAtomic(path, data); lastErr == nil {
-			return nil
-		}
-	}
-	return fmt.Errorf("durable: save %s (after %d attempts): %w", path, saveAttempts, lastErr)
+	return SaveBytes(path, data)
 }
 
 func writeAtomic(path string, data []byte) error {
@@ -306,14 +296,38 @@ func writeAtomic(path string, data []byte) error {
 		os.Remove(tmp)
 		return err
 	}
-	// Persist the rename itself. Directory fsync is best-effort: some
-	// filesystems refuse to sync directories, and the rename is already
-	// atomic on the ones that matter.
-	if d, err := os.Open(dir); err == nil {
-		d.Sync()
-		d.Close()
+	return syncDir(dir)
+}
+
+// fsyncDir is the directory-handle Sync seam (tests inject failures here;
+// production code never overrides it).
+var fsyncDir = func(d *os.File) error { return d.Sync() }
+
+// syncDir persists a rename by fsyncing its directory. Some filesystems
+// cannot sync directories at all and report EINVAL or EOPNOTSUPP — those
+// stay best-effort (the rename is already atomic on the filesystems that
+// matter) — but a real I/O failure (EIO, ENOSPC, ...) means the rename may
+// not be durable and must surface to the caller instead of being
+// swallowed.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("durable: open dir for sync: %w", err)
+	}
+	defer d.Close()
+	if err := fsyncDir(d); err != nil && !unsupportedSync(err) {
+		return fmt.Errorf("durable: sync dir %s: %w", dir, err)
 	}
 	return nil
+}
+
+// unsupportedSync reports whether err is the "directories cannot be
+// synced here" class of failure rather than a real I/O error.
+func unsupportedSync(err error) bool {
+	return errors.Is(err, syscall.EINVAL) ||
+		errors.Is(err, syscall.ENOTSUP) ||
+		errors.Is(err, syscall.EOPNOTSUPP) ||
+		errors.Is(err, errors.ErrUnsupported)
 }
 
 // Load reads and decodes the checkpoint at path. A missing file surfaces

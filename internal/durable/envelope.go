@@ -1,0 +1,144 @@
+package durable
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// This file generalizes the checkpoint file format into a reusable
+// per-record-checksummed envelope, so other durable artifacts (the result
+// cache of internal/rescache) share one integrity discipline instead of
+// inventing their own. The line format is the one documented in the
+// package comment, with a caller-chosen magic line and record kind:
+//
+//	<magic>
+//	meta <sha256-hex> <header bytes>
+//	<kind> <sha256-hex> <record bytes>
+//	...
+//	end <sha256-hex> <record count> <sha256-hex of every preceding byte>
+//
+// Header and record payloads must not contain newlines (JSON payloads
+// never do). Truncation at any byte offset leaves a detectable — and, per
+// record, salvageable — prefix.
+
+// ErrCorruptEnvelope is the sentinel wrapped by every envelope integrity
+// failure (DecodeEnvelope).
+var ErrCorruptEnvelope = errors.New("durable: corrupt envelope")
+
+// EncodeEnvelope renders header and records into the checksummed envelope
+// format under the given magic line and record kind.
+func EncodeEnvelope(magic, kind string, header []byte, records [][]byte) []byte {
+	var b bytes.Buffer
+	b.WriteString(magic)
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "meta %s %s\n", sum(header), header)
+	for _, rec := range records {
+		fmt.Fprintf(&b, "%s %s %s\n", kind, sum(rec), rec)
+	}
+	trailer := fmt.Sprintf("%d %s", len(records), sum(b.Bytes()))
+	fmt.Fprintf(&b, "end %s %s\n", sum([]byte(trailer)), trailer)
+	return b.Bytes()
+}
+
+// DecodeEnvelope parses data as an envelope written by EncodeEnvelope with
+// the same magic and record kind, verifying every checksum. On integrity
+// failure it returns an error wrapping ErrCorruptEnvelope alongside the
+// longest valid prefix: the header (nil if it did not survive) and every
+// record whose checksum verified before the first bad byte. Each returned
+// record is individually integrity-checked, so callers may trust the
+// prefix even when the envelope as a whole is rejected.
+func DecodeEnvelope(magic, kind string, data []byte) (header []byte, records [][]byte, err error) {
+	fail := func(format string, args ...any) ([]byte, [][]byte, error) {
+		return header, records, fmt.Errorf("%w: %s", ErrCorruptEnvelope, fmt.Sprintf(format, args...))
+	}
+	if len(data) == 0 {
+		return fail("empty envelope")
+	}
+	lineNo := 0
+	sawMeta, sawEnd := false, false
+	for off := 0; off < len(data); {
+		nl := bytes.IndexByte(data[off:], '\n')
+		if nl < 0 {
+			// A file ending without a newline was almost certainly torn
+			// mid-record; the fragment's checksum decides.
+			nl = len(data) - off
+		}
+		line := data[off : off+nl]
+		lineStart := off
+		off += nl + 1
+		if sawEnd {
+			if len(line) == 0 && off >= len(data) {
+				continue // single trailing newline after the end record
+			}
+			return fail("data after end record (line %d)", lineNo+1)
+		}
+		switch {
+		case lineNo == 0:
+			if string(line) != magic {
+				return fail("bad magic line %q (want %q)", truncateForErr(line), magic)
+			}
+		default:
+			recKind, payload, err := splitLine(line)
+			if err != nil {
+				return fail("line %d: %v", lineNo+1, err)
+			}
+			switch recKind {
+			case "meta":
+				if sawMeta {
+					return fail("line %d: duplicate meta record", lineNo+1)
+				}
+				sawMeta = true
+				header = append([]byte(nil), payload...)
+			case kind:
+				if !sawMeta {
+					return fail("line %d: %s record before meta", lineNo+1, kind)
+				}
+				records = append(records, append([]byte(nil), payload...))
+			case "end":
+				if !sawMeta {
+					return fail("line %d: end record before meta", lineNo+1)
+				}
+				var n int
+				var streamSum string
+				if _, err := fmt.Sscanf(string(payload), "%d %64s", &n, &streamSum); err != nil {
+					return fail("line %d: malformed end record: %v", lineNo+1, err)
+				}
+				if n != len(records) {
+					return fail("line %d: end record counts %d records, envelope holds %d", lineNo+1, n, len(records))
+				}
+				if got := sum(data[:lineStart]); got != streamSum {
+					return fail("line %d: stream checksum mismatch", lineNo+1)
+				}
+				sawEnd = true
+			default:
+				return fail("line %d: unknown record kind %q", lineNo+1, recKind)
+			}
+		}
+		lineNo++
+	}
+	if !sawEnd {
+		return fail("missing end record (envelope truncated after %d lines)", lineNo)
+	}
+	return header, records, nil
+}
+
+// SaveBytes atomically writes data to path with the same durability
+// discipline as Save: temp file in the same directory, fsync, rename, and
+// a directory sync, retried with exponential backoff on transient
+// failures.
+func SaveBytes(path string, data []byte) error {
+	backoff := retryBackoff
+	var lastErr error
+	for attempt := 0; attempt < saveAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		if lastErr = writeAtomic(path, data); lastErr == nil {
+			return nil
+		}
+	}
+	return fmt.Errorf("durable: save %s (after %d attempts): %w", path, saveAttempts, lastErr)
+}

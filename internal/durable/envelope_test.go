@@ -1,0 +1,163 @@
+package durable
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+const (
+	testMagic = "wftest v1"
+	testKind  = "rec"
+)
+
+func testRecords() ([]byte, [][]byte) {
+	header := []byte(`{"key":"abc"}`)
+	records := [][]byte{
+		[]byte(`{"n":1}`),
+		[]byte(`{"n":2}`),
+		[]byte(`{"n":3}`),
+	}
+	return header, records
+}
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	header, records := testRecords()
+	data := EncodeEnvelope(testMagic, testKind, header, records)
+	gotHeader, gotRecords, err := DecodeEnvelope(testMagic, testKind, data)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !bytes.Equal(gotHeader, header) {
+		t.Errorf("header = %q, want %q", gotHeader, header)
+	}
+	if len(gotRecords) != len(records) {
+		t.Fatalf("got %d records, want %d", len(gotRecords), len(records))
+	}
+	for i := range records {
+		if !bytes.Equal(gotRecords[i], records[i]) {
+			t.Errorf("record %d = %q, want %q", i, gotRecords[i], records[i])
+		}
+	}
+}
+
+func TestEnvelopeRoundTripEmpty(t *testing.T) {
+	data := EncodeEnvelope(testMagic, testKind, []byte("h"), nil)
+	header, records, err := DecodeEnvelope(testMagic, testKind, data)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if string(header) != "h" || len(records) != 0 {
+		t.Fatalf("got header %q, %d records", header, len(records))
+	}
+}
+
+func TestEnvelopeWrongMagicOrKind(t *testing.T) {
+	header, records := testRecords()
+	data := EncodeEnvelope(testMagic, testKind, header, records)
+	if _, _, err := DecodeEnvelope("other v1", testKind, data); !errors.Is(err, ErrCorruptEnvelope) {
+		t.Errorf("wrong magic: got %v, want ErrCorruptEnvelope", err)
+	}
+	if _, _, err := DecodeEnvelope(testMagic, "blob", data); !errors.Is(err, ErrCorruptEnvelope) {
+		t.Errorf("wrong kind: got %v, want ErrCorruptEnvelope", err)
+	}
+}
+
+// Flipping a byte inside record 2 must fail the decode but salvage the
+// header and record 1, each individually checksum-verified.
+func TestEnvelopeSalvagesPrefixOnCorruption(t *testing.T) {
+	header, records := testRecords()
+	data := EncodeEnvelope(testMagic, testKind, header, records)
+	corrupt := bytes.Replace(data, []byte(`{"n":2}`), []byte(`{"n":9}`), 1)
+	if bytes.Equal(corrupt, data) {
+		t.Fatal("corruption did not apply")
+	}
+	gotHeader, gotRecords, err := DecodeEnvelope(testMagic, testKind, corrupt)
+	if !errors.Is(err, ErrCorruptEnvelope) {
+		t.Fatalf("got %v, want ErrCorruptEnvelope", err)
+	}
+	if !bytes.Equal(gotHeader, header) {
+		t.Errorf("salvaged header = %q, want %q", gotHeader, header)
+	}
+	if len(gotRecords) != 1 || !bytes.Equal(gotRecords[0], records[0]) {
+		t.Errorf("salvaged records = %q, want just %q", gotRecords, records[0])
+	}
+}
+
+// Truncation mid-record keeps every complete record before the tear.
+func TestEnvelopeSalvagesPrefixOnTruncation(t *testing.T) {
+	header, records := testRecords()
+	data := EncodeEnvelope(testMagic, testKind, header, records)
+	cut := bytes.Index(data, []byte(`{"n":3}`)) + 3 // tear inside record 3
+	gotHeader, gotRecords, err := DecodeEnvelope(testMagic, testKind, data[:cut])
+	if !errors.Is(err, ErrCorruptEnvelope) {
+		t.Fatalf("got %v, want ErrCorruptEnvelope", err)
+	}
+	if !bytes.Equal(gotHeader, header) {
+		t.Errorf("salvaged header = %q, want %q", gotHeader, header)
+	}
+	if len(gotRecords) != 2 {
+		t.Fatalf("salvaged %d records, want 2", len(gotRecords))
+	}
+}
+
+func TestEnvelopeTrailingGarbage(t *testing.T) {
+	header, records := testRecords()
+	data := EncodeEnvelope(testMagic, testKind, header, records)
+	data = append(data, []byte("extra\n")...)
+	gotHeader, gotRecords, err := DecodeEnvelope(testMagic, testKind, data)
+	if !errors.Is(err, ErrCorruptEnvelope) {
+		t.Fatalf("got %v, want ErrCorruptEnvelope", err)
+	}
+	// Everything before the garbage still verified.
+	if !bytes.Equal(gotHeader, header) || len(gotRecords) != len(records) {
+		t.Errorf("salvage lost data: header %q, %d records", gotHeader, len(gotRecords))
+	}
+}
+
+func TestSaveBytesRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "blob.env")
+	header, records := testRecords()
+	data := EncodeEnvelope(testMagic, testKind, header, records)
+	if err := SaveBytes(path, data); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read back: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("file contents differ from written data")
+	}
+	if fi, err := os.Stat(path); err != nil || fi.Mode().Perm() != 0o644 {
+		t.Fatalf("stat: %v, mode %v", err, fi.Mode())
+	}
+}
+
+// A filesystem that cannot fsync directories (EINVAL/EOPNOTSUPP) stays
+// best-effort: the write succeeds.
+func TestWriteAtomicDirSyncUnsupported(t *testing.T) {
+	defer func(f func(*os.File) error) { fsyncDir = f }(fsyncDir)
+	for _, unsupported := range []error{syscall.EINVAL, syscall.EOPNOTSUPP} {
+		fsyncDir = func(*os.File) error { return unsupported }
+		path := filepath.Join(t.TempDir(), "blob")
+		if err := writeAtomic(path, []byte("x")); err != nil {
+			t.Errorf("dir sync %v should be best-effort, got %v", unsupported, err)
+		}
+	}
+}
+
+// A real I/O failure on the directory sync means the rename may not be
+// durable; it must surface instead of being swallowed.
+func TestWriteAtomicDirSyncIOError(t *testing.T) {
+	defer func(f func(*os.File) error) { fsyncDir = f }(fsyncDir)
+	fsyncDir = func(*os.File) error { return syscall.EIO }
+	path := filepath.Join(t.TempDir(), "blob")
+	err := writeAtomic(path, []byte("x"))
+	if !errors.Is(err, syscall.EIO) {
+		t.Fatalf("dir sync EIO swallowed: got %v", err)
+	}
+}

@@ -54,7 +54,7 @@ func E10() (*Table, error) {
 	}
 
 	// The plain (non-SRSW) construction at n = 3 as a breadth check.
-	mv3, err := explore.ConsensusK(multivalue.FromBinary(3, 3), 3, explore.Options{Memoize: true})
+	mv3, err := checkConsensus(multivalue.FromBinary(3, 3), 3, explore.Options{Memoize: true})
 	if err != nil {
 		return nil, fmt.Errorf("E10 n=3: %w", err)
 	}

@@ -146,7 +146,7 @@ func E11() (*Table, error) {
 }
 
 func checkBinaryConsensus(im *program.Implementation) (bool, error) {
-	report, err := explore.Consensus(im, explore.Options{})
+	report, err := checkConsensus(im, 2, explore.Options{})
 	if err != nil {
 		return false, err
 	}

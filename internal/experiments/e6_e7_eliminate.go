@@ -113,7 +113,7 @@ func E7() (*Table, error) {
 	allOK := true
 	for _, tc := range cases {
 		in := tc.mk()
-		inReport, err := explore.Consensus(in, explore.Options{})
+		inReport, err := checkConsensus(in, 2, explore.Options{})
 		if err != nil {
 			return nil, fmt.Errorf("E7 %s: %w", tc.typeName, err)
 		}

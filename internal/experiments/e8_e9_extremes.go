@@ -32,11 +32,11 @@ func E8() (*Table, error) {
 			"the type alone carry only the adversary-controlled win/lose bit.",
 		Columns: []string{"configuration", "roots", "nodes", "agreement", "outcome"},
 	}
-	withRegs, err := explore.Consensus(consensus.WeakLeader2(), explore.Options{})
+	withRegs, err := checkConsensus(consensus.WeakLeader2(), 2, explore.Options{})
 	if err != nil {
 		return nil, fmt.Errorf("E8 with registers: %w", err)
 	}
-	noRegs, err := explore.Consensus(weakLeaderNoRegisters(), explore.Options{})
+	noRegs, err := checkConsensus(weakLeaderNoRegisters(), 2, explore.Options{})
 	if err != nil {
 		return nil, fmt.Errorf("E8 without registers: %w", err)
 	}

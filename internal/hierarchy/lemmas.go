@@ -134,12 +134,17 @@ func FindPairUnrestricted(spec *types.Spec, inits []types.State, maxLen int) (*G
 		return nil, fmt.Errorf("%w: %q", ErrNondeterministic, spec.Name)
 	}
 	var best *GeneralPair
-	for _, init := range expandInits(spec, inits) {
+	starts, truncated := expandInits(spec, inits)
+	for _, init := range starts {
 		for readPort := 1; readPort <= spec.Ports; readPort++ {
 			findPairsAtPort(spec, init, readPort, maxLen, &best)
 		}
 	}
 	if best == nil {
+		if truncated {
+			return nil, fmt.Errorf("%w: no unrestricted pair for %q with |H| <= %d (%w: closure capped at %d states)",
+				ErrNoWitness, spec.Name, maxLen, ErrInconclusive, StartStateLimit)
+		}
 		return nil, fmt.Errorf("%w: no unrestricted pair for %q with |H| <= %d", ErrNoWitness, spec.Name, maxLen)
 	}
 	return best, nil

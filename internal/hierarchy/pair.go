@@ -49,14 +49,19 @@ func (p *Pair) K() int { return len(p.Seq) }
 // initial states to their (bounded) reachable closure.
 const StartStateLimit = 64
 
-// expandInits returns the reachable closure of the given states, bounded;
-// truncation of unbounded state spaces is fine for a witness search.
-func expandInits(spec *types.Spec, inits []types.State) []types.State {
+// expandInits returns the reachable closure of the given states, bounded,
+// and whether any closure was truncated. Truncation is fine for a
+// positive witness search (anything found within the fragment is valid)
+// but makes an exhaustion verdict inconclusive.
+func expandInits(spec *types.Spec, inits []types.State) (states []types.State, truncated bool) {
 	seen := make(map[types.State]bool)
 	var out []types.State
 	for _, init := range inits {
 		states, err := types.Reachable(spec, init, StartStateLimit)
-		if err != nil && !errors.Is(err, types.ErrStateSpaceTooLarge) {
+		switch {
+		case errors.Is(err, types.ErrStateSpaceTooLarge):
+			truncated = true
+		case err != nil:
 			states = []types.State{init}
 		}
 		for _, q := range states {
@@ -66,7 +71,7 @@ func expandInits(spec *types.Spec, inits []types.State) []types.State {
 			}
 		}
 	}
-	return out
+	return out, truncated
 }
 
 // FindPair searches for a minimal non-trivial pair with k <= maxK, over
@@ -82,7 +87,7 @@ func FindPair(spec *types.Spec, inits []types.State, maxK int) (*Pair, error) {
 	if !spec.Deterministic {
 		return nil, fmt.Errorf("%w: %q", ErrNondeterministic, spec.Name)
 	}
-	starts := expandInits(spec, inits)
+	starts, truncated := expandInits(spec, inits)
 	for k := 1; k <= maxK; k++ {
 		for _, init := range starts {
 			for readPort := 1; readPort <= spec.Ports; readPort++ {
@@ -96,6 +101,10 @@ func FindPair(spec *types.Spec, inits []types.State, maxK int) (*Pair, error) {
 				}
 			}
 		}
+	}
+	if truncated {
+		return nil, fmt.Errorf("%w: no non-trivial pair for %q with k <= %d (%w: closure capped at %d states)",
+			ErrNoWitness, spec.Name, maxK, ErrInconclusive, StartStateLimit)
 	}
 	return nil, fmt.Errorf("%w: no non-trivial pair for %q with k <= %d", ErrNoWitness, spec.Name, maxK)
 }

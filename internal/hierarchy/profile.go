@@ -41,6 +41,13 @@ type Classification struct {
 	// ObliviousWitness is the simpler Section 5.1 witness, present only
 	// for oblivious non-trivial deterministic types.
 	ObliviousWitness *ObliviousWitness `json:"oblivious_witness,omitempty"`
+	// Inconclusive reports that a witness search exhausted a TRUNCATED
+	// state space (the reachable closure exceeded its budget): the
+	// computed verdicts above are bounded claims ("trivial up to the
+	// bound", "no witness within the fragment"), not proofs. Conclusive
+	// entries — a witness found, or exhaustion over the full closure —
+	// leave it false.
+	Inconclusive bool `json:"inconclusive,omitempty"`
 	// Consensus and HM echo the literature values from the Entry.
 	Consensus string `json:"consensus"`
 	HM        string `json:"h_m"`
@@ -50,9 +57,22 @@ type Classification struct {
 
 // String renders the classification as one line.
 func (c *Classification) String() string {
-	return fmt.Sprintf("%s: oblivious=%v deterministic=%v trivial=%v consensus=%s h_m=%s — %s",
+	s := fmt.Sprintf("%s: oblivious=%v deterministic=%v trivial=%v consensus=%s h_m=%s — %s",
 		c.Name, c.Oblivious, c.Deterministic, c.Trivial, c.Consensus, c.HM, c.Theorem5)
+	if c.Inconclusive {
+		s += " [inconclusive: witness search truncated]"
+	}
+	return s
 }
+
+// Standard zoo classification bounds: DefaultMaxK bounds the Section 5.2
+// pair search and DefaultReachLimit bounds reachability queries. Exported
+// so callers keying results on the classification (internal/rescache) can
+// name the exact parameters ClassifyZoo runs with.
+const (
+	DefaultMaxK       = 3
+	DefaultReachLimit = 64
+)
 
 // Classify computes the profile of a zoo entry. maxK bounds the Section
 // 5.2 pair search; limit bounds reachability queries.
@@ -83,6 +103,12 @@ func Classify(e Entry, maxK, limit int) (*Classification, error) {
 	switch {
 	case err == nil:
 		c.Pair = pair
+	case errors.Is(err, ErrInconclusive):
+		// Trivial up to the bound, but the closure was truncated: keep
+		// the bounded verdict and flag it. Test before ErrNoWitness —
+		// inconclusive exhaustion errors wrap both sentinels.
+		c.Trivial = true
+		c.Inconclusive = true
 	case errors.Is(err, ErrNoWitness):
 		c.Trivial = true
 	default:
@@ -90,10 +116,16 @@ func Classify(e Entry, maxK, limit int) (*Classification, error) {
 	}
 	if spec.Oblivious && !c.Trivial {
 		w, err := FindObliviousWitness(spec, e.Inits, limit)
-		if err != nil && !errors.Is(err, ErrNoWitness) {
+		switch {
+		case err == nil:
+			c.ObliviousWitness = w
+		case errors.Is(err, ErrInconclusive):
+			c.Inconclusive = true
+		case errors.Is(err, ErrNoWitness):
+			// Conclusively absent; the field stays nil.
+		default:
 			return nil, fmt.Errorf("classify %q: %w", spec.Name, err)
 		}
-		c.ObliviousWitness = w
 	}
 	c.Theorem5 = "h_m = h_m^r (Theorem 5: deterministic)"
 	return c, nil
@@ -170,7 +202,7 @@ func ClassifyZooContext(ctx context.Context, parallelism int) ([]*Classification
 				if i >= len(entries) {
 					return
 				}
-				out[i], errs[i] = Classify(entries[i], 3, 64)
+				out[i], errs[i] = Classify(entries[i], DefaultMaxK, DefaultReachLimit)
 			}
 		}()
 	}

@@ -20,6 +20,15 @@ var ErrNondeterministic = errors.New("hierarchy: analysis requires a determinist
 // ErrNoWitness reports that no witness exists within the search bounds.
 var ErrNoWitness = errors.New("hierarchy: no witness found within bounds")
 
+// ErrInconclusive marks a witness-exhaustion verdict whose search space
+// was truncated (the reachable closure exceeded the state budget): the
+// type may hide a witness beyond the horizon, so "no witness" is a
+// bounded claim, not a proof. Errors carrying it also wrap ErrNoWitness,
+// so callers that only care about the bounded verdict keep working;
+// taxonomy-aware callers (Classify, waitfree.Report.OK) must test for
+// ErrInconclusive first.
+var ErrInconclusive = errors.New("hierarchy: search truncated; negative verdict is inconclusive")
+
 // IsTrivialOblivious decides the Section 5.1 triviality condition for an
 // oblivious deterministic type over the fragment reachable from the given
 // initial states (bounded by limit states per reachability query):

@@ -37,13 +37,18 @@ func FindObliviousWitness(spec *types.Spec, inits []types.State, limit int) (*Ob
 	if !spec.Deterministic {
 		return nil, fmt.Errorf("%w: %q", ErrNondeterministic, spec.Name)
 	}
+	truncated := false
 	for _, init := range inits {
 		states, err := types.Reachable(spec, init, limit)
-		if err != nil && !errors.Is(err, types.ErrStateSpaceTooLarge) {
+		switch {
+		case errors.Is(err, types.ErrStateSpaceTooLarge):
+			// A truncated fragment is fine for a positive search: any
+			// witness found within it is valid. Only exhaustion verdicts
+			// become inconclusive.
+			truncated = true
+		case err != nil:
 			return nil, err
 		}
-		// A truncated fragment is fine for a witness search: any witness
-		// found within it is valid.
 		for _, q := range states {
 			for _, i := range spec.Alphabet {
 				ts := spec.Step(q, 1, i)
@@ -69,6 +74,10 @@ func FindObliviousWitness(spec *types.Spec, inits []types.State, limit int) (*Ob
 				}
 			}
 		}
+	}
+	if truncated {
+		return nil, fmt.Errorf("%w: no oblivious witness for %q (%w: fragment capped at %d states)",
+			ErrNoWitness, spec.Name, ErrInconclusive, limit)
 	}
 	return nil, fmt.Errorf("%w: no oblivious witness for %q", ErrNoWitness, spec.Name)
 }

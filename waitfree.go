@@ -37,6 +37,7 @@ import (
 	"waitfree/internal/multivalue"
 	"waitfree/internal/onebit"
 	"waitfree/internal/program"
+	"waitfree/internal/rescache"
 	runtimepkg "waitfree/internal/runtime"
 	"waitfree/internal/sched"
 	"waitfree/internal/synth"
@@ -195,6 +196,35 @@ var (
 	// coverage (MaxNodes, deadline, stall watchdog) before it could settle
 	// the property; resume from the accompanying report's Checkpoint.
 	ErrInconclusive = core.ErrInconclusive
+)
+
+// Content-addressed result cache (Request.Cache; see DESIGN.md section
+// 10): a request's canonical SHA-256 key covers everything that affects
+// its verdict — the implementation's behavior up to process permutation,
+// specs, kind, parameters, and the verdict-relevant exploration options —
+// so repeated and symmetry-equivalent requests are served from memory or
+// disk with byte-identical JSON instead of re-explored.
+type (
+	// Cache is the two-tier (memory LRU + durable disk) result cache.
+	Cache = rescache.Cache
+	// CacheOptions configures OpenCache: disk directory and memory
+	// budget.
+	CacheOptions = rescache.Options
+	// CacheStats are a cache's cumulative hit/miss/store counters.
+	CacheStats = rescache.Stats
+	// CacheOutcome describes what the cache did for one request
+	// (Report.Cache).
+	CacheOutcome = rescache.Outcome
+)
+
+var (
+	// OpenCache creates a result cache; with CacheOptions.Dir set,
+	// entries persist across processes in checksummed envelope files.
+	OpenCache = rescache.Open
+	// ErrUncacheable: the request's report is not a pure function of the
+	// request (resumed, degraded, or callback-driven runs); Check
+	// bypasses the cache for it.
+	ErrUncacheable = rescache.ErrUncacheable
 )
 
 // Hierarchy classification.
