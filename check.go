@@ -117,9 +117,22 @@ type SynthesisReport struct {
 // Found reports whether a protocol was synthesized.
 func (r *SynthesisReport) Found() bool { return r.Verdict == "found" }
 
+// ReportSchema is the version stamped into every Report's "schema"
+// field. It names the JSON shape, not the verdict semantics: bump it when
+// a field is renamed, retyped, or removed, so consumers (and the golden
+// schema test) catch the break instead of silently misreading reports.
+const ReportSchema = 1
+
+// ErrBadReport is the sentinel wrapped by DecodeReport validation
+// failures: bytes that do not parse as a Report, carry an unknown schema
+// version, or name an unknown kind.
+var ErrBadReport = errors.New("waitfree: invalid report")
+
 // Report is the JSON-marshalable union returned by Check: exactly one of
 // the pipeline fields is populated, discriminated by Kind.
 type Report struct {
+	// Schema is ReportSchema at marshal time; DecodeReport validates it.
+	Schema  int           `json:"schema"`
 	Kind    CheckKind     `json:"kind"`
 	Elapsed time.Duration `json:"elapsed_ns"`
 
@@ -247,7 +260,7 @@ func Check(ctx context.Context, req Request) (*Report, error) {
 // runPipeline dispatches a (validated) request to its pipeline. The
 // report is non-nil except on request validation failures.
 func runPipeline(ctx context.Context, req Request) (*Report, error) {
-	rep := &Report{Kind: req.Kind}
+	rep := &Report{Schema: ReportSchema, Kind: req.Kind}
 	var err error
 	switch req.Kind {
 	case KindConsensus:
@@ -322,16 +335,15 @@ func checkCached(ctx context.Context, req Request, start time.Time) (*Report, er
 	}
 	outcome.Key = key.Hex()
 	if data, ok := req.Cache.Get(key); ok {
-		rep := &Report{}
-		if err := json.Unmarshal(data, rep); err == nil && rep.Kind == req.Kind {
+		if rep, err := DecodeReport(data); err == nil && rep.Kind == req.Kind {
 			outcome.Hit = true
 			outcome.Stats = req.Cache.Stats()
 			rep.Cache = outcome
 			return rep, nil
 		}
-		// The entry's bytes verified but don't decode to a report for
-		// this request (a format change across versions): treat as a
-		// miss and overwrite below.
+		// The entry's bytes verified but don't decode to a current-schema
+		// report for this request (a format change across versions): treat
+		// as a miss and overwrite below.
 	}
 	rep, err := runPipeline(ctx, req)
 	if rep == nil {
@@ -340,10 +352,7 @@ func checkCached(ctx context.Context, req Request, start time.Time) (*Report, er
 	// Canonicalize so the report is a pure function of the request: the
 	// stored bytes, this cold report, and every future warm hit marshal
 	// identically.
-	rep.Elapsed = 0
-	for _, cr := range rep.consensusReports() {
-		cr.Stats = nil
-	}
+	rep.Canonicalize()
 	if err == nil && rep.storable() {
 		if data, merr := json.Marshal(rep); merr == nil {
 			if perr := req.Cache.Put(key, data); perr != nil {
@@ -356,6 +365,40 @@ func checkCached(ctx context.Context, req Request, start time.Time) (*Report, er
 	outcome.Stats = req.Cache.Stats()
 	rep.Cache = outcome
 	return rep, err
+}
+
+// Canonicalize strips the observational fields that vary between
+// otherwise-identical runs — wall-clock Elapsed and the engine Stats
+// blocks — so a report becomes a pure function of its request: a cold
+// run, a cache hit, and a checkpoint-resumed rerun all marshal
+// byte-identically. The result cache and the waitfreed server apply it to
+// every report they store or serve.
+func (r *Report) Canonicalize() {
+	r.Elapsed = 0
+	for _, cr := range r.consensusReports() {
+		cr.Stats = nil
+	}
+}
+
+// DecodeReport is the round-trip companion of Report's JSON form: it
+// parses data, validates the schema stamp and the kind discriminator, and
+// returns the report. Bytes from a different schema version (including
+// pre-stamp reports, whose missing field decodes as 0) wrap ErrBadReport,
+// so consumers fail loudly instead of misreading a changed shape.
+func DecodeReport(data []byte) (*Report, error) {
+	rep := &Report{}
+	if err := json.Unmarshal(data, rep); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadReport, err)
+	}
+	if rep.Schema != ReportSchema {
+		return nil, fmt.Errorf("%w: schema %d (this library reads %d)", ErrBadReport, rep.Schema, ReportSchema)
+	}
+	switch rep.Kind {
+	case KindConsensus, KindBound, KindElimination, KindClassification, KindSynthesis:
+	default:
+		return nil, fmt.Errorf("%w: unknown kind %q", ErrBadReport, rep.Kind)
+	}
+	return rep, nil
 }
 
 // consensusReports collects every exploration report embedded in the

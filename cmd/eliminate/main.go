@@ -22,20 +22,29 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"waitfree"
 	"waitfree/internal/cliutil"
-	"waitfree/internal/consensus"
 	"waitfree/internal/explore"
-	"waitfree/internal/program"
 )
 
-var protocols = map[string]func() *program.Implementation{
-	"tas":   consensus.TAS2,
-	"queue": consensus.Queue2,
-	"stack": consensus.Stack2,
-	"faa":   consensus.FAA2,
-	"swap":  consensus.Swap2,
+// eliminableNames renders the registry's Theorem 5 pipeline inputs for
+// flag help and errors ("noisysticky" stays the CLI spelling of the
+// registry's "noisysticky-r").
+func eliminableNames() string {
+	var names []string
+	for _, p := range waitfree.Protocols() {
+		if !p.Eliminable {
+			continue
+		}
+		if p.Name == "noisysticky-r" {
+			names = append(names, "noisysticky")
+			continue
+		}
+		names = append(names, p.Name)
+	}
+	return strings.Join(names, ", ")
 }
 
 func main() {
@@ -47,7 +56,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("eliminate", flag.ContinueOnError)
-	name := fs.String("protocol", "tas", "protocol to transform: tas, queue, stack, faa, swap, noisysticky")
+	name := fs.String("protocol", "tas", "protocol to transform: "+eliminableNames())
 	memoize := fs.Bool("memoize", false, "memoize configurations during exploration")
 	common := cliutil.Register(fs)
 	if err := fs.Parse(args); err != nil {
@@ -62,17 +71,28 @@ func run(args []string) error {
 		Kind:    waitfree.KindElimination,
 		Explore: exOpts,
 	}
-	if *name == "noisysticky" {
-		// The nondeterministic case: Theorem 5's h_m >= 2 route (Section
-		// 5.3), with the register-free noisy-sticky consensus as substrate.
-		req.Implementation = consensus.NoisySticky2R()
-		req.Substrate = consensus.NoisySticky2()
-	} else {
-		mk, ok := protocols[*name]
+	lookup := *name
+	if lookup == "noisysticky" {
+		// The CLI's historical name for the nondeterministic case: Theorem
+		// 5's h_m >= 2 route (Section 5.3), registered as "noisysticky-r"
+		// with the register-free noisy-sticky consensus as substrate.
+		lookup = "noisysticky-r"
+	}
+	info, ok := waitfree.LookupProtocol(lookup)
+	if !ok || !info.Eliminable {
+		return fmt.Errorf("unknown protocol %q (have %s)", *name, eliminableNames())
+	}
+	if req.Implementation, err = info.Build(0); err != nil {
+		return err
+	}
+	if info.Substrate != "" {
+		sub, ok := waitfree.LookupProtocol(info.Substrate)
 		if !ok {
-			return fmt.Errorf("unknown protocol %q (have tas, queue, stack, faa, swap, noisysticky)", *name)
+			return fmt.Errorf("protocol %q names unknown substrate %q", info.Name, info.Substrate)
 		}
-		req.Implementation = mk()
+		if req.Substrate, err = sub.Build(0); err != nil {
+			return err
+		}
 	}
 
 	req.Cache, err = common.OpenCache()

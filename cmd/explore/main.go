@@ -32,8 +32,9 @@
 // JSON, storing fresh conclusive verdicts on the way out; resumed and
 // partial runs bypass it.
 //
-// Protocols: tas, queue, stack, faa, swap, weakleader, naive (incorrect,
-// registers only), casregister3, noisysticky, and the register-free
+// Protocols come from the waitfree.Protocols registry: tas, queue, stack,
+// faa, swap, weakleader, naive (incorrect, registers only), casregister3,
+// noisysticky, noisysticky-r, and the register-free
 // cas/sticky/augqueue/fetchcons (which honor -procs).
 package main
 
@@ -42,12 +43,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"waitfree"
 	"waitfree/internal/cliutil"
-	"waitfree/internal/consensus"
 	"waitfree/internal/explore"
-	"waitfree/internal/program"
 	"waitfree/internal/types"
 )
 
@@ -58,10 +58,19 @@ func main() {
 	}
 }
 
+// protocolNames renders the registry's names for flag help and errors.
+func protocolNames() string {
+	var names []string
+	for _, p := range waitfree.Protocols() {
+		names = append(names, p.Name)
+	}
+	return strings.Join(names, ", ")
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("explore", flag.ContinueOnError)
-	name := fs.String("protocol", "tas", "protocol to check")
-	procs := fs.Int("procs", 2, "process count for the scalable protocols (cas, sticky)")
+	name := fs.String("protocol", "tas", "protocol to check: "+protocolNames())
+	procs := fs.Int("procs", 2, "process count for the scalable protocols (cas, sticky, augqueue, fetchcons)")
 	memoize := fs.Bool("memoize", false, "memoize configurations")
 	valency := fs.Bool("valency", false, "run the FLP/Herlihy valency analysis on mixed proposals")
 	dot := fs.Bool("dot", false, "print the mixed-proposal execution tree as Graphviz DOT and exit")
@@ -70,36 +79,20 @@ func run(args []string) error {
 		return err
 	}
 
-	var im *program.Implementation
-	switch *name {
-	case "tas":
-		im = consensus.TAS2()
-	case "queue":
-		im = consensus.Queue2()
-	case "stack":
-		im = consensus.Stack2()
-	case "faa":
-		im = consensus.FAA2()
-	case "swap":
-		im = consensus.Swap2()
-	case "weakleader":
-		im = consensus.WeakLeader2()
-	case "naive":
-		im = consensus.NaiveRegister2()
-	case "cas":
-		im = consensus.CAS(*procs)
-	case "sticky":
-		im = consensus.Sticky(*procs)
-	case "augqueue":
-		im = consensus.AugQueue(*procs)
-	case "fetchcons":
-		im = consensus.FetchCons(*procs)
-	case "noisysticky":
-		im = consensus.NoisySticky2()
-	case "casregister3":
-		im = consensus.CASRegister3()
-	default:
-		return fmt.Errorf("unknown protocol %q", *name)
+	info, ok := waitfree.LookupProtocol(*name)
+	if !ok {
+		return fmt.Errorf("unknown protocol %q (have %s)", *name, protocolNames())
+	}
+	// -procs only steers the scalable protocols; for fixed-size ones it is
+	// ignored, as it always has been (the default of 2 must not reject
+	// casregister3).
+	procsArg := 0
+	if info.Scalable() {
+		procsArg = *procs
+	}
+	im, err := info.Build(procsArg)
+	if err != nil {
+		return err
 	}
 
 	if *dot {

@@ -21,39 +21,20 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"waitfree"
 	"waitfree/internal/cliutil"
-	"waitfree/internal/synth"
-	"waitfree/internal/types"
 )
 
-var objectSets = map[string]func() []synth.Object{
-	"tas": func() []synth.Object {
-		return []synth.Object{{Name: "tas", Spec: types.TestAndSet(2), Init: 0}}
-	},
-	"tas+bits": func() []synth.Object {
-		return []synth.Object{
-			{Name: "tas", Spec: types.TestAndSet(2), Init: 0},
-			{Name: "r0", Spec: types.Bit(2), Init: 0},
-			{Name: "r1", Spec: types.Bit(2), Init: 0},
-		}
-	},
-	"cas": func() []synth.Object {
-		return []synth.Object{{Name: "cas", Spec: types.CompareSwap(2, 3), Init: 2}}
-	},
-	"sticky": func() []synth.Object {
-		return []synth.Object{{Name: "sticky", Spec: types.StickyCell(2, 2), Init: types.StickyUnset}}
-	},
-	"register": func() []synth.Object {
-		return []synth.Object{{Name: "r", Spec: types.Register(2, 4), Init: 0}}
-	},
-	"onebits": func() []synth.Object {
-		return []synth.Object{
-			{Name: "b0", Spec: types.OneUseBit(), Init: types.OneUseUnset},
-			{Name: "b1", Spec: types.OneUseBit(), Init: types.OneUseUnset},
-		}
-	},
+// objectSetNames renders the registry's object-set names for flag help
+// and errors.
+func objectSetNames() string {
+	var names []string
+	for _, s := range waitfree.ObjectSets() {
+		names = append(names, s.Name)
+	}
+	return strings.Join(names, ", ")
 }
 
 func main() {
@@ -65,7 +46,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("synthesize", flag.ContinueOnError)
-	setName := fs.String("objects", "tas+bits", "object set: tas, tas+bits, cas, sticky, register, onebits")
+	setName := fs.String("objects", "tas+bits", "object set: "+objectSetNames())
 	depth := fs.Int("depth", 3, "maximum object accesses per process")
 	symmetric := fs.Bool("symmetric", false, "search symmetric strategies only (faster, weaker negatives)")
 	budget := fs.Int64("budget", 5e7, "assignment budget")
@@ -73,9 +54,9 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	mk, ok := objectSets[*setName]
-	if !ok {
-		return fmt.Errorf("unknown object set %q", *setName)
+	objects, err := waitfree.BuildObjectSet(*setName)
+	if err != nil {
+		return fmt.Errorf("unknown object set %q (have %s)", *setName, objectSetNames())
 	}
 
 	ctx, cancel := common.Context()
@@ -94,7 +75,7 @@ func run(args []string) error {
 	}
 	rep, err := waitfree.Check(ctx, waitfree.Request{
 		Kind:      waitfree.KindSynthesis,
-		Objects:   mk(),
+		Objects:   objects,
 		Synthesis: waitfree.SynthOptions{Depth: *depth, Symmetric: *symmetric, Budget: *budget},
 		Explore:   exOpts,
 		Cache:     cache,

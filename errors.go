@@ -1,0 +1,110 @@
+package waitfree
+
+import (
+	"context"
+	"errors"
+)
+
+// Stable machine-readable error codes for the sentinel zoo. The wire API
+// (internal/server) maps them to HTTP statuses and {"error": {"code",
+// "message"}} bodies; library callers can switch on them without chaining
+// errors.Is over every sentinel. Codes are part of the v1 wire contract:
+// existing values never change, new sentinels get new codes.
+const (
+	// CodeOK is the empty code of a nil error.
+	CodeOK = ""
+	// CodeBadRequest: the request itself is malformed (ErrBadRequest,
+	// ErrBadExploreOptions, ErrBadFaultModel, ErrUnknownProtocol).
+	CodeBadRequest = "bad_request"
+	// CodeUnknownProtocol: a name is not in the protocol or object-set
+	// registry. Refines CodeBadRequest.
+	CodeUnknownProtocol = "unknown_protocol"
+	// CodeNotWaitFree: verification refuted the input (access bounds or
+	// elimination on an implementation that is not correct wait-free
+	// consensus).
+	CodeNotWaitFree = "not_wait_free"
+	// CodeInconclusive: exploration stopped with partial coverage before
+	// settling the property; resume from the report's checkpoint.
+	CodeInconclusive = "inconclusive"
+	// CodeNotSymmetric: SymmetryRequire was set but the run cannot be
+	// symmetry-reduced.
+	CodeNotSymmetric = "not_symmetric"
+	// CodeUncacheable: the request's report is not a pure function of the
+	// request, so the result cache refused it.
+	CodeUncacheable = "uncacheable"
+	// CodeBadCheckpoint: a resume checkpoint does not match the run it was
+	// offered to.
+	CodeBadCheckpoint = "bad_checkpoint"
+	// CodeCorruptCheckpoint: a durable checkpoint or envelope failed its
+	// integrity checks.
+	CodeCorruptCheckpoint = "corrupt_checkpoint"
+	// CodeStalled: the stall watchdog flagged a worker making no progress.
+	CodeStalled = "stalled"
+	// CodePanic: protocol code panicked and was converted into a
+	// structured error by an engine's recovery layer.
+	CodePanic = "panic"
+	// CodeNoProtocol: the synthesis space is exhausted; no protocol exists
+	// within the bound.
+	CodeNoProtocol = "no_protocol"
+	// CodeSynthBudget: the synthesis budget ran out; verdict unknown.
+	CodeSynthBudget = "synth_budget"
+	// CodeAuditInconclusive: a spec audit ran out of state budget before
+	// verifying every declared flag.
+	CodeAuditInconclusive = "audit_inconclusive"
+	// CodeBadReport: bytes offered to DecodeReport are not a
+	// current-schema report.
+	CodeBadReport = "bad_report"
+	// CodeCanceled / CodeDeadline: the caller's context stopped the run.
+	CodeCanceled = "canceled"
+	CodeDeadline = "deadline_exceeded"
+	// CodeInternal is the fallback for errors outside the taxonomy.
+	CodeInternal = "internal"
+)
+
+// ErrorCode maps err to its stable snake_case code. A nil error maps to
+// CodeOK; wrapped sentinels are unwrapped with errors.Is, most specific
+// first; anything outside the taxonomy maps to CodeInternal.
+func ErrorCode(err error) string {
+	if err == nil {
+		return CodeOK
+	}
+	var stall *StallError
+	var panicErr *PanicError
+	switch {
+	case errors.Is(err, ErrUnknownProtocol):
+		return CodeUnknownProtocol
+	case errors.Is(err, ErrBadRequest),
+		errors.Is(err, ErrBadExploreOptions),
+		errors.Is(err, ErrBadFaultModel):
+		return CodeBadRequest
+	case errors.Is(err, ErrBadReport):
+		return CodeBadReport
+	case errors.Is(err, ErrBadCheckpoint):
+		return CodeBadCheckpoint
+	case errors.Is(err, ErrCorruptCheckpoint):
+		return CodeCorruptCheckpoint
+	case errors.Is(err, ErrNotSymmetric):
+		return CodeNotSymmetric
+	case errors.Is(err, ErrNotWaitFree):
+		return CodeNotWaitFree
+	case errors.Is(err, ErrInconclusive):
+		return CodeInconclusive
+	case errors.Is(err, ErrUncacheable):
+		return CodeUncacheable
+	case errors.Is(err, ErrNoProtocol):
+		return CodeNoProtocol
+	case errors.Is(err, ErrSynthBudget):
+		return CodeSynthBudget
+	case errors.Is(err, ErrAuditInconclusive):
+		return CodeAuditInconclusive
+	case errors.As(err, &stall):
+		return CodeStalled
+	case errors.As(err, &panicErr):
+		return CodePanic
+	case errors.Is(err, context.Canceled):
+		return CodeCanceled
+	case errors.Is(err, context.DeadlineExceeded):
+		return CodeDeadline
+	}
+	return CodeInternal
+}

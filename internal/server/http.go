@@ -1,0 +1,205 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"waitfree"
+)
+
+// maxBodyBytes bounds a submission body; real wire requests are tiny.
+const maxBodyBytes = 1 << 20
+
+func (s *Server) routes() {
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/protocols", s.handleProtocols)
+}
+
+// writeJSON writes v as the response body with the given status. Bodies
+// are compact on purpose: an embedded report RawMessage must reach the
+// client byte-identical to the stored (compact) bytes, and any
+// re-indentation here would break that.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeError renders err as the {"error": {code, message}} body with the
+// HTTP status its taxonomy code maps to.
+func writeError(w http.ResponseWriter, err error) {
+	we := &WireError{}
+	if !errors.As(err, &we) {
+		we = &WireError{Code: waitfree.ErrorCode(err), Message: err.Error()}
+	}
+	writeJSON(w, httpStatus(we.Code), map[string]*WireError{"error": we})
+}
+
+// httpStatus maps an error-taxonomy code to its HTTP status.
+func httpStatus(code string) int {
+	switch code {
+	case waitfree.CodeBadRequest, waitfree.CodeUnknownProtocol,
+		waitfree.CodeBadCheckpoint, waitfree.CodeBadReport:
+		return http.StatusBadRequest
+	case CodeNotFound:
+		return http.StatusNotFound
+	case CodeConflict:
+		return http.StatusConflict
+	case CodeDraining, CodeQueueFull:
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes+1))
+	if err != nil {
+		writeError(w, badRequest("read body: %v", err))
+		return
+	}
+	if len(body) > maxBodyBytes {
+		writeError(w, badRequest("body exceeds %d bytes", maxBodyBytes))
+		return
+	}
+	j, err := s.submit(body)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+j.id)
+	writeJSON(w, http.StatusAccepted, j.view())
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	views := make([]*JobView, 0, len(s.order))
+	for _, id := range s.order {
+		views = append(views, s.jobs[id].view())
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": views})
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(r.PathValue("id"))
+	if !ok {
+		writeError(w, &WireError{Code: CodeNotFound, Message: "no such job"})
+		return
+	}
+	writeJSON(w, http.StatusOK, j.view())
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(r.PathValue("id"))
+	if !ok {
+		writeError(w, &WireError{Code: CodeNotFound, Message: "no such job"})
+		return
+	}
+	if err := s.cancelJob(j); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, j.view())
+}
+
+// handleEvents streams the job's lifecycle over SSE: an immediate state
+// snapshot, then stats / checkpoint / state events as they happen, and a
+// final done event carrying the terminal view. Subscribing to a job that
+// is already terminal yields the snapshot and the done event immediately.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(r.PathValue("id"))
+	if !ok {
+		writeError(w, &WireError{Code: CodeNotFound, Message: "no such job"})
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, &WireError{Code: waitfree.CodeInternal, Message: "response writer cannot stream"})
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+
+	// Subscribe before the snapshot so no transition falls in between.
+	ch, unsubscribe := j.hub.subscribe()
+	defer unsubscribe()
+	view := j.view()
+	writeSSE(w, Event{Type: "state", Data: mustJSON(view)})
+	if view.State.Terminal() {
+		writeSSE(w, Event{Type: "done", Data: mustJSON(view)})
+		fl.Flush()
+		return
+	}
+	fl.Flush()
+
+	keepalive := time.NewTicker(15 * time.Second)
+	defer keepalive.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-keepalive.C:
+			fmt.Fprint(w, ": keepalive\n\n")
+			fl.Flush()
+		case ev, ok := <-ch:
+			if !ok {
+				// Hub closed; if we raced past the final publish, synthesize
+				// the done event from the terminal view.
+				writeSSE(w, Event{Type: "done", Data: mustJSON(j.view())})
+				fl.Flush()
+				return
+			}
+			writeSSE(w, ev)
+			fl.Flush()
+			if ev.Type == "done" {
+				return
+			}
+		}
+	}
+}
+
+func writeSSE(w io.Writer, ev Event) {
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, ev.Data)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	if s.draining.Load() {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": status, "api": APIVersion})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.statsView())
+}
+
+// handleProtocols serves the registries so clients can discover what the
+// wire schema's protocol / objects names resolve to.
+func (s *Server) handleProtocols(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"protocols": waitfree.Protocols(),
+		"objects":   waitfree.ObjectSets(),
+	})
+}
+
+func removePath(path string) error {
+	if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	return nil
+}

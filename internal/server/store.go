@@ -1,0 +1,148 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"waitfree/internal/durable"
+)
+
+// Durable job state: one internal/durable envelope per job, rewritten
+// atomically on every transition and on every engine checkpoint
+// autosave. A SIGKILLed daemon therefore loses at most one autosave
+// interval of exploration; on the next start, loadJobs re-queues every
+// non-terminal job with its stored checkpoint and the engine resumes
+// instead of restarting.
+const (
+	jobMagic   = "waitfree job v1"
+	jobKind    = "job"
+	jobFileExt = ".wfjob"
+)
+
+// manifest is the persisted form of a Job.
+type manifest struct {
+	ID    string          `json:"id"`
+	Wire  json.RawMessage `json:"wire"`
+	State JobState        `json:"state"`
+	Error *WireError      `json:"error,omitempty"`
+	OK    *bool           `json:"ok,omitempty"`
+	// Report is the canonical final report of a done job.
+	Report json.RawMessage `json:"report,omitempty"`
+	// Checkpoint is the latest autosaved explore.Checkpoint.
+	Checkpoint json.RawMessage `json:"checkpoint,omitempty"`
+	Resumes    int             `json:"resumes,omitempty"`
+	Created    time.Time       `json:"created"`
+	Started    time.Time       `json:"started,omitempty"`
+	Finished   time.Time       `json:"finished,omitempty"`
+}
+
+// store persists jobs under dir; a zero dir disables persistence (every
+// method is then a no-op).
+type store struct {
+	dir string
+}
+
+func newStore(dir string) (*store, error) {
+	if dir == "" {
+		return &store{}, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("server: create data dir: %w", err)
+	}
+	return &store{dir: dir}, nil
+}
+
+func (s *store) enabled() bool { return s.dir != "" }
+
+func (s *store) path(id string) string {
+	return filepath.Join(s.dir, id+jobFileExt)
+}
+
+// save rewrites the job's envelope durably (atomic replace, checksummed,
+// retried). Callers must not hold j.mu.
+func (s *store) save(j *Job) error {
+	if !s.enabled() {
+		return nil
+	}
+	j.mu.Lock()
+	m := manifest{
+		ID:         j.id,
+		Wire:       j.raw,
+		State:      j.state,
+		Error:      j.err,
+		OK:         j.ok,
+		Report:     j.report,
+		Checkpoint: j.chkpoint,
+		Resumes:    j.resumes,
+		Created:    j.created,
+		Started:    j.started,
+		Finished:   j.finished,
+	}
+	j.mu.Unlock()
+	data, err := json.Marshal(&m)
+	if err != nil {
+		return fmt.Errorf("server: marshal job %s: %w", m.ID, err)
+	}
+	env := durable.EncodeEnvelope(jobMagic, jobKind, []byte(m.ID), [][]byte{data})
+	if err := durable.SaveBytes(s.path(m.ID), env); err != nil {
+		return fmt.Errorf("server: persist job %s: %w", m.ID, err)
+	}
+	return nil
+}
+
+// loadAll reads every job envelope under dir, oldest first. Corrupt files
+// are skipped with a warning through logf — a damaged job must not stop
+// the healthy ones from resuming.
+func (s *store) loadAll(logf func(string, ...any)) ([]*manifest, error) {
+	if !s.enabled() {
+		return nil, nil
+	}
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("server: read data dir: %w", err)
+	}
+	var out []*manifest
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), jobFileExt) {
+			continue
+		}
+		path := filepath.Join(s.dir, e.Name())
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			logf("load job %s: %v", e.Name(), err)
+			continue
+		}
+		header, records, err := durable.DecodeEnvelope(jobMagic, jobKind, raw)
+		if len(records) < 1 {
+			logf("load job %s: %v (skipped)", e.Name(), err)
+			continue
+		}
+		// A torn trailer with an intact first record is still a job (the
+		// envelope salvage contract); anything less was skipped above.
+		m := &manifest{}
+		if jerr := json.Unmarshal(records[0], m); jerr != nil {
+			logf("load job %s: %v (skipped)", e.Name(), jerr)
+			continue
+		}
+		if m.ID == "" || m.ID != string(header) {
+			logf("load job %s: manifest/header id mismatch (skipped)", e.Name())
+			continue
+		}
+		out = append(out, m)
+	}
+	// Oldest first so re-queued jobs keep their submission order.
+	sortManifests(out)
+	return out, nil
+}
+
+func sortManifests(ms []*manifest) {
+	for i := 1; i < len(ms); i++ {
+		for k := i; k > 0 && ms[k].Created.Before(ms[k-1].Created); k-- {
+			ms[k], ms[k-1] = ms[k-1], ms[k]
+		}
+	}
+}

@@ -1,0 +1,227 @@
+package waitfree
+
+import (
+	"errors"
+	"fmt"
+
+	"waitfree/internal/consensus"
+	"waitfree/internal/program"
+	"waitfree/internal/synth"
+	"waitfree/internal/types"
+)
+
+// This file is the named-protocol registry: the full consensus.* protocol
+// library and the synthesis object sets as a first-class, enumerable
+// surface. Implementations hold Go closures (Machine programs), so they
+// cannot travel over a wire; a name plus a process count can. The CLIs
+// (cmd/explore, cmd/eliminate, cmd/synthesize) and the waitfreed server's
+// wire request schema all resolve protocols through this one registry
+// instead of private name→constructor switches.
+
+// ErrUnknownProtocol is the sentinel wrapped when a protocol or object-set
+// name is not in the registry.
+var ErrUnknownProtocol = errors.New("waitfree: unknown protocol")
+
+// ProtocolInfo describes one named consensus protocol from the built-in
+// library.
+type ProtocolInfo struct {
+	// Name is the registry key, stable across releases ("cas", "tas", ...).
+	Name string `json:"name"`
+	// Description is a one-line human summary.
+	Description string `json:"description"`
+	// Procs is the fixed process count, or 0 for the scalable protocols
+	// (cas, sticky, augqueue, fetchcons) whose Build honors a caller-chosen
+	// count.
+	Procs int `json:"procs,omitempty"`
+	// RegisterFree reports that the protocol uses no register objects.
+	RegisterFree bool `json:"register_free,omitempty"`
+	// Eliminable reports that the protocol is a valid input to the Theorem
+	// 5 register-elimination pipeline (KindElimination).
+	Eliminable bool `json:"eliminable,omitempty"`
+	// Substrate names the register-free protocol that realizes one-use
+	// bits for this protocol's elimination via the Section 5.3 route; ""
+	// means the deterministic route (Sections 4.2/4.3/5.2) applies.
+	Substrate string `json:"substrate,omitempty"`
+
+	build func(procs int) *program.Implementation
+}
+
+// Scalable reports whether Build honors a caller-chosen process count.
+func (p ProtocolInfo) Scalable() bool { return p.Procs == 0 }
+
+// Build constructs the protocol's implementation. For scalable protocols
+// procs chooses the process count (0 = 2); for fixed protocols procs must
+// be 0 or the protocol's own count.
+func (p ProtocolInfo) Build(procs int) (*Implementation, error) {
+	if p.build == nil {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownProtocol, p.Name)
+	}
+	if !p.Scalable() {
+		if procs != 0 && procs != p.Procs {
+			return nil, fmt.Errorf("%w: protocol %q is fixed at %d processes (got %d)",
+				ErrBadRequest, p.Name, p.Procs, procs)
+		}
+		return p.build(p.Procs), nil
+	}
+	if procs == 0 {
+		procs = 2
+	}
+	if procs < 2 {
+		return nil, fmt.Errorf("%w: protocol %q needs at least 2 processes (got %d)",
+			ErrBadRequest, p.Name, procs)
+	}
+	return p.build(procs), nil
+}
+
+// protocolRegistry lists every protocol in its stable presentation order.
+var protocolRegistry = []ProtocolInfo{
+	{Name: "tas", Description: "2-process consensus from test-and-set + SRSW bits",
+		Procs: 2, Eliminable: true,
+		build: func(int) *program.Implementation { return consensus.TAS2() }},
+	{Name: "queue", Description: "2-process consensus from a queue + SRSW bits",
+		Procs: 2, Eliminable: true,
+		build: func(int) *program.Implementation { return consensus.Queue2() }},
+	{Name: "stack", Description: "2-process consensus from a stack + SRSW bits",
+		Procs: 2, Eliminable: true,
+		build: func(int) *program.Implementation { return consensus.Stack2() }},
+	{Name: "faa", Description: "2-process consensus from fetch-and-add + SRSW bits",
+		Procs: 2, Eliminable: true,
+		build: func(int) *program.Implementation { return consensus.FAA2() }},
+	{Name: "swap", Description: "2-process consensus from swap + SRSW bits",
+		Procs: 2, Eliminable: true,
+		build: func(int) *program.Implementation { return consensus.Swap2() }},
+	{Name: "weakleader", Description: "2-process consensus from the nondeterministic weak-leader type + SRSW bits",
+		Procs: 2,
+		build: func(int) *program.Implementation { return consensus.WeakLeader2() }},
+	{Name: "naive", Description: "deliberately incorrect 2-process register-only protocol",
+		Procs: 2,
+		build: func(int) *program.Implementation { return consensus.NaiveRegister2() }},
+	{Name: "casregister3", Description: "3-process consensus from compare-and-swap + six SRSW announcement bits",
+		Procs: 3,
+		build: func(int) *program.Implementation { return consensus.CASRegister3() }},
+	{Name: "noisysticky", Description: "register-free 2-process consensus from a nondeterministic noisy-sticky cell",
+		Procs: 2, RegisterFree: true,
+		build: func(int) *program.Implementation { return consensus.NoisySticky2() }},
+	{Name: "noisysticky-r", Description: "register-using noisy-sticky 2-process consensus (Section 5.3 pipeline input)",
+		Procs: 2, Eliminable: true, Substrate: "noisysticky",
+		build: func(int) *program.Implementation { return consensus.NoisySticky2R() }},
+	{Name: "cas", Description: "register-free n-process consensus from one compare-and-swap object",
+		RegisterFree: true,
+		build:        consensus.CAS},
+	{Name: "sticky", Description: "register-free n-process consensus from one sticky cell",
+		RegisterFree: true,
+		build:        consensus.Sticky},
+	{Name: "augqueue", Description: "register-free n-process consensus from one augmented (peekable) queue",
+		RegisterFree: true,
+		build:        consensus.AugQueue},
+	{Name: "fetchcons", Description: "register-free n-process consensus from one fetch-and-cons object",
+		RegisterFree: true,
+		build:        consensus.FetchCons},
+}
+
+// Protocols lists the registry in its stable presentation order. The
+// returned slice is a copy; callers may reorder it freely.
+func Protocols() []ProtocolInfo {
+	out := make([]ProtocolInfo, len(protocolRegistry))
+	copy(out, protocolRegistry)
+	return out
+}
+
+// LookupProtocol finds a registry entry by name.
+func LookupProtocol(name string) (ProtocolInfo, bool) {
+	for _, p := range protocolRegistry {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return ProtocolInfo{}, false
+}
+
+// BuildProtocol resolves name and builds its implementation (see
+// ProtocolInfo.Build for the procs contract). Unknown names wrap
+// ErrUnknownProtocol.
+func BuildProtocol(name string, procs int) (*Implementation, error) {
+	p, ok := LookupProtocol(name)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownProtocol, name)
+	}
+	return p.Build(procs)
+}
+
+// ObjectSetInfo describes one named synthesis object set: the shared
+// objects a KindSynthesis search runs over.
+type ObjectSetInfo struct {
+	// Name is the registry key ("tas+bits", "sticky", ...).
+	Name string `json:"name"`
+	// Description is a one-line human summary.
+	Description string `json:"description"`
+
+	build func() []synth.Object
+}
+
+// Build constructs a fresh object slice (specs are shared, the slice is
+// the caller's).
+func (s ObjectSetInfo) Build() []SynthObject { return s.build() }
+
+// objectSetRegistry lists the synthesis object sets in presentation order.
+var objectSetRegistry = []ObjectSetInfo{
+	{Name: "tas", Description: "one test-and-set object, no registers",
+		build: func() []synth.Object {
+			return []synth.Object{{Name: "tas", Spec: types.TestAndSet(2), Init: 0}}
+		}},
+	{Name: "tas+bits", Description: "one test-and-set object plus two announcement bits",
+		build: func() []synth.Object {
+			return []synth.Object{
+				{Name: "tas", Spec: types.TestAndSet(2), Init: 0},
+				{Name: "r0", Spec: types.Bit(2), Init: 0},
+				{Name: "r1", Spec: types.Bit(2), Init: 0},
+			}
+		}},
+	{Name: "cas", Description: "one compare-and-swap object",
+		build: func() []synth.Object {
+			return []synth.Object{{Name: "cas", Spec: types.CompareSwap(2, 3), Init: 2}}
+		}},
+	{Name: "sticky", Description: "one sticky cell",
+		build: func() []synth.Object {
+			return []synth.Object{{Name: "sticky", Spec: types.StickyCell(2, 2), Init: types.StickyUnset}}
+		}},
+	{Name: "register", Description: "one 4-valued register (no protocol exists)",
+		build: func() []synth.Object {
+			return []synth.Object{{Name: "r", Spec: types.Register(2, 4), Init: 0}}
+		}},
+	{Name: "onebits", Description: "two one-use bits",
+		build: func() []synth.Object {
+			return []synth.Object{
+				{Name: "b0", Spec: types.OneUseBit(), Init: types.OneUseUnset},
+				{Name: "b1", Spec: types.OneUseBit(), Init: types.OneUseUnset},
+			}
+		}},
+}
+
+// ObjectSets lists the synthesis object-set registry in its stable
+// presentation order. The returned slice is a copy.
+func ObjectSets() []ObjectSetInfo {
+	out := make([]ObjectSetInfo, len(objectSetRegistry))
+	copy(out, objectSetRegistry)
+	return out
+}
+
+// LookupObjectSet finds an object-set entry by name.
+func LookupObjectSet(name string) (ObjectSetInfo, bool) {
+	for _, s := range objectSetRegistry {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return ObjectSetInfo{}, false
+}
+
+// BuildObjectSet resolves name and builds its objects. Unknown names wrap
+// ErrUnknownProtocol.
+func BuildObjectSet(name string) ([]SynthObject, error) {
+	s, ok := LookupObjectSet(name)
+	if !ok {
+		return nil, fmt.Errorf("%w: object set %q", ErrUnknownProtocol, name)
+	}
+	return s.Build(), nil
+}

@@ -1,0 +1,132 @@
+package waitfree
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// The registry must cover every protocol the CLIs historically offered,
+// build each one, and agree with the implementations' own shapes.
+func TestProtocolRegistryBuildsEveryEntry(t *testing.T) {
+	seen := map[string]bool{}
+	for _, info := range Protocols() {
+		if seen[info.Name] {
+			t.Fatalf("duplicate registry name %q", info.Name)
+		}
+		seen[info.Name] = true
+		im, err := info.Build(0)
+		if err != nil {
+			t.Fatalf("%s: Build(0): %v", info.Name, err)
+		}
+		if !info.Scalable() && im.Procs != info.Procs {
+			t.Errorf("%s: registry says %d procs, implementation has %d", info.Name, info.Procs, im.Procs)
+		}
+		if info.Scalable() {
+			im4, err := info.Build(4)
+			if err != nil {
+				t.Fatalf("%s: Build(4): %v", info.Name, err)
+			}
+			if im4.Procs != 4 {
+				t.Errorf("%s: Build(4) produced %d procs", info.Name, im4.Procs)
+			}
+		}
+		if info.Substrate != "" {
+			if _, ok := LookupProtocol(info.Substrate); !ok {
+				t.Errorf("%s: substrate %q not in registry", info.Name, info.Substrate)
+			}
+		}
+	}
+	for _, name := range []string{"tas", "queue", "stack", "faa", "swap", "weakleader",
+		"naive", "casregister3", "noisysticky", "noisysticky-r", "cas", "sticky",
+		"augqueue", "fetchcons"} {
+		if !seen[name] {
+			t.Errorf("registry is missing %q", name)
+		}
+	}
+}
+
+func TestProtocolRegistryRejects(t *testing.T) {
+	if _, err := BuildProtocol("no-such-protocol", 0); !errors.Is(err, ErrUnknownProtocol) {
+		t.Errorf("unknown name: got %v, want ErrUnknownProtocol", err)
+	}
+	if _, err := BuildProtocol("tas", 3); !errors.Is(err, ErrBadRequest) {
+		t.Errorf("fixed-size mismatch: got %v, want ErrBadRequest", err)
+	}
+	if _, err := BuildProtocol("cas", 1); !errors.Is(err, ErrBadRequest) {
+		t.Errorf("1-process scalable: got %v, want ErrBadRequest", err)
+	}
+	if _, err := BuildObjectSet("no-such-set"); !errors.Is(err, ErrUnknownProtocol) {
+		t.Errorf("unknown object set: got %v, want ErrUnknownProtocol", err)
+	}
+}
+
+// A registry-built protocol must verify exactly like its direct
+// constructor (same implementation, same report).
+func TestProtocolRegistryBuildVerifies(t *testing.T) {
+	im, err := BuildProtocol("sticky", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Check(context.Background(), Request{Kind: KindConsensus, Implementation: im})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("sticky(2) failed verification: %s", rep)
+	}
+}
+
+func TestObjectSetRegistry(t *testing.T) {
+	seen := map[string]bool{}
+	for _, info := range ObjectSets() {
+		seen[info.Name] = true
+		objs := info.Build()
+		if len(objs) == 0 {
+			t.Errorf("%s: empty object set", info.Name)
+		}
+		for _, o := range objs {
+			if o.Spec == nil {
+				t.Errorf("%s: object %q has nil spec", info.Name, o.Name)
+			}
+		}
+	}
+	for _, name := range []string{"tas", "tas+bits", "cas", "sticky", "register", "onebits"} {
+		if !seen[name] {
+			t.Errorf("object-set registry is missing %q", name)
+		}
+	}
+}
+
+func TestErrorCode(t *testing.T) {
+	cases := []struct {
+		err  error
+		code string
+	}{
+		{nil, CodeOK},
+		{ErrBadRequest, CodeBadRequest},
+		{ErrBadExploreOptions, CodeBadRequest},
+		{ErrBadFaultModel, CodeBadRequest},
+		{ErrUnknownProtocol, CodeUnknownProtocol},
+		{ErrBadCheckpoint, CodeBadCheckpoint},
+		{ErrCorruptCheckpoint, CodeCorruptCheckpoint},
+		{ErrNotSymmetric, CodeNotSymmetric},
+		{ErrNotWaitFree, CodeNotWaitFree},
+		{ErrInconclusive, CodeInconclusive},
+		{ErrUncacheable, CodeUncacheable},
+		{ErrNoProtocol, CodeNoProtocol},
+		{ErrSynthBudget, CodeSynthBudget},
+		{ErrAuditInconclusive, CodeAuditInconclusive},
+		{context.Canceled, CodeCanceled},
+		{context.DeadlineExceeded, CodeDeadline},
+		{errors.New("anything else"), CodeInternal},
+		// Wrapped sentinels unwrap.
+		{errors.Join(errors.New("ctx"), ErrNotWaitFree), CodeNotWaitFree},
+		{&StallError{}, CodeStalled},
+	}
+	for _, c := range cases {
+		if got := ErrorCode(c.err); got != c.code {
+			t.Errorf("ErrorCode(%v) = %q, want %q", c.err, got, c.code)
+		}
+	}
+}
