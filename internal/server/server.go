@@ -250,6 +250,16 @@ func (s *Server) runJob(j *Job) {
 	}
 	j.mu.Unlock()
 	defer cancel()
+	if s.draining.Load() {
+		// Drain's cancel sweep can walk the job table between our entry
+		// check and j.cancel being set above, leaving this job with a
+		// context nobody cancels. Drain flips the flag before sweeping, so
+		// re-checking here after publishing j.cancel closes the window:
+		// either the sweep saw j.cancel, or we see draining and self-cancel.
+		// The engine then returns promptly and the drain path below
+		// checkpoints the job back to queued.
+		cancel()
+	}
 	s.running.Add(1)
 	defer s.running.Add(-1)
 
@@ -392,17 +402,23 @@ func (s *Server) submit(raw []byte) (*Job, error) {
 	if err := s.store.save(j); err != nil {
 		return nil, err
 	}
+	// Enqueue and register under one lock hold, and only register after
+	// the send succeeds: a rejected job never appears in the table, so
+	// there is no rollback to race with concurrent submits, and Drain's
+	// sweep (which takes s.mu) sees every job a worker can dequeue.
 	s.mu.Lock()
-	s.jobs[j.id] = j
-	s.order = append(s.order, j.id)
-	s.mu.Unlock()
 	select {
 	case s.queue <- j:
-	default:
-		s.mu.Lock()
-		delete(s.jobs, j.id)
-		s.order = s.order[:len(s.order)-1]
+		s.jobs[j.id] = j
+		s.order = append(s.order, j.id)
 		s.mu.Unlock()
+	default:
+		s.mu.Unlock()
+		// Persist-before-enqueue means a crash in this window leaves an
+		// orphan envelope that the next start re-queues even though the
+		// client saw 503 — an at-least-once anomaly we accept, since the
+		// reverse order would lose an accepted job to a crash between
+		// enqueue and save.
 		if s.store.enabled() {
 			_ = removeJobFile(s.store, j.id)
 		}

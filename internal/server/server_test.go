@@ -165,6 +165,12 @@ func TestWireRejects(t *testing.T) {
 		{"missing protocol", `{"api":"v1","kind":"consensus"}`, 400, "bad_request"},
 		{"fixed procs mismatch", `{"api":"v1","kind":"consensus","protocol":"casregister3","procs":2}`, 400, "bad_request"},
 		{"classification with protocol", `{"api":"v1","kind":"classification","protocol":"cas"}`, 400, "bad_request"},
+		{"consensus with objects", `{"api":"v1","kind":"consensus","protocol":"cas","objects":"cas"}`, 400, "bad_request"},
+		{"consensus with max_k", `{"api":"v1","kind":"consensus","protocol":"cas","max_k":2}`, 400, "bad_request"},
+		{"bound with values", `{"api":"v1","kind":"bound","protocol":"cas","values":3}`, 400, "bad_request"},
+		{"elimination with synthesis", `{"api":"v1","kind":"elimination","protocol":"tas","synthesis":{"depth":1}}`, 400, "bad_request"},
+		{"synthesis with protocol", `{"api":"v1","kind":"synthesis","objects":"cas","protocol":"cas"}`, 400, "bad_request"},
+		{"classification with procs", `{"api":"v1","kind":"classification","procs":2}`, 400, "bad_request"},
 		{"synthesis without objects", `{"api":"v1","kind":"synthesis"}`, 400, "bad_request"},
 		{"unknown object set", `{"api":"v1","kind":"synthesis","objects":"nope"}`, 400, "unknown_protocol"},
 		{"bad symmetry", `{"api":"v1","kind":"consensus","protocol":"cas","explore":{"symmetry":"sideways"}}`, 400, "bad_request"},

@@ -155,15 +155,24 @@ func Compile(w *WireRequest) (waitfree.Request, error) {
 	}
 	switch req.Kind {
 	case waitfree.KindConsensus:
+		if err := w.rejectInapplicable("protocol", "procs", "values"); err != nil {
+			return req, err
+		}
 		if err := needProtocol(); err != nil {
 			return req, err
 		}
 		req.Values = w.Values
 	case waitfree.KindBound:
+		if err := w.rejectInapplicable("protocol", "procs"); err != nil {
+			return req, err
+		}
 		if err := needProtocol(); err != nil {
 			return req, err
 		}
 	case waitfree.KindElimination:
+		if err := w.rejectInapplicable("protocol", "procs", "max_k", "substrate"); err != nil {
+			return req, err
+		}
 		if err := needProtocol(); err != nil {
 			return req, err
 		}
@@ -183,10 +192,13 @@ func Compile(w *WireRequest) (waitfree.Request, error) {
 			req.Substrate = sub
 		}
 	case waitfree.KindClassification:
-		if w.Protocol != "" || w.Objects != "" {
-			return req, badRequest("kind %q takes no protocol or objects", w.Kind)
+		if err := w.rejectInapplicable(); err != nil {
+			return req, err
 		}
 	case waitfree.KindSynthesis:
+		if err := w.rejectInapplicable("objects", "synthesis"); err != nil {
+			return req, err
+		}
 		if w.Objects == "" {
 			return req, badRequest("kind %q requires an object-set name", w.Kind)
 		}
@@ -209,6 +221,36 @@ func Compile(w *WireRequest) (waitfree.Request, error) {
 		return req, badRequest("unknown kind %q", w.Kind)
 	}
 	return req, nil
+}
+
+// rejectInapplicable enforces the per-kind field discipline Compile
+// promises: a submission carrying kind-specific fields its kind ignores
+// is rejected rather than silently accepted, both to fail bad clients at
+// the door and because ignored extras would still perturb the persisted
+// wire bytes used for job identity. allowed lists the wire names of the
+// kind-specific fields this kind consumes; Explore applies to every kind.
+func (w *WireRequest) rejectInapplicable(allowed ...string) error {
+	ok := make(map[string]bool, len(allowed))
+	for _, name := range allowed {
+		ok[name] = true
+	}
+	for _, f := range []struct {
+		name string
+		set  bool
+	}{
+		{"protocol", w.Protocol != ""},
+		{"procs", w.Procs != 0},
+		{"values", w.Values != 0},
+		{"max_k", w.MaxK != 0},
+		{"substrate", w.Substrate != ""},
+		{"objects", w.Objects != ""},
+		{"synthesis", w.Synthesis != nil},
+	} {
+		if f.set && !ok[f.name] {
+			return badRequest("kind %q takes no %s", w.Kind, f.name)
+		}
+	}
+	return nil
 }
 
 // compileExplore translates the wire option subset.
