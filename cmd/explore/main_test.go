@@ -45,6 +45,26 @@ func TestRunSharedFlags(t *testing.T) {
 	}
 }
 
+// TestRunCrashRecovery drives -fault-mode crash-recovery at the CLI
+// layer: an election protocol survives a crash/recover budget, the
+// register-only naive protocol is refuted with a recovery-annotated
+// counterexample, and a recovery budget without the mode is rejected by
+// the engine's model validation instead of being silently ignored.
+func TestRunCrashRecovery(t *testing.T) {
+	crashRecovery := []string{"-memoize", "-faults", "-max-crashes", "1",
+		"-fault-mode", "crash-recovery", "-max-recoveries", "1"}
+	if err := run(append([]string{"-protocol", "tas"}, crashRecovery...)); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append([]string{"-protocol", "naive"}, crashRecovery...)); err == nil {
+		t.Fatal("naive survived crash-recovery checking")
+	}
+	if err := run([]string{"-protocol", "tas", "-faults", "-max-crashes", "1",
+		"-max-recoveries", "1"}); err == nil {
+		t.Fatal("-max-recoveries accepted outside -fault-mode crash-recovery")
+	}
+}
+
 // TestRunPartialThenResume drives the durable-runs loop end to end at the
 // CLI layer: a -max-nodes run stops with partial coverage and a saved
 // checkpoint, and rerunning the same command without the budget resumes

@@ -39,17 +39,18 @@ func main() {
 	checkpointEvery := flag.Duration("checkpoint-every", 2*time.Second, "durable checkpoint autosave interval for resumable jobs")
 	progress := flag.Duration("progress", 250*time.Millisecond, "SSE progress stats interval")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
+	maxTimeout := flag.Duration("max-timeout", 0, "cap on the per-job deadline clients may request via timeout_ms (0: no cap)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "waitfreed: ", log.LstdFlags)
 	if err := run(logger, *listen, *dataDir, *cacheDir, *cacheMem, *workers,
-		*queueDepth, *checkpointEvery, *progress, *drainTimeout); err != nil {
+		*queueDepth, *checkpointEvery, *progress, *drainTimeout, *maxTimeout); err != nil {
 		logger.Fatal(err)
 	}
 }
 
 func run(logger *log.Logger, listen, dataDir, cacheDir string, cacheMem int64, workers, queueDepth int,
-	checkpointEvery, progress, drainTimeout time.Duration) error {
+	checkpointEvery, progress, drainTimeout, maxTimeout time.Duration) error {
 	var cache *waitfree.Cache
 	if cacheDir != "" {
 		c, err := waitfree.OpenCache(waitfree.CacheOptions{Dir: cacheDir, MemoryBudget: cacheMem})
@@ -65,6 +66,7 @@ func run(logger *log.Logger, listen, dataDir, cacheDir string, cacheMem int64, w
 		Cache:            cache,
 		ProgressInterval: progress,
 		CheckpointEvery:  checkpointEvery,
+		MaxTimeout:       maxTimeout,
 		Logf:             logger.Printf,
 	})
 	if err != nil {

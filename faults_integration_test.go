@@ -153,6 +153,57 @@ func TestCheckResumeFromRejected(t *testing.T) {
 	}
 }
 
+// oneRecovery is the crash-recovery fault model: a single crash event
+// whose victim may restart once from its recovery section.
+var oneRecovery = waitfree.FaultModel{
+	MaxCrashes: 1, Mode: waitfree.CrashRecovery, MaxRecoveries: 1,
+}
+
+// TestCheckCrashRecovery is the facade-level acceptance pin of the
+// crash-recovery mode: a correct election protocol verifies under a
+// crash/recover budget, the naive register-only protocol is refuted with
+// the decision-changed-after-recovery kind on a crash- and
+// recover-annotated counterexample, and the full fault model (including
+// max_recoveries) round-trips through the JSON report.
+func TestCheckCrashRecovery(t *testing.T) {
+	good, err := waitfree.Check(context.Background(), waitfree.Request{
+		Kind:           waitfree.KindConsensus,
+		Implementation: waitfree.TAS2Consensus(),
+		Explore:        waitfree.ExploreOptions{Memoize: true, Faults: oneRecovery},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !good.OK() {
+		t.Fatalf("tas failed under crash-recovery: %s", good)
+	}
+
+	rep, err := waitfree.Check(context.Background(), waitfree.Request{
+		Kind:           waitfree.KindConsensus,
+		Implementation: waitfree.NaiveRegisterConsensus(),
+		Explore:        waitfree.ExploreOptions{Memoize: true, Faults: oneRecovery},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := rep.Consensus.Violation
+	if rep.OK() || v == nil {
+		t.Fatalf("naive protocol verified under crash-recovery: %+v", rep.Consensus)
+	}
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`"decision-changed-after-recovery"`, `"max_recoveries": 1`,
+		`"mode": "crash-recovery"`, `"crash": true`, `"recover": true`,
+	} {
+		if !strings.Contains(string(blob), want) {
+			t.Errorf("JSON report lacks %s", want)
+		}
+	}
+}
+
 // TestCheckFaultsOnBrokenProtocol checks that the facade surfaces fault
 // exploration on an incorrect input: the report fails, and the recorded
 // fault model round-trips through the JSON output.

@@ -49,6 +49,9 @@ type Flags struct {
 	// FaultMode is the crash semantics; -fault-mode is validated at flag
 	// parse time, so this is always a legal value afterwards.
 	FaultMode faults.Mode
+	// MaxRecoveries bounds recover edges per execution under
+	// -fault-mode crash-recovery (0 elsewhere; validated by the model).
+	MaxRecoveries int
 	// Seed seeds the runner's nondeterminism resolver (see Resolver).
 	Seed int64
 	// Symmetry selects process-permutation symmetry reduction for the
@@ -85,7 +88,7 @@ func Register(fs *flag.FlagSet) *Flags {
 	fs.BoolVar(&f.JSON, "json", false, "emit the machine-readable JSON report on stdout")
 	fs.BoolVar(&f.Faults, "faults", false, "explore crash faults exhaustively (crash-stop model)")
 	fs.IntVar(&f.MaxCrashes, "max-crashes", 1, "crash budget per execution when -faults is set")
-	fs.Func("fault-mode", `crash semantics: "crash-stop" (anytime) or "crash-start" (before the first step)`,
+	fs.Func("fault-mode", `crash semantics: "crash-stop" (anytime), "crash-start" (before the first step), or "crash-recovery" (crashed processes may restart; see -max-recoveries)`,
 		func(s string) error {
 			mode, err := faults.ParseMode(s)
 			if err != nil {
@@ -94,6 +97,7 @@ func Register(fs *flag.FlagSet) *Flags {
 			f.FaultMode = mode
 			return nil
 		})
+	fs.IntVar(&f.MaxRecoveries, "max-recoveries", 0, `recovery budget per execution with -fault-mode crash-recovery`)
 	fs.Int64Var(&f.Seed, "seed", runtime.DefaultSeed, "seed for the runner's nondeterminism resolver")
 	fs.Func("symmetry", `symmetry reduction: "off", "auto" (reduce when the protocol qualifies; default), or "require"`,
 		func(s string) error {
@@ -153,7 +157,7 @@ func (f *Flags) Options(opts explore.Options) explore.Options {
 	opts.Parallelism = f.Parallel
 	opts.Symmetry = f.Symmetry
 	if f.Faults {
-		opts.Faults = faults.Model{MaxCrashes: f.MaxCrashes, Mode: f.FaultMode}
+		opts.Faults = faults.Model{MaxCrashes: f.MaxCrashes, Mode: f.FaultMode, MaxRecoveries: f.MaxRecoveries}
 	}
 	if f.Progress > 0 {
 		opts.ProgressInterval = f.Progress

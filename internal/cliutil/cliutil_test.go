@@ -144,6 +144,33 @@ func TestRegisterParsesFaultFlags(t *testing.T) {
 	}
 }
 
+func TestRegisterParsesRecoveryFlags(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	f := Register(fs)
+	if err := fs.Parse([]string{"-faults", "-max-crashes", "1", "-fault-mode", "crash-recovery", "-max-recoveries", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	if f.FaultMode != faults.CrashRecovery || f.MaxRecoveries != 2 {
+		t.Fatalf("parsed %+v", f)
+	}
+	opts := f.Options(explore.Options{})
+	want := faults.Model{MaxCrashes: 1, Mode: faults.CrashRecovery, MaxRecoveries: 2}
+	if opts.Faults != want {
+		t.Fatalf("fault model not folded: %+v", opts.Faults)
+	}
+	if err := opts.Faults.Validate(); err != nil {
+		t.Fatalf("folded model invalid: %v", err)
+	}
+
+	// -max-recoveries outside crash-recovery mode folds into a model the
+	// engine rejects: the contradiction surfaces at Validate, not silently.
+	g := Register(flag.NewFlagSet("y", flag.ContinueOnError))
+	g.Faults, g.MaxCrashes, g.MaxRecoveries = true, 1, 1
+	if err := g.Options(explore.Options{}).Faults.Validate(); err == nil {
+		t.Fatal("crash-stop model with a recovery budget validated")
+	}
+}
+
 func TestCheckpointFileRoundTrip(t *testing.T) {
 	f := &Flags{Checkpoint: filepath.Join(t.TempDir(), "cp.json")}
 	if cp, err := f.LoadCheckpoint(); cp != nil || err != nil {

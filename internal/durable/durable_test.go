@@ -1,6 +1,7 @@
 package durable
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -266,5 +267,50 @@ func TestSaveRetriesTransientFailures(t *testing.T) {
 	// The prior good file must be untouched by the failed overwrite.
 	if _, err := Load(path); err != nil {
 		t.Errorf("failed save clobbered the existing file: %v", err)
+	}
+}
+
+// TestSaveBytesContextCancellation pins the cancellable-retry seam: a
+// caller shutting down over a failing disk must get out of the backoff
+// schedule as soon as its context dies, with an error naming both the
+// cancellation and the underlying write failure — and must not wait out
+// the remaining backoff (pinned by an hour-long backoff that would hang
+// the test if slept).
+func TestSaveBytesContextCancellation(t *testing.T) {
+	defer func(r func(string, string) error, b time.Duration) {
+		renameFile, retryBackoff = r, b
+	}(renameFile, retryBackoff)
+	retryBackoff = time.Hour
+	renameFile = func(old, new string) error { return fs.ErrPermission }
+
+	path := filepath.Join(t.TempDir(), "blob")
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- SaveBytesContext(ctx, path, []byte("payload")) }()
+	// The first attempt fails immediately; the goroutine is now parked in
+	// the hour-long backoff. Cancel and require a prompt return.
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+		if !strings.Contains(err.Error(), "last write error") {
+			t.Errorf("error %q does not carry the underlying write failure", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("SaveBytesContext did not return after cancellation")
+	}
+
+	// An already-cancelled context still permits the first attempt (no
+	// retry needed on a healthy disk): atomicity and forward progress win
+	// over eager cancellation checks.
+	renameFile = os.Rename
+	if err := SaveBytesContext(ctx, path, []byte("payload")); err != nil {
+		t.Fatalf("first-attempt save under a dead context: %v", err)
+	}
+	if data, err := os.ReadFile(path); err != nil || string(data) != "payload" {
+		t.Fatalf("saved file = %q, %v", data, err)
 	}
 }

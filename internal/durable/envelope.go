@@ -2,6 +2,7 @@ package durable
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -127,13 +128,30 @@ func DecodeEnvelope(magic, kind string, data []byte) (header []byte, records [][
 // SaveBytes atomically writes data to path with the same durability
 // discipline as Save: temp file in the same directory, fsync, rename, and
 // a directory sync, retried with exponential backoff on transient
-// failures.
+// failures. It is SaveBytesContext under a background context.
 func SaveBytes(path string, data []byte) error {
+	return SaveBytesContext(context.Background(), path, data)
+}
+
+// SaveBytesContext is SaveBytes with a cancellable retry loop: the
+// exponential-backoff sleeps select on ctx, so a caller shutting down (a
+// draining daemon over a failing disk) is never held hostage by the
+// backoff schedule. Cancellation mid-retry returns an error wrapping both
+// ctx.Err() and the last write failure; an in-flight write itself is not
+// interrupted (atomicity is preserved — the file either has the old or
+// the new contents).
+func SaveBytesContext(ctx context.Context, path string, data []byte) error {
 	backoff := retryBackoff
 	var lastErr error
 	for attempt := 0; attempt < saveAttempts; attempt++ {
 		if attempt > 0 {
-			time.Sleep(backoff)
+			t := time.NewTimer(backoff)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return fmt.Errorf("durable: save %s: %w (last write error: %v)", path, ctx.Err(), lastErr)
+			case <-t.C:
+			}
 			backoff *= 2
 		}
 		if lastErr = writeAtomic(path, data); lastErr == nil {

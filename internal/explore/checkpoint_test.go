@@ -45,7 +45,8 @@ func cancelMidRun(t *testing.T, opts Options) *Checkpoint {
 // and the Nodes/Leaves accounting alike.
 func TestCheckpointResumeEquality(t *testing.T) {
 	im := consensus.CASRegister3()
-	for _, fm := range []faults.Model{{}, {MaxCrashes: 1}} {
+	for _, fm := range []faults.Model{{}, {MaxCrashes: 1},
+		{MaxCrashes: 1, Mode: faults.CrashRecovery, MaxRecoveries: 1}} {
 		base := Options{Memoize: true, Faults: fm}
 		cp := cancelMidRun(t, base)
 		if cp.Faults != fm {

@@ -578,9 +578,10 @@ func mergeTrees(report *ConsensusReport, outcomes []treeOutcome, last int, im *p
 			report.Violation = out.res.Violation
 			report.ViolationProposals = ProposalVectorK(mask, im.Procs, k)
 			switch out.res.Violation.Kind {
-			case KindDepthExceeded, KindCycle, KindBlockedBySurvivorStarvation:
+			case KindDepthExceeded, KindCycle, KindBlockedBySurvivorStarvation,
+				KindBlockedByRecoveryDivergence:
 				report.WaitFree = false
-			case KindLeafReject, KindInvalidAfterCrash:
+			case KindLeafReject, KindInvalidAfterCrash, KindDecisionChangedAfterRecovery:
 				// checkConsensusLeaf prefixes the failed property.
 				if isValidityDetail(out.res.Violation.Detail) {
 					report.Validity = false

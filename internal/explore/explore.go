@@ -65,10 +65,16 @@ type Options struct {
 	Parallelism int
 	// Faults enumerates crash faults exhaustively: at every configuration,
 	// in addition to every enabled step, the DFS explores the branch where
-	// each still-live process crashes permanently (subject to the model's
-	// MaxCrashes bound and Mode). Leaves then only require the surviving
-	// processes to be done; crashed processes are excluded from per-leaf
-	// checks. The zero Model disables fault exploration (the default).
+	// each still-live process crashes (subject to the model's MaxCrashes
+	// bound and Mode). Leaves then only require the surviving processes to
+	// be done; crashed processes are excluded from per-leaf checks. Under
+	// faults.CrashRecovery the DFS additionally explores, at every
+	// configuration with a crashed process and remaining MaxRecoveries
+	// budget, the branch where that process recovers: volatile state
+	// resets, shared objects persist, and the interrupted operation
+	// re-runs — including after all live processes have finished, which is
+	// where durable-decision violations surface. The zero Model disables
+	// fault exploration (the default).
 	Faults faults.Model
 	// MemoBudget bounds the number of retained memo-table entries per
 	// execution tree (0 = unbounded). When a tree's table fills up, the
@@ -204,26 +210,37 @@ type Leaf struct {
 	// Schedule is the access sequence of this execution.
 	Schedule []StepRecord
 	// Crashed[p] reports whether process p crashed along this execution
-	// (fault exploration only; nil when Options.Faults is disabled).
+	// and never came back (fault exploration only; nil when Options.Faults
+	// is disabled).
 	Crashed []bool
+	// Recoveries[p] is the number of times process p crashed and recovered
+	// along this execution (crash-recovery exploration only; nil unless
+	// some process recovered).
+	Recoveries []int
 }
 
 // StepRecord is one low-level operation of a schedule. A record with Crash
 // set is not an object access: it marks the point at which Proc crashed
-// permanently (Obj is -1 and Inv/Resp are zero).
+// (Obj is -1 and Inv/Resp are zero). A record with Recover set marks the
+// point at which a crashed Proc re-entered from its recovery section
+// (crash-recovery mode; Obj is -1 and Inv/Resp are zero).
 type StepRecord struct {
-	Proc  int              `json:"proc"`
-	Obj   int              `json:"obj"`
-	Inv   types.Invocation `json:"inv"`
-	Resp  types.Response   `json:"resp"`
-	Crash bool             `json:"crash,omitempty"`
+	Proc    int              `json:"proc"`
+	Obj     int              `json:"obj"`
+	Inv     types.Invocation `json:"inv"`
+	Resp    types.Response   `json:"resp"`
+	Crash   bool             `json:"crash,omitempty"`
+	Recover bool             `json:"recover,omitempty"`
 }
 
 // String renders the step as p<proc>:obj<obj>.<inv>-><resp>, or
-// p<proc>:CRASH for a crash record.
+// p<proc>:CRASH / p<proc>:RECOVER for fault records.
 func (s StepRecord) String() string {
 	if s.Crash {
 		return fmt.Sprintf("p%d:CRASH", s.Proc)
+	}
+	if s.Recover {
+		return fmt.Sprintf("p%d:RECOVER", s.Proc)
 	}
 	return fmt.Sprintf("p%d:obj%d.%v->%v", s.Proc, s.Obj, s.Inv, s.Resp)
 }
@@ -258,6 +275,17 @@ const (
 	// completed, but the surviving processes' decisions failed the per-leaf
 	// check (agreement or validity among survivors).
 	KindInvalidAfterCrash
+	// KindBlockedByRecoveryDivergence: after one or more recoveries, some
+	// execution cycled or exceeded the step budget — a recovered process
+	// (or the system it rejoined) can no longer decide in a bounded number
+	// of steps, so the implementation is not recoverably wait-free.
+	KindBlockedByRecoveryDivergence
+	// KindDecisionChangedAfterRecovery: an execution with one or more
+	// recoveries completed, but the per-leaf check failed — a process that
+	// crashed and re-ran from its recovery section reached a decision
+	// inconsistent with the others (or with validity), so decisions are
+	// not durable across recovery.
+	KindDecisionChangedAfterRecovery
 )
 
 func (k ViolationKind) String() string {
@@ -272,6 +300,10 @@ func (k ViolationKind) String() string {
 		return "blocked by survivor starvation (not wait-free under crashes)"
 	case KindInvalidAfterCrash:
 		return "invalid execution after crash"
+	case KindBlockedByRecoveryDivergence:
+		return "recovery divergence (not wait-free under crash-recovery)"
+	case KindDecisionChangedAfterRecovery:
+		return "decision changed after recovery"
 	}
 	return "unknown violation"
 }
@@ -290,6 +322,10 @@ func (k ViolationKind) MarshalJSON() ([]byte, error) {
 		return []byte(`"survivor-starvation"`), nil
 	case KindInvalidAfterCrash:
 		return []byte(`"invalid-after-crash"`), nil
+	case KindBlockedByRecoveryDivergence:
+		return []byte(`"recovery-divergence"`), nil
+	case KindDecisionChangedAfterRecovery:
+		return []byte(`"decision-changed-after-recovery"`), nil
 	}
 	return []byte(`"unknown"`), nil
 }
@@ -373,10 +409,18 @@ type procState struct {
 	// part of the configuration so that memoization never conflates
 	// executions with different outcomes.
 	Resp types.Response
-	// Crashed marks a process stopped permanently by fault exploration. It
-	// is part of the configuration (and its memo key): per-leaf checks
-	// depend on which processes survived.
+	// Crashed marks a process stopped by fault exploration. It is part of
+	// the configuration (and its memo key): per-leaf checks depend on
+	// which processes survived. Under faults.CrashRecovery a crashed
+	// process may later recover (Crashed clears, Recoveries increments);
+	// under the other modes a crash is permanent.
 	Crashed bool
+	// Recoveries counts how many times this process has crashed and
+	// recovered (crash-recovery mode only; constantly 0 otherwise). It is
+	// part of the configuration so that every recovery-budget predicate is
+	// derivable from the configuration alone, keeping memoization sound,
+	// and so that recovery edges can never close a configuration cycle.
+	Recoveries int
 	// Stepped records whether the process has performed any object access
 	// yet. It is only maintained under faults.CrashBeforeFirstStep (the one
 	// mode whose crash placement depends on it), so that other modes'
@@ -705,26 +749,49 @@ func (e *explorer) dfs(c *config, depth int) (*summary, error) {
 	// faulty execution only requires the survivors to have completed.
 	allDone := true
 	crashes := 0
+	recoveries := 0
 	for p := range c.procs {
+		recoveries += c.procs[p].Recoveries
 		if c.procs[p].Crashed {
 			crashes++
 		} else if !c.procs[p].Done {
 			allDone = false
 		}
 	}
+	// Under crash-recovery, a crashed process may re-enter as long as the
+	// total recovery budget is not exhausted. MaxRecoveries is only
+	// nonzero in that mode (Model.Validate), so the other modes never
+	// branch here.
+	canRecover := crashes > 0 && recoveries < e.opts.Faults.MaxRecoveries
 	if allDone {
 		sum.leaves = 1
 		e.pendLeaves++
-		if err := e.leaf(c, depth, crashes); err != nil {
+		if err := e.leaf(c, depth, crashes, recoveries); err != nil {
 			return sum, err
 		}
-		return sum, nil
+		if !canRecover {
+			return sum, nil
+		}
+		// A crashed process can still recover: this completed
+		// configuration is simultaneously a leaf (checked above — this is
+		// exactly where a late recovery can overturn an already-delivered
+		// decision) and an interior node whose only children are recovery
+		// edges. It is never memoized: recovery strictly increases the
+		// total recovery count, so no cycle can pass through it, and every
+		// path reaching it must re-run the leaf check, exactly like an
+		// ordinary leaf.
+		err := e.expand(c, depth, sum, crashes, recoveries)
+		return sum, err
 	}
 	if depth >= e.opts.MaxDepth {
-		if crashes > 0 {
+		switch {
+		case recoveries > 0:
+			e.violate(KindBlockedByRecoveryDivergence,
+				fmt.Sprintf("execution reached %d object accesses after %d recover(y/ies)", depth, recoveries))
+		case crashes > 0:
 			e.violate(KindBlockedBySurvivorStarvation,
 				fmt.Sprintf("surviving processes reached %d object accesses after %d crash(es)", depth, crashes))
-		} else {
+		default:
 			e.violate(KindDepthExceeded, fmt.Sprintf("execution reached %d object accesses", depth))
 		}
 		return sum, errAbort
@@ -735,10 +802,14 @@ func (e *explorer) dfs(c *config, depth int) (*summary, error) {
 		kb := e.enc.configKey(c)
 		if cached, ok := e.memo.get(kb); ok {
 			if cached == grayMark {
-				if crashes > 0 {
+				switch {
+				case recoveries > 0:
+					e.violate(KindBlockedByRecoveryDivergence,
+						fmt.Sprintf("configuration repeats along one execution after %d recover(y/ies)", recoveries))
+				case crashes > 0:
 					e.violate(KindBlockedBySurvivorStarvation,
 						fmt.Sprintf("survivor configuration repeats along one execution after %d crash(es)", crashes))
-				} else {
+				default:
 					e.violate(KindCycle, "configuration repeats along one execution")
 				}
 				return sum, errAbort
@@ -754,7 +825,7 @@ func (e *explorer) dfs(c *config, depth int) (*summary, error) {
 	// All error returns below must clear the gray mark, or a later visit
 	// of this configuration would report a phantom cycle; expand has a
 	// single exit so the cleanup cannot be skipped by any error path.
-	err := e.expand(c, depth, sum, crashes)
+	err := e.expand(c, depth, sum, crashes, recoveries)
 	if e.opts.Memoize {
 		if err != nil {
 			e.memo.drop(key)
@@ -767,11 +838,19 @@ func (e *explorer) dfs(c *config, depth int) (*summary, error) {
 
 // expand explores every enabled step of every process from c, folding the
 // child subtrees into sum. Under fault exploration it first explores, for
-// each still-live process, the branch where that process crashes
-// permanently here; crash branches come first so that a violation reachable
-// both with and without crashes surfaces with its crash-annotated schedule.
-func (e *explorer) expand(c *config, depth int, sum *summary, crashes int) error {
-	if e.opts.Faults.Enabled() && crashes < e.opts.Faults.MaxCrashes {
+// each still-live process, the branch where that process crashes here;
+// crash branches come first so that a violation reachable both with and
+// without crashes surfaces with its crash-annotated schedule. Under
+// crash-recovery it then explores, for each crashed process, the branch
+// where that process recovers here: volatile state (machine state,
+// pending access, per-process memory) resets to initial, the interrupted
+// target operation re-runs from its start, and the shared object states
+// persist. The crash budget counts crash events, not currently-crashed
+// processes: crashes + recoveries, since every recovery implies a prior
+// crash and a recovery never refunds the budget. With MaxRecoveries=0
+// both sums and branch sets are exactly the crash-stop ones.
+func (e *explorer) expand(c *config, depth int, sum *summary, crashes, recoveries int) error {
+	if e.opts.Faults.Enabled() && crashes+recoveries < e.opts.Faults.MaxCrashes {
 		for p := range c.procs {
 			ps := &c.procs[p]
 			if ps.Done || ps.Crashed {
@@ -792,6 +871,60 @@ func (e *explorer) expand(c *config, depth int, sum *summary, crashes int) error
 				mergeCrashChild(sum, childSum)
 			}
 			e.schedule = e.schedule[:len(e.schedule)-1]
+			if err != nil {
+				return err
+			}
+		}
+	}
+	if crashes > 0 && recoveries < e.opts.Faults.MaxRecoveries {
+		for p := range c.procs {
+			if !c.procs[p].Crashed {
+				continue
+			}
+			e.curConfig, e.curProc, e.curDepth = c, p, depth
+			child := c.clone()
+			ps := &child.procs[p]
+			ps.Crashed = false
+			ps.Recoveries++
+			// Volatile state is lost; the shared objects (child.objs) and
+			// the process's progress through its script (OpIdx — decided
+			// operations stay decided) persist. The interrupted operation
+			// re-runs from its start with a fresh machine state and nil
+			// memory.
+			ps.Mst = nil
+			ps.Pending = program.Action{}
+			ps.Mem = nil
+			e.schedule = append(e.schedule, StepRecord{Proc: p, Obj: -1, Recover: true})
+			respMark := len(e.responses[p])
+			histMark := len(e.history)
+			clockMark := e.clock
+			prevOpen := -1
+			if e.openOp != nil {
+				prevOpen = e.openOp[p]
+			}
+
+			err := e.startNextOp(child, p, types.Response{})
+			var childSum *summary
+			if err == nil {
+				// Like a crash, a recovery is not an object access: no
+				// depth budget, no access counters. Termination holds
+				// because each recovery strictly increases the total
+				// recovery count, which MaxRecoveries bounds.
+				childSum, err = e.dfs(child, depth)
+			}
+			if childSum != nil {
+				mergeCrashChild(sum, childSum)
+			}
+
+			e.schedule = e.schedule[:len(e.schedule)-1]
+			e.responses[p] = e.responses[p][:respMark]
+			if e.opts.RecordHistory {
+				e.undoHistory(histMark, clockMark)
+				// The re-executed operation's entry stole p's open-op slot
+				// from the interrupted operation (which stays pending
+				// forever — a crashed access never returns); restore it.
+				e.openOp[p] = prevOpen
+			}
 			if err != nil {
 				return err
 			}
@@ -839,23 +972,7 @@ func (e *explorer) expand(c *config, depth int, sum *summary, crashes int) error
 			e.schedule = e.schedule[:len(e.schedule)-1]
 			e.responses[p] = e.responses[p][:respMark]
 			if e.opts.RecordHistory {
-				for i := histMark; i < len(e.history); i++ {
-					// Ops opened below are discarded wholesale.
-					if e.openOp[e.history[i].Proc] == i {
-						e.openOp[e.history[i].Proc] = -1
-					}
-				}
-				e.history = e.history[:histMark]
-				// Ops completed below histMark must be reopened.
-				for i := range e.history {
-					op := &e.history[i]
-					if op.End != hist.Pending && op.End >= clockMark {
-						op.End = hist.Pending
-						op.Resp = types.Response{}
-						e.openOp[op.Proc] = i
-					}
-				}
-				e.clock = clockMark
+				e.undoHistory(histMark, clockMark)
 			}
 
 			if err != nil {
@@ -864,6 +981,28 @@ func (e *explorer) expand(c *config, depth int, sum *summary, crashes int) error
 		}
 	}
 	return nil
+}
+
+// undoHistory rewinds the recorded history to the state it had when
+// len(e.history) was histMark and e.clock was clockMark: ops opened at or
+// after the mark are discarded wholesale, and ops completed at or after
+// the mark are reopened.
+func (e *explorer) undoHistory(histMark, clockMark int) {
+	for i := histMark; i < len(e.history); i++ {
+		if e.openOp[e.history[i].Proc] == i {
+			e.openOp[e.history[i].Proc] = -1
+		}
+	}
+	e.history = e.history[:histMark]
+	for i := range e.history {
+		op := &e.history[i]
+		if op.End != hist.Pending && op.End >= clockMark {
+			op.End = hist.Pending
+			op.Resp = types.Response{}
+			e.openOp[op.Proc] = i
+		}
+	}
+	e.clock = clockMark
 }
 
 // mergeChild folds a child subtree summary (reached via one access to obj
@@ -913,7 +1052,7 @@ func mergeCrashChild(parent, child *summary) {
 	}
 }
 
-func (e *explorer) leaf(c *config, depth, crashes int) error {
+func (e *explorer) leaf(c *config, depth, crashes, recoveries int) error {
 	if e.opts.OnLeaf == nil {
 		return nil
 	}
@@ -937,13 +1076,22 @@ func (e *explorer) leaf(c *config, depth, crashes int) error {
 			leaf.Crashed[p] = c.procs[p].Crashed
 		}
 	}
+	if recoveries > 0 {
+		leaf.Recoveries = make([]int, e.im.Procs)
+		for p := range c.procs {
+			leaf.Recoveries[p] = c.procs[p].Recoveries
+		}
+	}
 	if e.opts.RecordHistory {
 		leaf.History = append(hist.History(nil), e.history...)
 	}
 	if err := e.opts.OnLeaf(leaf); err != nil {
-		if crashes > 0 {
+		switch {
+		case recoveries > 0:
+			e.violate(KindDecisionChangedAfterRecovery, err.Error())
+		case crashes > 0:
 			e.violate(KindInvalidAfterCrash, err.Error())
-		} else {
+		default:
 			e.violate(KindLeafReject, err.Error())
 		}
 		return errAbort

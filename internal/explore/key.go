@@ -110,6 +110,11 @@ func (e *keyEncoder) appendProc(b []byte, ps *procState) []byte {
 	} else {
 		b = append(b, tagFalse)
 	}
+	// The recovery count is encoded unconditionally: it is constantly 0
+	// outside crash-recovery mode (one varint byte, no fragmentation), and
+	// under crash-recovery it keeps the budget predicates config-derivable
+	// and makes recovery edges cycle-free by construction.
+	b = binary.AppendVarint(b, int64(ps.Recoveries))
 	b = e.appendAny(b, ps.Mem)
 	b = e.appendAny(b, ps.Mst)
 	b = e.appendAction(b, ps.Pending)

@@ -30,6 +30,8 @@ func FormatLanes(steps []StepRecord, im *program.Implementation) string {
 	for i, s := range steps {
 		if s.Crash {
 			cells[i] = "CRASH"
+		} else if s.Recover {
+			cells[i] = "RECOVER"
 		} else {
 			name := fmt.Sprintf("obj%d", s.Obj)
 			if im != nil && s.Obj >= 0 && s.Obj < len(im.Objects) {

@@ -31,6 +31,14 @@ const (
 	// This is the cheap model for checking that survivors cope with
 	// processes that never show up at all.
 	CrashBeforeFirstStep
+	// CrashRecovery is the recoverable model (Ovens 2024): crashes may be
+	// placed anywhere, exactly as in CrashStop, but a crashed process may
+	// later re-enter from its recovery section — private volatile state
+	// reset to initial, shared register and object state persisting.
+	// Model.MaxRecoveries bounds the total recoveries along any execution
+	// so the state space stays finite; with MaxRecoveries=0 the mode
+	// degenerates to CrashStop exactly.
+	CrashRecovery
 )
 
 // String renders the mode.
@@ -40,6 +48,8 @@ func (m Mode) String() string {
 		return "crash-stop"
 	case CrashBeforeFirstStep:
 		return "crash-before-first-step"
+	case CrashRecovery:
+		return "crash-recovery"
 	}
 	return fmt.Sprintf("mode(%d)", int(m))
 }
@@ -49,30 +59,39 @@ func (m Mode) MarshalJSON() ([]byte, error) {
 	return []byte(`"` + m.String() + `"`), nil
 }
 
-// UnmarshalJSON accepts the tags produced by MarshalJSON (and bare
-// integers, for hand-written checkpoints).
+// UnmarshalJSON accepts the tags produced by MarshalJSON, the aliases
+// ParseMode accepts, and bare integers (for hand-written checkpoints).
+// The canonical tag for each mode is whatever String renders; the
+// "crash-start" alias for CrashBeforeFirstStep is accepted everywhere a
+// mode is decoded, but never produced.
 func (m *Mode) UnmarshalJSON(b []byte) error {
 	switch string(b) {
 	case `"crash-stop"`, "0":
 		*m = CrashStop
-	case `"crash-before-first-step"`, "1":
+	case `"crash-before-first-step"`, `"crash-start"`, "1":
 		*m = CrashBeforeFirstStep
+	case `"crash-recovery"`, "2":
+		*m = CrashRecovery
 	default:
 		return fmt.Errorf("faults: unknown mode %s", b)
 	}
 	return nil
 }
 
-// ParseMode parses the tags produced by Mode.String (used by the CLI
-// -fault-mode flag).
+// ParseMode parses the tags produced by Mode.String plus the
+// "crash-start" alias (used by the CLI -fault-mode flag and the daemon
+// wire schema). It accepts exactly the same vocabulary as UnmarshalJSON's
+// string tags.
 func ParseMode(s string) (Mode, error) {
 	switch s {
 	case "", "crash-stop":
 		return CrashStop, nil
 	case "crash-start", "crash-before-first-step":
 		return CrashBeforeFirstStep, nil
+	case "crash-recovery":
+		return CrashRecovery, nil
 	}
-	return 0, fmt.Errorf("faults: unknown mode %q (want crash-stop or crash-start)", s)
+	return 0, fmt.Errorf("faults: unknown mode %q (want crash-stop, crash-start, or crash-recovery)", s)
 }
 
 // Model describes the crash faults an exhaustive exploration injects. The
@@ -83,6 +102,12 @@ type Model struct {
 	MaxCrashes int `json:"max_crashes"`
 	// Mode selects where crashes may be placed.
 	Mode Mode `json:"mode"`
+	// MaxRecoveries bounds the total number of recover events along any
+	// single execution under CrashRecovery. 0 means crashed processes never
+	// come back, which makes CrashRecovery behave exactly like CrashStop.
+	// A recovery does not refund the crash budget: a process that crashes,
+	// recovers, and crashes again has consumed two of MaxCrashes.
+	MaxRecoveries int `json:"max_recoveries,omitempty"`
 }
 
 // Enabled reports whether the model injects any faults at all.
@@ -96,8 +121,15 @@ func (m Model) Validate() error {
 	if m.MaxCrashes < 0 {
 		return fmt.Errorf("%w: negative MaxCrashes %d", ErrBadModel, m.MaxCrashes)
 	}
-	if m.Mode != CrashStop && m.Mode != CrashBeforeFirstStep {
+	if m.Mode != CrashStop && m.Mode != CrashBeforeFirstStep && m.Mode != CrashRecovery {
 		return fmt.Errorf("%w: unknown mode %d", ErrBadModel, int(m.Mode))
+	}
+	if m.MaxRecoveries < 0 {
+		return fmt.Errorf("%w: negative MaxRecoveries %d", ErrBadModel, m.MaxRecoveries)
+	}
+	if m.MaxRecoveries > 0 && m.Mode != CrashRecovery {
+		return fmt.Errorf("%w: MaxRecoveries %d requires mode crash-recovery, not %v",
+			ErrBadModel, m.MaxRecoveries, m.Mode)
 	}
 	return nil
 }
@@ -107,7 +139,11 @@ func (m Model) String() string {
 	if !m.Enabled() {
 		return "no faults"
 	}
-	return fmt.Sprintf("%v, <=%d crashes", m.Mode, m.MaxCrashes)
+	s := fmt.Sprintf("%v, <=%d crashes", m.Mode, m.MaxCrashes)
+	if m.MaxRecoveries > 0 {
+		s += fmt.Sprintf(", <=%d recoveries", m.MaxRecoveries)
+	}
+	return s
 }
 
 // PanicError is a panic from user-supplied code (a type spec's transition

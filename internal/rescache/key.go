@@ -30,7 +30,7 @@ import (
 // keyMagic versions the key derivation itself: bump it whenever the
 // encoding below (or the semantics of any pipeline it covers) changes, so
 // stale entries miss instead of serving wrong verdicts.
-const keyMagic = "wfkey1"
+const keyMagic = "wfkey2"
 
 // Key is the SHA-256 content address of a request.
 type Key [sha256.Size]byte
@@ -281,6 +281,7 @@ func appendExplore(b []byte, o explore.Options) []byte {
 		b = append(b, 1)
 		b = appendInt(b, int64(o.Faults.MaxCrashes))
 		b = appendInt(b, int64(o.Faults.Mode))
+		b = appendInt(b, int64(o.Faults.MaxRecoveries))
 	} else {
 		b = append(b, 0)
 	}

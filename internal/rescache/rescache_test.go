@@ -9,6 +9,7 @@ import (
 
 	"waitfree/internal/consensus"
 	"waitfree/internal/explore"
+	"waitfree/internal/faults"
 	"waitfree/internal/program"
 	"waitfree/internal/synth"
 	"waitfree/internal/types"
@@ -45,11 +46,33 @@ func TestRequestKeySeparates(t *testing.T) {
 			Kind: "consensus", Values: 2, Implementation: consensus.CAS(3),
 			Explore: explore.Options{Memoize: true},
 		}),
+		"crash-stop faults": mustKey(t, KeySpec{
+			Kind: "consensus", Values: 2, Implementation: consensus.CAS(3),
+			Explore: explore.Options{Faults: faults.Model{MaxCrashes: 1}},
+		}),
+		// Same crash budget, different recovery semantics: a crash-recovery
+		// run explores strictly more behavior and must never be served a
+		// crash-stop run's cached report (or vice versa).
+		"crash-recovery faults": mustKey(t, KeySpec{
+			Kind: "consensus", Values: 2, Implementation: consensus.CAS(3),
+			Explore: explore.Options{Faults: faults.Model{
+				MaxCrashes: 1, Mode: faults.CrashRecovery, MaxRecoveries: 1}},
+		}),
+		"crash-recovery zero budget": mustKey(t, KeySpec{
+			Kind: "consensus", Values: 2, Implementation: consensus.CAS(3),
+			Explore: explore.Options{Faults: faults.Model{
+				MaxCrashes: 1, Mode: faults.CrashRecovery}},
+		}),
 	}
 	for name, k := range distinct {
 		if k == base {
 			t.Errorf("%s collided with the base request", name)
 		}
+	}
+	if distinct["crash-recovery faults"] == distinct["crash-stop faults"] ||
+		distinct["crash-recovery zero budget"] == distinct["crash-stop faults"] ||
+		distinct["crash-recovery faults"] == distinct["crash-recovery zero budget"] {
+		t.Error("fault-model variants collided with each other")
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 
 	"waitfree/internal/consensus"
 	"waitfree/internal/faults"
+	"waitfree/internal/hist"
 	"waitfree/internal/program"
 	"waitfree/internal/sched"
 	"waitfree/internal/types"
@@ -164,6 +165,90 @@ func TestCrashEveryProcess(t *testing.T) {
 		if out.Steps != 0 {
 			t.Errorf("steps = %d, want 0", out.Steps)
 		}
+	}
+	waitForGoroutines(t, base)
+}
+
+// TestRecoverSchedulerFinishes pins the crash-recovery path of the
+// runtime: a process crashed by a RecoverScheduler re-enters from its
+// recovery section, re-runs the interrupted operation from its start, and
+// can complete its script. The interrupted operation's history entry
+// stays pending forever; the re-execution opens a fresh one.
+func TestRecoverSchedulerFinishes(t *testing.T) {
+	base := gort.NumGoroutine()
+	im := &program.Implementation{
+		Name:   "two-ops",
+		Target: types.Consensus(2),
+		Procs:  2,
+		Objects: []program.ObjectDecl{
+			{Name: "t", Spec: types.TestAndSet(2), Init: 0, PortOf: []int{1, 2}},
+		},
+		Machines: []program.Machine{wellBehaved, wellBehaved},
+	}
+	// Process 0 crashes after every single access and may recover once:
+	// its first one-access operation completes, the second is interrupted,
+	// recovered, and re-run to completion.
+	r, err := New(im, sched.NewRecover(map[int]int{0: 1}, map[int]int{0: 1}), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scripts := [][]types.Invocation{{types.Propose(0), types.Propose(1)}, {}}
+	out, err := r.Run(scripts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Crashed[0] || out.Crashed[1] {
+		t.Fatalf("crashed = %v, want none (the crash was recovered)", out.Crashed)
+	}
+	if out.Recoveries[0] != 1 || out.Recoveries[1] != 0 {
+		t.Fatalf("recoveries = %v, want [1 0]", out.Recoveries)
+	}
+	if len(out.Responses[0]) != 2 {
+		t.Fatalf("recovered process responded %v, want both operations decided", out.Responses[0])
+	}
+	// History: op 1 complete, op 2's interrupted attempt pending forever,
+	// op 2's re-execution complete.
+	var pending, complete int
+	for _, op := range out.History {
+		if op.End == hist.Pending {
+			pending++
+		} else {
+			complete++
+		}
+	}
+	if pending != 1 || complete != 2 {
+		t.Errorf("history has %d pending / %d complete ops, want 1/2:\n%v", pending, complete, out.History)
+	}
+	waitForGoroutines(t, base)
+}
+
+// TestRecoverSchedulerBudgetExhaustion pins the other side: when the
+// recovery budget runs out the crash is permanent, exactly as under a
+// plain Crash scheduler, and the survivor still decides.
+func TestRecoverSchedulerBudgetExhaustion(t *testing.T) {
+	base := gort.NumGoroutine()
+	im := consensus.TAS2()
+	// One access per attempt is never enough for TAS2's two-access winning
+	// path, so process 0 burns both recoveries and stays down.
+	r, err := New(im, sched.NewRecover(map[int]int{0: 1}, map[int]int{0: 2}), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := r.Run(proposals(0, 1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Crashed[0] || out.Crashed[1] {
+		t.Fatalf("crashed = %v, want exactly process 0", out.Crashed)
+	}
+	if out.Recoveries[0] != 2 {
+		t.Errorf("recoveries[0] = %d, want the whole budget of 2", out.Recoveries[0])
+	}
+	if len(out.Responses[0]) != 0 {
+		t.Errorf("crashed process produced responses %v", out.Responses[0])
+	}
+	if len(out.Responses[1]) != 1 || out.Responses[1][0] != types.ValOf(1) {
+		t.Errorf("survivor decided %v, want its own proposal val(1)", out.Responses[1])
 	}
 	waitForGoroutines(t, base)
 }

@@ -107,8 +107,13 @@ type Outcome struct {
 	// History is the target-level concurrent history (Port = proc+1);
 	// operations cut short by a crash are pending.
 	History hist.History
-	// Crashed[p] reports whether process p was stopped by the scheduler.
+	// Crashed[p] reports whether process p was stopped by the scheduler
+	// and never recovered.
 	Crashed []bool
+	// Recoveries[p] counts how many times process p crashed and was
+	// re-admitted by a sched.RecoverScheduler (always 0 under plain
+	// schedulers).
+	Recoveries []int
 	// Steps is the total number of object accesses performed.
 	Steps int64
 	// Mems[p] is process p's persistent memory after the run.
@@ -150,9 +155,10 @@ func (r *Runner) Run(scripts [][]types.Invocation, mems []any) (*Outcome, error)
 		return nil, fmt.Errorf("runtime: %d scripts for %d processes", len(scripts), r.impl.Procs)
 	}
 	out := &Outcome{
-		Responses: make([][]types.Response, r.impl.Procs),
-		Crashed:   make([]bool, r.impl.Procs),
-		Mems:      make([]any, r.impl.Procs),
+		Responses:  make([][]types.Response, r.impl.Procs),
+		Crashed:    make([]bool, r.impl.Procs),
+		Recoveries: make([]int, r.impl.Procs),
+		Mems:       make([]any, r.impl.Procs),
 	}
 	if mems != nil {
 		copy(out.Mems, mems)
@@ -203,47 +209,60 @@ func (r *Runner) runProc(p int, script []types.Invocation, out *Outcome, clock, 
 	m := r.impl.Machines[p]
 	mem := out.Mems[p]
 	for _, inv := range script {
-		opIdx := len(*h)
-		*h = append(*h, hist.Op{
-			Proc:  p,
-			Port:  p + 1,
-			Inv:   inv,
-			Begin: int(clock.Add(1)),
-			End:   hist.Pending,
-		})
-		st := m.Start(inv, mem)
-		resp := types.Response{}
+	attempt:
 		for {
-			act, next := m.Next(st, resp)
-			st = next
-			if act.Kind == program.KindReturn {
-				(*h)[opIdx].Resp = act.Resp
-				(*h)[opIdx].End = int(clock.Add(1))
-				out.Responses[p] = append(out.Responses[p], act.Resp)
-				mem = act.Mem
-				break
-			}
-			if act.Kind != program.KindInvoke {
-				return fmt.Errorf("invalid action kind %d", act.Kind)
-			}
-			if act.Obj < 0 || act.Obj >= len(r.objects) {
-				return fmt.Errorf("unknown object %d", act.Obj)
-			}
-			port := r.impl.Objects[act.Obj].Port(p)
-			if port == 0 {
-				return fmt.Errorf("no port on object %d (%s)", act.Obj, r.impl.Objects[act.Obj].Name)
-			}
-			if !r.sch.Next(p) {
-				out.Crashed[p] = true
-				out.Mems[p] = mem
-				return nil
-			}
-			clock.Add(1)
-			steps.Add(1)
-			var err error
-			resp, err = r.objects[act.Obj].Invoke(port, act.Inv)
-			if err != nil {
-				return err
+			opIdx := len(*h)
+			*h = append(*h, hist.Op{
+				Proc:  p,
+				Port:  p + 1,
+				Inv:   inv,
+				Begin: int(clock.Add(1)),
+				End:   hist.Pending,
+			})
+			st := m.Start(inv, mem)
+			resp := types.Response{}
+			for {
+				act, next := m.Next(st, resp)
+				st = next
+				if act.Kind == program.KindReturn {
+					(*h)[opIdx].Resp = act.Resp
+					(*h)[opIdx].End = int(clock.Add(1))
+					out.Responses[p] = append(out.Responses[p], act.Resp)
+					mem = act.Mem
+					break attempt
+				}
+				if act.Kind != program.KindInvoke {
+					return fmt.Errorf("invalid action kind %d", act.Kind)
+				}
+				if act.Obj < 0 || act.Obj >= len(r.objects) {
+					return fmt.Errorf("unknown object %d", act.Obj)
+				}
+				port := r.impl.Objects[act.Obj].Port(p)
+				if port == 0 {
+					return fmt.Errorf("no port on object %d (%s)", act.Obj, r.impl.Objects[act.Obj].Name)
+				}
+				if !r.sch.Next(p) {
+					if rs, ok := r.sch.(sched.RecoverScheduler); ok && rs.Recover(p) {
+						// Crash-recovery: the interrupted operation's history
+						// entry stays pending forever (a crashed access never
+						// returns), the re-execution opens a fresh entry, and
+						// volatile memory is lost while the shared objects
+						// persist.
+						out.Recoveries[p]++
+						mem = nil
+						continue attempt
+					}
+					out.Crashed[p] = true
+					out.Mems[p] = mem
+					return nil
+				}
+				clock.Add(1)
+				steps.Add(1)
+				var err error
+				resp, err = r.objects[act.Obj].Invoke(port, act.Inv)
+				if err != nil {
+					return err
+				}
 			}
 		}
 	}

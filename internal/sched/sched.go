@@ -31,6 +31,19 @@ type Scheduler interface {
 	Done(p int)
 }
 
+// RecoverScheduler is the optional crash-recovery extension of Scheduler.
+// After Next(p) returns false (p crashed), the runtime asks Recover(p)
+// whether the crashed process may re-enter from its recovery section: true
+// restarts p's interrupted operation from its start with fresh volatile
+// state (shared objects persist), false makes the crash permanent, exactly
+// as for a plain Scheduler. Recover is called from p's own goroutine and
+// must be safe for concurrent use; a process whose Recover returned false
+// never asks again.
+type RecoverScheduler interface {
+	Scheduler
+	Recover(p int) bool
+}
+
 // Free is the trivial scheduler: every step proceeds immediately and the
 // interleaving is whatever the Go runtime produces.
 type Free struct{}
@@ -79,6 +92,66 @@ func (c *Crash) Next(p int) bool {
 
 // Done implements Scheduler.
 func (c *Crash) Done(int) {}
+
+// Recover crashes chosen processes after a fixed number of steps, like
+// Crash, but lets each crashed process recover a bounded number of times:
+// after each recovery the process's step counter resets, so it crashes
+// again after another after[p] accesses until its recovery budget runs
+// out, at which point the crash is permanent. It drives the concurrent
+// runtime's crash-recovery path (the sampling mirror of the explorer's
+// faults.CrashRecovery mode).
+type Recover struct {
+	mu    sync.Mutex
+	after map[int]int
+	times map[int]int
+	taken map[int]int
+	used  map[int]int
+}
+
+var _ RecoverScheduler = (*Recover)(nil)
+
+// NewRecover returns a scheduler that crashes process p after after[p]
+// steps (processes absent from the map never crash; 0 crashes before the
+// first access) and then lets p recover up to times[p] times.
+func NewRecover(after, times map[int]int) *Recover {
+	limits := make(map[int]int, len(after))
+	for p, n := range after {
+		limits[p] = n
+	}
+	budget := make(map[int]int, len(times))
+	for p, n := range times {
+		budget[p] = n
+	}
+	return &Recover{after: limits, times: budget, taken: make(map[int]int), used: make(map[int]int)}
+}
+
+// Next implements Scheduler.
+func (r *Recover) Next(p int) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	limit, crashes := r.after[p]
+	if crashes && r.taken[p] >= limit {
+		return false
+	}
+	r.taken[p]++
+	return true
+}
+
+// Recover implements RecoverScheduler: the crashed process may re-enter
+// while its recovery budget lasts, with its step counter reset.
+func (r *Recover) Recover(p int) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.used[p] >= r.times[p] {
+		return false
+	}
+	r.used[p]++
+	r.taken[p] = 0
+	return true
+}
+
+// Done implements Scheduler.
+func (r *Recover) Done(int) {}
 
 // Stutter slows one chosen process to expose wait-freedom violations that
 // depend on a laggard: before each of the victim's object accesses, the

@@ -40,6 +40,45 @@ func TestCrashZeroStepsImmediate(t *testing.T) {
 	}
 }
 
+func TestRecoverBudget(t *testing.T) {
+	r := NewRecover(map[int]int{0: 2}, map[int]int{0: 2})
+	attempt := func(want bool) {
+		t.Helper()
+		for i := 0; i < 2; i++ {
+			if !r.Next(0) {
+				t.Fatalf("process 0 crashed after %d steps, limit is 2", i)
+			}
+		}
+		if r.Next(0) {
+			t.Fatal("process 0 survived beyond its crash limit")
+		}
+		if got := r.Recover(0); got != want {
+			t.Fatalf("Recover(0) = %v, want %v", got, want)
+		}
+	}
+	// Two recoveries, each resetting the step counter; the third crash is
+	// permanent.
+	attempt(true)
+	attempt(true)
+	attempt(false)
+	// A process whose Recover returned false never comes back.
+	if r.Recover(0) {
+		t.Error("Recover(0) granted after the budget ran out")
+	}
+	// Unlisted processes never crash, so Recover is never consulted; a
+	// bare call must deny (zero budget) without panicking.
+	for i := 0; i < 50; i++ {
+		if !r.Next(1) {
+			t.Fatal("unlisted process crashed")
+		}
+	}
+	if r.Recover(1) {
+		t.Error("unlisted process granted a recovery")
+	}
+	r.Done(0)
+	r.Done(1)
+}
+
 func TestTokenGrantsSerially(t *testing.T) {
 	const procs = 4
 	const stepsEach = 25

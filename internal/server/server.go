@@ -39,6 +39,11 @@ type Options struct {
 	// CheckpointEvery is the durable autosave cadence for resumable jobs
 	// (0 = 2s); a killed daemon loses at most this much work per job.
 	CheckpointEvery time.Duration
+	// MaxTimeout caps the per-job wall-clock deadline a submission may
+	// request through wire timeout_ms (0 = no cap). Requests above the cap
+	// are silently clamped, not rejected, so a fleet-wide policy change
+	// does not break existing clients.
+	MaxTimeout time.Duration
 	// Logf receives operational log lines (0 = discard).
 	Logf func(format string, args ...any)
 }
@@ -60,6 +65,12 @@ type Server struct {
 	draining atomic.Bool
 	started  time.Time
 	running  atomic.Int64
+
+	// persistCtx bounds every durable job write's retry backoff; Drain
+	// cancels it when its own deadline expires so workers blocked in a
+	// failing persist release promptly instead of outliving the drain.
+	persistCtx    context.Context
+	persistCancel context.CancelFunc
 }
 
 // New builds a server, loading any persisted jobs from Options.DataDir:
@@ -93,6 +104,7 @@ func New(opts Options) (*Server, error) {
 		stop:    make(chan struct{}),
 		started: time.Now(),
 	}
+	s.persistCtx, s.persistCancel = context.WithCancel(context.Background())
 	s.routes()
 	if err := s.loadJobs(); err != nil {
 		return nil, err
@@ -153,7 +165,7 @@ func (s *Server) loadJobs() error {
 		}
 		s.jobs[j.id] = j
 		s.order = append(s.order, j.id)
-		if err := s.store.save(j); err != nil {
+		if err := s.store.save(s.persistCtx, j); err != nil {
 			s.opts.Logf("%v", err)
 		}
 	}
@@ -208,6 +220,11 @@ func (s *Server) Drain(ctx context.Context) error {
 	case <-done:
 		return nil
 	case <-ctx.Done():
+		// The drain deadline expired with workers still busy — most likely
+		// wedged in a persist retry loop over a failing disk. Abort every
+		// in-flight and future durable write's backoff so the workers (and
+		// the process) can exit; the envelopes on disk stay atomic.
+		s.persistCancel()
 		return fmt.Errorf("server: drain: %w", ctx.Err())
 	}
 }
@@ -235,7 +252,16 @@ func (s *Server) runJob(j *Job) {
 		return
 	}
 	ctx, cancel := context.WithCancel(context.Background())
-	j.cancel = cancel
+	j.cancel = cancel // the parent cancel, so user cancel and drain preempt the deadline
+	if ms := j.wire.TimeoutMS; ms > 0 {
+		d := time.Duration(ms) * time.Millisecond
+		if s.opts.MaxTimeout > 0 && d > s.opts.MaxTimeout {
+			d = s.opts.MaxTimeout
+		}
+		var tcancel context.CancelFunc
+		ctx, tcancel = context.WithTimeout(ctx, d)
+		defer tcancel()
+	}
 	j.state = JobRunning
 	j.started = time.Now()
 	resumable := j.wire.Resumable()
@@ -376,7 +402,7 @@ func (s *Server) saveCheckpoint(j *Job, cp *waitfree.Checkpoint) {
 // persist writes the job durably, logging (never failing) on error: the
 // in-memory job table remains authoritative for this process's lifetime.
 func (s *Server) persist(j *Job) {
-	if err := s.store.save(j); err != nil {
+	if err := s.store.save(s.persistCtx, j); err != nil {
 		s.opts.Logf("%v", err)
 	}
 }
@@ -399,7 +425,7 @@ func (s *Server) submit(raw []byte) (*Job, error) {
 		created: time.Now(),
 		hub:     newHub(),
 	}
-	if err := s.store.save(j); err != nil {
+	if err := s.store.save(s.persistCtx, j); err != nil {
 		return nil, err
 	}
 	// Enqueue and register under one lock hold, and only register after

@@ -7,11 +7,15 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
 
 	"waitfree"
+	"waitfree/internal/explore"
+	"waitfree/internal/faults"
 )
 
 // newTestServer boots a server plus an httptest front end.
@@ -174,6 +178,11 @@ func TestWireRejects(t *testing.T) {
 		{"synthesis without objects", `{"api":"v1","kind":"synthesis"}`, 400, "bad_request"},
 		{"unknown object set", `{"api":"v1","kind":"synthesis","objects":"nope"}`, 400, "unknown_protocol"},
 		{"bad symmetry", `{"api":"v1","kind":"consensus","protocol":"cas","explore":{"symmetry":"sideways"}}`, 400, "bad_request"},
+		{"negative timeout", `{"api":"v1","kind":"consensus","protocol":"cas","timeout_ms":-1}`, 400, "bad_request"},
+		{"recoveries without crashes", `{"api":"v1","kind":"consensus","protocol":"cas","explore":{"faults":{"max_crashes":0,"max_recoveries":1}}}`, 400, "bad_request"},
+		{"recoveries under crash-stop", `{"api":"v1","kind":"consensus","protocol":"cas","explore":{"faults":{"max_crashes":1,"max_recoveries":1}}}`, 400, "bad_request"},
+		{"bad fault mode", `{"api":"v1","kind":"consensus","protocol":"cas","explore":{"faults":{"max_crashes":1,"mode":"byzantine"}}}`, 400, "bad_request"},
+		{"classification with faults", `{"api":"v1","kind":"classification","explore":{"faults":{"max_crashes":1}}}`, 400, "bad_request"},
 		{"not json", `not json`, 400, "bad_request"},
 	}
 	for _, c := range cases {
@@ -538,5 +547,170 @@ func TestVerdictsOnTheJobSurface(t *testing.T) {
 	}
 	if b.Error == nil || b.Error.Code != "not_wait_free" {
 		t.Errorf("bound(naive): error %+v, want code not_wait_free", b.Error)
+	}
+}
+
+// TestCrashRecoveryJobOverTheWire drives the crash-recovery fault model
+// end to end through the versioned wire API: the register-only naive
+// protocol under a one-crash/one-recovery budget must finish done with a
+// crash/recover-annotated counterexample carrying the
+// decision-changed-after-recovery violation kind — and a repeat
+// submission is served from the result cache byte-identically.
+func TestCrashRecoveryJobOverTheWire(t *testing.T) {
+	cache, err := waitfree.OpenCache(waitfree.CacheOptions{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Options{Workers: 1, Cache: cache})
+	body := `{"api":"v1","kind":"consensus","protocol":"naive","explore":{"memoize":true,"faults":{"max_crashes":1,"mode":"crash-recovery","max_recoveries":1}}}`
+
+	v := submitJob(t, ts, body)
+	v = waitJob(t, ts, v.ID, 2*time.Minute, terminal)
+	if v.State != JobDone || v.OK == nil || *v.OK {
+		t.Fatalf("state %s ok %v, error %+v; want done/false", v.State, v.OK, v.Error)
+	}
+	rep := string(v.Report)
+	if !strings.Contains(rep, `"decision-changed-after-recovery"`) {
+		t.Errorf("report carries no decision-changed-after-recovery violation:\n%s", rep)
+	}
+	if !strings.Contains(rep, `"crash":true`) || !strings.Contains(rep, `"recover":true`) {
+		t.Errorf("counterexample schedule lacks crash/recover annotations:\n%s", rep)
+	}
+
+	second := submitJob(t, ts, body)
+	second = waitJob(t, ts, second.ID, 2*time.Minute, terminal)
+	if second.State != JobDone {
+		t.Fatalf("repeat: state %s, error %+v", second.State, second.Error)
+	}
+	if !bytes.Equal(v.Report, second.Report) {
+		t.Errorf("cached crash-recovery report is not byte-identical.\nfirst:  %s\nsecond: %s", v.Report, second.Report)
+	}
+	if st := cache.Stats(); st.Hits == 0 {
+		t.Errorf("cache saw no hits: %+v", st)
+	}
+}
+
+// TestJobDeadline pins the wire timeout_ms contract: a resumable job
+// whose deadline expires finishes done-but-partial with its checkpoint
+// retained; a request above Options.MaxTimeout is clamped, not rejected;
+// and a non-resumable kind fails with the deadline taxonomy code.
+func TestJobDeadline(t *testing.T) {
+	_, ts := newTestServer(t, Options{
+		Workers:         1,
+		DataDir:         t.TempDir(),
+		CheckpointEvery: 10 * time.Millisecond,
+		MaxTimeout:      300 * time.Millisecond,
+	})
+	// ~seconds of uninterrupted work, so any prompt termination below is
+	// the deadline machinery, not natural completion.
+	slow := `"kind":"consensus","protocol":"sticky","procs":5,"explore":{"symmetry":"off"}`
+
+	check := func(name string, v *JobView) {
+		t.Helper()
+		v = waitJob(t, ts, v.ID, 30*time.Second, terminal)
+		if v.State != JobDone || v.OK == nil || *v.OK {
+			t.Fatalf("%s: state %s ok %v, error %+v; want done/false", name, v.State, v.OK, v.Error)
+		}
+		if !strings.Contains(string(v.Report), `"partial":true`) {
+			t.Errorf("%s: expired job's report is not partial: %s", name, v.Report)
+		}
+		if !v.HasCheckpoint {
+			t.Errorf("%s: expired job retains no checkpoint", name)
+		}
+	}
+	// An explicit deadline under the cap expires as requested.
+	check("explicit", submitJob(t, ts, `{"api":"v1",`+slow+`,"timeout_ms":250}`))
+	// An hour-long request is clamped to MaxTimeout: without the clamp the
+	// job would either run for real (test timeout) or complete ok=true.
+	check("clamped", submitJob(t, ts, `{"api":"v1",`+slow+`,"timeout_ms":3600000}`))
+
+	// Elimination cannot resume, so an expired deadline is inconclusive:
+	// the job fails with the library's inconclusive taxonomy code rather
+	// than degrading to a partial report.
+	e := submitJob(t, ts, `{"api":"v1","kind":"elimination","protocol":"tas","timeout_ms":1}`)
+	e = waitJob(t, ts, e.ID, 30*time.Second, terminal)
+	if e.State != JobFailed {
+		t.Fatalf("elimination: state %s, want failed", e.State)
+	}
+	if e.Error == nil || e.Error.Code != "inconclusive" {
+		t.Errorf("elimination: error %+v, want code inconclusive", e.Error)
+	}
+}
+
+// TestCrashRecoveryJobFileTruncationSweep is the torn-write acceptance
+// test for the durable job store: a crash-recovery job's .wfjob envelope
+// (wire request plus checkpoint) truncated at EVERY byte offset must
+// either salvage to the full manifest or be skipped at startup — daemon
+// boot never fails, and a salvaged job is always the intact original
+// (the manifest is a single checksummed record, so there is no partial
+// salvage to mis-resume from).
+func TestCrashRecoveryJobFileTruncationSweep(t *testing.T) {
+	body := json.RawMessage(`{"api":"v1","kind":"consensus","protocol":"sticky","procs":4,"explore":{"faults":{"max_crashes":1,"mode":"crash-recovery","max_recoveries":1}}}`)
+	wire, _, err := DecodeWire(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := &explore.Checkpoint{
+		Version: explore.CheckpointVersion,
+		Impl:    "sticky",
+		Procs:   4,
+		Values:  2,
+		Roots:   16,
+		Faults:  faults.Model{MaxCrashes: 1, Mode: faults.CrashRecovery, MaxRecoveries: 1},
+		Trees: []explore.TreeResult{{
+			Mask: 0, Nodes: 10, Leaves: 2, Depth: 3,
+			MaxAccess: []int{1, 1, 1, 1}, ProcSteps: []int{1, 1, 1, 1},
+		}},
+	}
+	cpBlob, err := json.Marshal(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := newStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := &Job{
+		id: "0123456789abcdef", wire: wire, raw: body,
+		state: JobQueued, chkpoint: cpBlob, resumes: 1,
+		created: time.Now(), hub: newHub(),
+	}
+	if err := src.save(context.Background(), j); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(src.path(j.id))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, j.id+jobFileExt)
+	discard := func(string, ...any) {}
+	var salvaged, skipped int
+	for off := 0; off <= len(raw); off++ {
+		if err := os.WriteFile(path, raw[:off], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		srv, err := New(Options{Workers: 1, DataDir: dir, Logf: discard})
+		if err != nil {
+			t.Fatalf("offset %d: daemon startup failed: %v", off, err)
+		}
+		got, ok := srv.job(j.id)
+		if !ok {
+			if off == len(raw) {
+				t.Fatal("the untruncated envelope did not load")
+			}
+			skipped++
+			continue
+		}
+		salvaged++
+		v := got.view()
+		if v.State != JobQueued || !v.HasCheckpoint || v.Kind != "consensus" {
+			t.Fatalf("offset %d: salvaged job is not the original: state %s, has_checkpoint %v, kind %s",
+				off, v.State, v.HasCheckpoint, v.Kind)
+		}
+	}
+	if salvaged == 0 || skipped == 0 {
+		t.Errorf("sweep exercised only one path: salvaged %d, skipped %d", salvaged, skipped)
 	}
 }

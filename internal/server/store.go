@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -63,8 +64,10 @@ func (s *store) path(id string) string {
 }
 
 // save rewrites the job's envelope durably (atomic replace, checksummed,
-// retried). Callers must not hold j.mu.
-func (s *store) save(j *Job) error {
+// retried). ctx aborts the retry backoff between attempts — a draining
+// server over a failing disk must not be held hostage by the backoff
+// schedule. Callers must not hold j.mu.
+func (s *store) save(ctx context.Context, j *Job) error {
 	if !s.enabled() {
 		return nil
 	}
@@ -88,7 +91,7 @@ func (s *store) save(j *Job) error {
 		return fmt.Errorf("server: marshal job %s: %w", m.ID, err)
 	}
 	env := durable.EncodeEnvelope(jobMagic, jobKind, []byte(m.ID), [][]byte{data})
-	if err := durable.SaveBytes(s.path(m.ID), env); err != nil {
+	if err := durable.SaveBytesContext(ctx, s.path(m.ID), env); err != nil {
 		return fmt.Errorf("server: persist job %s: %w", m.ID, err)
 	}
 	return nil

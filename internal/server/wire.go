@@ -60,6 +60,12 @@ type WireRequest struct {
 	Synthesis *WireSynthesis `json:"synthesis,omitempty"`
 	// Explore is the verdict-relevant exploration option subset.
 	Explore WireExplore `json:"explore,omitempty"`
+	// TimeoutMS is the per-job wall-clock deadline in milliseconds (0 =
+	// none), capped by the server's Options.MaxTimeout. A job whose
+	// deadline expires finishes like a -timeout CLI run: resumable kinds
+	// degrade to a done-but-partial report carrying a checkpoint, the
+	// others fail with a deadline error.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
 
 // WireExplore is the wire form of the verdict-relevant
@@ -85,10 +91,14 @@ type WireExplore struct {
 
 // WireFaults is the wire form of the crash fault model.
 type WireFaults struct {
-	// MaxCrashes bounds crashes per execution; 0 disables the model.
+	// MaxCrashes bounds crash events per execution; 0 disables the model.
 	MaxCrashes int `json:"max_crashes"`
-	// Mode is "crash-stop" or "crash-start" ("" = crash-stop).
+	// Mode is "crash-stop", "crash-start", or "crash-recovery"
+	// ("" = crash-stop).
 	Mode string `json:"mode,omitempty"`
+	// MaxRecoveries bounds total recoveries per execution; requires mode
+	// "crash-recovery".
+	MaxRecoveries int `json:"max_recoveries,omitempty"`
 }
 
 // WireSynthesis is the wire form of the synthesis search options.
@@ -134,6 +144,9 @@ func Compile(w *WireRequest) (waitfree.Request, error) {
 	var req waitfree.Request
 	if w.API != APIVersion {
 		return req, badRequest("api %q is not %q (the field is required)", w.API, APIVersion)
+	}
+	if w.TimeoutMS < 0 {
+		return req, badRequest("negative timeout_ms %d", w.TimeoutMS)
 	}
 	req.Kind = waitfree.CheckKind(w.Kind)
 	exp, err := compileExplore(w.Explore)
@@ -194,6 +207,12 @@ func Compile(w *WireRequest) (waitfree.Request, error) {
 	case waitfree.KindClassification:
 		if err := w.rejectInapplicable(); err != nil {
 			return req, err
+		}
+		// Classification runs the zoo under its own fixed exploration
+		// discipline; a submitted fault model would be silently ignored,
+		// so fail it at the door instead.
+		if w.Explore.Faults != nil {
+			return req, badRequest("kind %q takes no explore.faults", w.Kind)
 		}
 	case waitfree.KindSynthesis:
 		if err := w.rejectInapplicable("objects", "synthesis"); err != nil {
@@ -273,16 +292,31 @@ func compileExplore(w WireExplore) (waitfree.ExploreOptions, error) {
 		return o, fmt.Errorf("%w: %v", waitfree.ErrBadRequest, err)
 	}
 	o.Symmetry = mode
-	if w.Faults != nil && w.Faults.MaxCrashes > 0 {
-		fm := w.Faults.Mode
-		if fm == "" {
-			fm = "crash-stop"
+	if w.Faults != nil {
+		if w.Faults.MaxCrashes <= 0 && w.Faults.MaxRecoveries > 0 {
+			return o, badRequest("faults.max_recoveries requires a positive faults.max_crashes")
 		}
-		mode, err := waitfree.ParseFaultMode(fm)
-		if err != nil {
-			return o, fmt.Errorf("%w: %v", waitfree.ErrBadRequest, err)
+		if w.Faults.MaxCrashes > 0 {
+			fm := w.Faults.Mode
+			if fm == "" {
+				fm = "crash-stop"
+			}
+			mode, err := waitfree.ParseFaultMode(fm)
+			if err != nil {
+				return o, fmt.Errorf("%w: %v", waitfree.ErrBadRequest, err)
+			}
+			o.Faults = waitfree.FaultModel{
+				MaxCrashes:    w.Faults.MaxCrashes,
+				Mode:          mode,
+				MaxRecoveries: w.Faults.MaxRecoveries,
+			}
+			// Validate eagerly (MaxRecoveries without crash-recovery mode,
+			// negative bounds) so a malformed model fails at the door, not
+			// on a pool worker.
+			if err := o.Faults.Validate(); err != nil {
+				return o, fmt.Errorf("%w: %v", waitfree.ErrBadRequest, err)
+			}
 		}
-		o.Faults = waitfree.FaultModel{MaxCrashes: w.Faults.MaxCrashes, Mode: mode}
 	}
 	return o, nil
 }

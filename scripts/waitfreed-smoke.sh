@@ -86,6 +86,41 @@ grep -q '^event: done' "$work/events.txt" || {
 	exit 1
 }
 
+# Round two: the crash-recovery fault model over the wire. Same
+# SIGKILL-mid-run discipline on a job whose exploration itself branches
+# on crash and recovery edges — the resumed report must still be
+# byte-identical to an uninterrupted run of the same submission.
+cr_job='{"api":"v1","kind":"consensus","protocol":"sticky","procs":4,"explore":{"symmetry":"off","faults":{"max_crashes":1,"mode":"crash-recovery","max_recoveries":1}}}'
+
+echo "waitfreed-smoke: submit a crash-recovery job, SIGKILL mid-run"
+cr_id="$(curl -fsS -X POST "$base/jobs" -d "$cr_job" | jq -r .id)"
+wait_job "$cr_id" '.state == "running" and .has_checkpoint' 300 > /dev/null
+kill -KILL "$pid"
+wait "$pid" 2>/dev/null || true
+pid=""
+
+echo "waitfreed-smoke: restart and resume the crash-recovery job"
+start_daemon
+cr_resumed="$(wait_job "$cr_id" '.state == "done"' 1200)"
+if [ "$(jq -r .resumes <<< "$cr_resumed")" -lt 1 ]; then
+	echo "waitfreed-smoke: FAIL — crash-recovery job restarted instead of resuming" >&2
+	exit 1
+fi
+if [ "$(jq -r '.report.consensus.faults.mode' <<< "$cr_resumed")" != "crash-recovery" ]; then
+	echo "waitfreed-smoke: FAIL — resumed report does not echo the crash-recovery model" >&2
+	exit 1
+fi
+jq -c .report <<< "$cr_resumed" > "$work/cr-resumed.json"
+
+echo "waitfreed-smoke: fresh uninterrupted crash-recovery run"
+cr_fresh_id="$(curl -fsS -X POST "$base/jobs" -d "$cr_job" | jq -r .id)"
+wait_job "$cr_fresh_id" '.state == "done"' 1200 | jq -c .report > "$work/cr-fresh.json"
+
+if ! diff "$work/cr-resumed.json" "$work/cr-fresh.json"; then
+	echo "waitfreed-smoke: FAIL — resumed crash-recovery report differs from the fresh run" >&2
+	exit 1
+fi
+
 # Graceful drain: SIGTERM exits cleanly.
 kill -TERM "$pid"
 wait "$pid" || { echo "waitfreed-smoke: FAIL — daemon exited nonzero on SIGTERM" >&2; exit 1; }

@@ -141,12 +141,16 @@ const (
 	// CrashBeforeFirstStep enumerates only initial crashes: processes that
 	// never perform any object access.
 	CrashBeforeFirstStep = faults.CrashBeforeFirstStep
+	// CrashRecovery lets crashed processes re-enter from their recovery
+	// section — volatile state reset, shared objects persisting — with
+	// FaultModel.MaxRecoveries bounding total recoveries per execution.
+	CrashRecovery = faults.CrashRecovery
 )
 
 // Fault vocabulary helpers.
 var (
 	// ParseFaultMode parses the -fault-mode CLI tags ("crash-stop",
-	// "crash-start").
+	// "crash-start", "crash-recovery").
 	ParseFaultMode = faults.ParseMode
 	// ErrBadFaultModel is the sentinel wrapped by FaultModel validation
 	// failures.
@@ -468,6 +472,10 @@ var (
 	NewRunner = runtimepkg.New
 	// NewCrashScheduler crashes process p after after[p] steps.
 	NewCrashScheduler = sched.NewCrash
+	// NewRecoverScheduler crashes process p after after[p] steps and lets
+	// it recover (volatile state lost, step counter reset) up to times[p]
+	// times before the crash turns permanent.
+	NewRecoverScheduler = sched.NewRecover
 	// NewTokenScheduler serializes all steps into one seeded pseudo-random
 	// global order (reproducible interleavings).
 	NewTokenScheduler = sched.NewToken
@@ -482,6 +490,12 @@ var (
 
 // RunOutcome is the result of one concurrent run.
 type RunOutcome = runtimepkg.Outcome
+
+// RecoverScheduler is the optional crash-recovery extension of a
+// scheduler: after Next(p) reports a crash, the runtime asks Recover(p)
+// whether p may re-enter from its recovery section with fresh volatile
+// state (NewRecoverScheduler is the built-in implementation).
+type RecoverScheduler = sched.RecoverScheduler
 
 // Hierarchy analyses.
 var (
