@@ -18,6 +18,7 @@ import (
 	"waitfree/internal/core"
 	"waitfree/internal/durable"
 	"waitfree/internal/explore"
+	"waitfree/internal/faults"
 	"waitfree/internal/hierarchy"
 	"waitfree/internal/multivalue"
 	"waitfree/internal/onebit"
@@ -228,6 +229,39 @@ func BenchmarkConsensusSymmetry(b *testing.B) {
 				})
 			}
 		}
+	}
+}
+
+// BenchmarkConsensusFaults measures the fault-exploration hot path, which
+// takes the crash/recovery expansion branches the plain sweep never
+// exercises: TAS2 under crash-recovery (test-and-set has consensus number
+// 2, so n=2 is its ceiling — the paper's hierarchy made concrete) and the
+// augmented queue under crash-stop.
+func BenchmarkConsensusFaults(b *testing.B) {
+	cases := []struct {
+		name  string
+		mk    func() *program.Implementation
+		model faults.Model
+	}{
+		{"tas2/crashrecovery", consensus.TAS2, faults.Model{Mode: faults.CrashRecovery, MaxCrashes: 1, MaxRecoveries: 1}},
+		{"queue2/crashstop", consensus.Queue2, faults.Model{Mode: faults.CrashStop, MaxCrashes: 1}},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			im := c.mk()
+			var nodes int64
+			for i := 0; i < b.N; i++ {
+				report, err := explore.Consensus(im, explore.Options{Memoize: true, Faults: c.model})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !report.OK() {
+					b.Fatal(report.Summary())
+				}
+				nodes = report.Stats.Nodes
+			}
+			b.ReportMetric(float64(nodes), "explored-nodes")
+		})
 	}
 }
 

@@ -77,6 +77,15 @@ type Flags struct {
 	// byte-identical JSON instead of re-explored, and fresh conclusive
 	// reports are stored into it ("" = no cache).
 	CacheDir string
+	// MemoBudget caps resident memo entries per execution tree (0 =
+	// unbounded). Without -memo-spill, exceeding it loses memo hits and
+	// flags the report Degraded.
+	MemoBudget int
+	// MemoSpillDir spills evicted memo entries to checksummed per-tree
+	// files in this directory, so -memo-budget trades memory for disk
+	// without losing hits or degrading ("" = no spill; requires
+	// -memo-budget).
+	MemoSpillDir string
 }
 
 // Register installs the shared flags on fs and returns the destination.
@@ -113,6 +122,8 @@ func Register(fs *flag.FlagSet) *Flags {
 	fs.DurationVar(&f.StallAfter, "stall-after", 0, "stop with a partial report when a worker makes no progress for this long (e.g. 1m; 0 = off)")
 	fs.Int64Var(&f.MaxNodes, "max-nodes", 0, "soft node budget: degrade to a partial-coverage report after this many configurations (0 = unbounded)")
 	fs.StringVar(&f.CacheDir, "cache", "", "result cache DIR: serve repeat requests from the content-addressed cache and store fresh verdicts into it")
+	fs.IntVar(&f.MemoBudget, "memo-budget", 0, "cap resident memo entries per execution tree (0 = unbounded; without -memo-spill the report degrades)")
+	fs.StringVar(&f.MemoSpillDir, "memo-spill", "", "spill evicted memo entries to DIR so -memo-budget trades memory for disk without degrading")
 	return f
 }
 
@@ -165,6 +176,8 @@ func (f *Flags) Options(opts explore.Options) explore.Options {
 	}
 	opts.MaxNodes = f.MaxNodes
 	opts.StallAfter = f.StallAfter
+	opts.MemoBudget = f.MemoBudget
+	opts.MemoSpillDir = f.MemoSpillDir
 	return opts
 }
 

@@ -1,46 +1,30 @@
 package durable
 
 import (
-	"bytes"
 	"context"
-	"errors"
 	"fmt"
 	"time"
+
+	"waitfree/internal/envelope"
 )
 
-// This file generalizes the checkpoint file format into a reusable
-// per-record-checksummed envelope, so other durable artifacts (the result
-// cache of internal/rescache) share one integrity discipline instead of
-// inventing their own. The line format is the one documented in the
-// package comment, with a caller-chosen magic line and record kind:
-//
-//	<magic>
-//	meta <sha256-hex> <header bytes>
-//	<kind> <sha256-hex> <record bytes>
-//	...
-//	end <sha256-hex> <record count> <sha256-hex of every preceding byte>
-//
-// Header and record payloads must not contain newlines (JSON payloads
-// never do). Truncation at any byte offset leaves a detectable — and, per
-// record, salvageable — prefix.
+// The reusable per-record-checksummed envelope codec lives in
+// internal/envelope — a leaf package, so layers below durable (the
+// explorer's memo spill tier) can share the format without an import
+// cycle. durable re-exports it here under its historical names, so other
+// durable artifacts (the result cache of internal/rescache, the daemon job
+// store of internal/server) keep one integrity discipline and one import.
+// See the envelope package for the line format.
 
 // ErrCorruptEnvelope is the sentinel wrapped by every envelope integrity
-// failure (DecodeEnvelope).
-var ErrCorruptEnvelope = errors.New("durable: corrupt envelope")
+// failure (DecodeEnvelope). It is the same error value as
+// envelope.ErrCorrupt, so errors.Is works across both names.
+var ErrCorruptEnvelope = envelope.ErrCorrupt
 
 // EncodeEnvelope renders header and records into the checksummed envelope
 // format under the given magic line and record kind.
 func EncodeEnvelope(magic, kind string, header []byte, records [][]byte) []byte {
-	var b bytes.Buffer
-	b.WriteString(magic)
-	b.WriteByte('\n')
-	fmt.Fprintf(&b, "meta %s %s\n", sum(header), header)
-	for _, rec := range records {
-		fmt.Fprintf(&b, "%s %s %s\n", kind, sum(rec), rec)
-	}
-	trailer := fmt.Sprintf("%d %s", len(records), sum(b.Bytes()))
-	fmt.Fprintf(&b, "end %s %s\n", sum([]byte(trailer)), trailer)
-	return b.Bytes()
+	return envelope.Encode(magic, kind, header, records)
 }
 
 // DecodeEnvelope parses data as an envelope written by EncodeEnvelope with
@@ -51,78 +35,7 @@ func EncodeEnvelope(magic, kind string, header []byte, records [][]byte) []byte 
 // record is individually integrity-checked, so callers may trust the
 // prefix even when the envelope as a whole is rejected.
 func DecodeEnvelope(magic, kind string, data []byte) (header []byte, records [][]byte, err error) {
-	fail := func(format string, args ...any) ([]byte, [][]byte, error) {
-		return header, records, fmt.Errorf("%w: %s", ErrCorruptEnvelope, fmt.Sprintf(format, args...))
-	}
-	if len(data) == 0 {
-		return fail("empty envelope")
-	}
-	lineNo := 0
-	sawMeta, sawEnd := false, false
-	for off := 0; off < len(data); {
-		nl := bytes.IndexByte(data[off:], '\n')
-		if nl < 0 {
-			// A file ending without a newline was almost certainly torn
-			// mid-record; the fragment's checksum decides.
-			nl = len(data) - off
-		}
-		line := data[off : off+nl]
-		lineStart := off
-		off += nl + 1
-		if sawEnd {
-			if len(line) == 0 && off >= len(data) {
-				continue // single trailing newline after the end record
-			}
-			return fail("data after end record (line %d)", lineNo+1)
-		}
-		switch {
-		case lineNo == 0:
-			if string(line) != magic {
-				return fail("bad magic line %q (want %q)", truncateForErr(line), magic)
-			}
-		default:
-			recKind, payload, err := splitLine(line)
-			if err != nil {
-				return fail("line %d: %v", lineNo+1, err)
-			}
-			switch recKind {
-			case "meta":
-				if sawMeta {
-					return fail("line %d: duplicate meta record", lineNo+1)
-				}
-				sawMeta = true
-				header = append([]byte(nil), payload...)
-			case kind:
-				if !sawMeta {
-					return fail("line %d: %s record before meta", lineNo+1, kind)
-				}
-				records = append(records, append([]byte(nil), payload...))
-			case "end":
-				if !sawMeta {
-					return fail("line %d: end record before meta", lineNo+1)
-				}
-				var n int
-				var streamSum string
-				if _, err := fmt.Sscanf(string(payload), "%d %64s", &n, &streamSum); err != nil {
-					return fail("line %d: malformed end record: %v", lineNo+1, err)
-				}
-				if n != len(records) {
-					return fail("line %d: end record counts %d records, envelope holds %d", lineNo+1, n, len(records))
-				}
-				if got := sum(data[:lineStart]); got != streamSum {
-					return fail("line %d: stream checksum mismatch", lineNo+1)
-				}
-				sawEnd = true
-			default:
-				return fail("line %d: unknown record kind %q", lineNo+1, recKind)
-			}
-		}
-		lineNo++
-	}
-	if !sawEnd {
-		return fail("missing end record (envelope truncated after %d lines)", lineNo)
-	}
-	return header, records, nil
+	return envelope.Decode(magic, kind, data)
 }
 
 // SaveBytes atomically writes data to path with the same durability

@@ -78,13 +78,25 @@ type Options struct {
 	Faults faults.Model
 	// MemoBudget bounds the number of retained memo-table entries per
 	// execution tree (0 = unbounded). When a tree's table fills up, the
-	// engine degrades gracefully: cached entries are evicted (configurations
-	// currently on the DFS stack are kept, so cycle detection stays exact)
-	// and the run is flagged Degraded in Result, ConsensusReport, and
-	// Stats. Eviction changes cost, never verdicts, and is deterministic,
-	// so reports remain identical at every parallelism level. Requires
-	// Memoize.
+	// engine reclaims the least-recently-useful cached entries one at a
+	// time (second-chance FIFO; configurations currently on the DFS stack
+	// never count toward the budget and are never evicted, so cycle
+	// detection stays exact). Without MemoSpillDir the run degrades
+	// gracefully — evicted entries are forgotten and the run is flagged
+	// Degraded in Result, ConsensusReport, and Stats; with MemoSpillDir
+	// evicted entries move to disk and nothing is lost. Eviction changes
+	// cost, never verdicts, and is deterministic, so reports remain
+	// identical at every parallelism level. Requires Memoize.
 	MemoBudget int
+	// MemoSpillDir, if non-empty, gives budgeted memo tables a disk tier:
+	// entries evicted under MemoBudget are written to a checksummed spill
+	// file in this directory (one temp file per execution tree, deleted at
+	// tree completion) and served back on later lookups. A budgeted run
+	// with a working spill tier scores exactly the memo hits of an
+	// unbounded run and never sets Degraded; if the spill tier breaks
+	// (I/O error, corrupt record), the run degrades exactly as it would
+	// without one. Requires MemoBudget.
+	MemoSpillDir string
 	// ResumeFrom, if set, resumes a consensus exploration from a Checkpoint
 	// taken by a cancelled run: proposal-vector trees recorded in the
 	// checkpoint are merged from their stored results instead of being
@@ -176,6 +188,9 @@ func (o Options) Validate() error {
 	}
 	if o.MemoBudget > 0 && !o.Memoize {
 		return fmt.Errorf("%w: MemoBudget requires Memoize", ErrBadOptions)
+	}
+	if o.MemoSpillDir != "" && o.MemoBudget == 0 {
+		return fmt.Errorf("%w: MemoSpillDir requires MemoBudget", ErrBadOptions)
 	}
 	if o.Symmetry < SymmetryOff || o.Symmetry > SymmetryRequire {
 		return fmt.Errorf("%w: unknown Symmetry mode %d", ErrBadOptions, int(o.Symmetry))
@@ -389,12 +404,27 @@ type accKey struct {
 // procKey returns the accKey carrying process p's step counter.
 func procKey(p int) accKey { return accKey{Obj: -(p + 1)} }
 
-// summary is the subtree aggregate computed bottom-up.
+// summary is the subtree aggregate computed bottom-up. Access counters are
+// a dense int32 slice indexed by the explorer's accTable ids (arena.go)
+// rather than a per-node map; a zero counter means the key was absent from
+// the old map form, so conversions back to the named report maps skip
+// zeroes.
 type summary struct {
 	height int
 	nodes  int64
 	leaves int64
-	acc    map[accKey]int
+	acc    []int32
+
+	// Memo-table bookkeeping (never part of the aggregate): ref is the
+	// second-chance bit a lookup sets and eviction clears; retained marks a
+	// summary owned by the memo (put sets it — recycleSummary must never
+	// take one); spilled marks a summary already written to the spill tier,
+	// so a re-eviction after a spill load never rewrites it. ref is only
+	// touched under the owning shard's lock and never on the shared
+	// grayMark sentinel.
+	ref      bool
+	retained bool
+	spilled  bool
 }
 
 // procState is one process's part of a configuration. All fields are
@@ -431,8 +461,21 @@ type procState struct {
 type config struct {
 	objs  []types.State
 	procs []procState
+
+	// objEnc[i] / procEnc[p] cache the key-encoder segment of the
+	// corresponding component (the flat layout): each component is encoded
+	// once, when it changes, and the memo key is assembled by
+	// concatenating the cached segments (explorer.flatKey) instead of
+	// re-walking the whole configuration per node. Segments are immutable
+	// arena bytes shared freely between a config and its clones. Only
+	// maintained on the memoized hot path; nil on configs built elsewhere
+	// (valency, dot, tests), which keep using configKey.
+	objEnc  [][]byte
+	procEnc [][]byte
 }
 
+// clone is the allocation-per-call copy used off the hot path (valency,
+// dot); the explorer's DFS uses cloneConfig (arena.go), which recycles.
 func (c *config) clone() *config {
 	d := &config{
 		objs:  make([]types.State, len(c.objs)),
@@ -513,7 +556,7 @@ func newExplorer(im *program.Implementation, scripts [][]types.Invocation, opts 
 		curProc: -1,
 	}
 	if opts.Memoize {
-		e.memo = newMemoTable(opts.MemoBudget)
+		e.memo = newMemoTable(opts.MemoBudget, opts.MemoSpillDir)
 		e.enc = newKeyEncoder()
 	}
 	root := &config{
@@ -528,6 +571,11 @@ func newExplorer(im *program.Implementation, scripts [][]types.Invocation, opts 
 			return nil, nil, err
 		}
 	}
+	if opts.Memoize {
+		// Flat layout: encode every root component once; per-edge updates
+		// re-encode only what changed.
+		e.encodeSegments(root)
+	}
 	return e, root, nil
 }
 
@@ -537,15 +585,22 @@ func newExplorer(im *program.Implementation, scripts [][]types.Invocation, opts 
 // offending configuration's key, instead of killing the worker goroutine
 // and with it the whole process.
 func (e *explorer) explore(root *config) (res *Result, err error) {
+	if e.memo != nil {
+		defer e.memo.release()
+	}
 	defer func() {
 		if r := recover(); r != nil {
 			err = faults.NewPanicError("explore", e.curProc, e.panicContext(), r, debug.Stack())
 			res = nil
 		}
 	}()
+	if e.acct == nil {
+		e.initAcct()
+	}
 	im := e.im
 	sum, err := e.dfs(root, 0)
 	e.flushCounters(0)
+	e.flushMemoCounters()
 	res = &Result{
 		Nodes:     sum.nodes,
 		Leaves:    sum.leaves,
@@ -562,14 +617,17 @@ func (e *explorer) explore(root *config) (res *Result, err error) {
 	for i := range im.Objects {
 		res.OpAccess[i] = make(map[string]int)
 	}
-	for k, v := range sum.acc {
-		switch {
+	for i, v := range sum.acc {
+		if v == 0 {
+			continue // a zero counter is an absent key
+		}
+		switch k := e.acct.keys[i]; {
 		case k.Obj < 0:
-			res.ProcSteps[-(k.Obj + 1)] = v
+			res.ProcSteps[-(k.Obj + 1)] = int(v)
 		case k.Op == "":
-			res.MaxAccess[k.Obj] = v
+			res.MaxAccess[k.Obj] = int(v)
 		default:
-			res.OpAccess[k.Obj][k.Op] = v
+			res.OpAccess[k.Obj][k.Op] = int(v)
 		}
 	}
 	if err != nil {
@@ -579,6 +637,20 @@ func (e *explorer) explore(root *config) (res *Result, err error) {
 		return nil, err
 	}
 	return res, nil
+}
+
+// flushMemoCounters publishes the memo table's eviction telemetry into the
+// shared engine counters once, when the tree finishes.
+func (e *explorer) flushMemoCounters() {
+	if e.ctr == nil || e.memo == nil {
+		return
+	}
+	if n := e.memo.evictions.Load(); n != 0 {
+		e.ctr.memoEvictions.Add(n)
+	}
+	if n := e.memo.spilled.Load(); n != 0 {
+		e.ctr.memoSpilled.Add(n)
+	}
 }
 
 // errAbort unwinds the DFS after a violation was recorded.
@@ -607,6 +679,41 @@ type explorer struct {
 	memo     *memoTable
 	enc      *keyEncoder
 	memoHits int64
+
+	// Dense access-counter ids (arena.go): acct interns accKeys, procIDs /
+	// objIDs are fixed-position lookup slices, opIDs[obj] lazily interns
+	// per-operation ids.
+	acct    *accTable
+	procIDs []int32
+	objIDs  []int32
+	opIDs   []map[string]int32
+
+	// Allocation machinery (arena.go): slab arenas for summaries, counter
+	// slices, and segment encodings, plus free lists for configs and
+	// non-retained summaries. segScratch is the reusable encode buffer
+	// behind encodeObjSeg/encodeProcSeg (separate from enc.buf, which may
+	// hold an assembled key).
+	sums       summaryArena
+	segs       byteArena
+	segScratch []byte
+	freeSums   []*summary
+	freeCfgs   []*config
+
+	// transCache memoizes Spec.Apply results on the flat path, keyed by
+	// (object, encoded state segment, port, invocation); stepCache does
+	// the same for startNextOp, keyed by (process, encoded pre-state
+	// segment, response). Sound because Spec.Step and machines are
+	// documented as deterministic pure functions (the same contract
+	// Parallelism > 1 relies on) and the segment encodings are injective
+	// per encoder; together they turn the per-edge user-code calls, their
+	// allocations, and the successor segment encodings into no-alloc map
+	// hits. Both are bounded by per-component state counts — roots of the
+	// configuration count the memo table holds — so they stay negligible
+	// even under MemoBudget.
+	transCache   map[string][]cachedTrans
+	transScratch []byte
+	stepCache    map[string]procStep
+	stepScratch  []byte
 
 	// beatEnc renders heartbeat config keys when the stall watchdog is
 	// armed (counters.captureKeys). It is separate from enc, whose buffer
@@ -735,7 +842,10 @@ func (e *explorer) endOp(c *config, p int, act program.Action) {
 }
 
 func (e *explorer) dfs(c *config, depth int) (*summary, error) {
-	sum := &summary{nodes: 1, acc: make(map[accKey]int)}
+	if e.acct == nil {
+		e.initAcct() // bare explorers (tests) enter here without explore()
+	}
+	sum := e.newSummary()
 	e.pendNodes++
 	if e.sinceFlush++; e.sinceFlush >= flushEvery {
 		e.flushCounters(depth)
@@ -799,7 +909,12 @@ func (e *explorer) dfs(c *config, depth int) (*summary, error) {
 
 	var key string
 	if e.opts.Memoize {
-		kb := e.enc.configKey(c)
+		if c.objEnc == nil {
+			// A config handed in without cached segments (a bare explorer
+			// in a test): build them once; children inherit incrementally.
+			e.encodeSegments(c)
+		}
+		kb := e.flatKey(c)
 		if cached, ok := e.memo.get(kb); ok {
 			if cached == grayMark {
 				switch {
@@ -816,6 +931,7 @@ func (e *explorer) dfs(c *config, depth int) (*summary, error) {
 			}
 			e.memoHits++
 			e.pendMemo++
+			e.recycleSummary(sum) // fresh, nothing merged: reuse it
 			return cached, nil
 		}
 		key = string(kb) // retain: kb is invalidated by child encodings
@@ -859,8 +975,11 @@ func (e *explorer) expand(c *config, depth int, sum *summary, crashes, recoverie
 			if e.opts.Faults.Mode == faults.CrashBeforeFirstStep && ps.Stepped {
 				continue
 			}
-			child := c.clone()
+			child := e.cloneConfig(c)
 			child.procs[p].Crashed = true
+			if e.opts.Memoize {
+				child.procEnc[p] = e.encodeProcSeg(&child.procs[p])
+			}
 			e.schedule = append(e.schedule, StepRecord{Proc: p, Obj: -1, Crash: true})
 			// A crash is not an object access: it consumes no depth budget
 			// and bumps no access counters (mergeCrashChild), matching the
@@ -868,12 +987,14 @@ func (e *explorer) expand(c *config, depth int, sum *summary, crashes, recoverie
 			// still guaranteed — each crash strictly shrinks the live set.
 			childSum, err := e.dfs(child, depth)
 			if childSum != nil {
-				mergeCrashChild(sum, childSum)
+				e.mergeCrashChild(sum, childSum)
 			}
 			e.schedule = e.schedule[:len(e.schedule)-1]
 			if err != nil {
 				return err
 			}
+			e.recycleSummary(childSum)
+			e.recycleConfig(child)
 		}
 	}
 	if crashes > 0 && recoveries < e.opts.Faults.MaxRecoveries {
@@ -882,7 +1003,7 @@ func (e *explorer) expand(c *config, depth int, sum *summary, crashes, recoverie
 				continue
 			}
 			e.curConfig, e.curProc, e.curDepth = c, p, depth
-			child := c.clone()
+			child := e.cloneConfig(c)
 			ps := &child.procs[p]
 			ps.Crashed = false
 			ps.Recoveries++
@@ -906,6 +1027,9 @@ func (e *explorer) expand(c *config, depth int, sum *summary, crashes, recoverie
 			err := e.startNextOp(child, p, types.Response{})
 			var childSum *summary
 			if err == nil {
+				if e.opts.Memoize {
+					child.procEnc[p] = e.encodeProcSeg(&child.procs[p])
+				}
 				// Like a crash, a recovery is not an object access: no
 				// depth budget, no access counters. Termination holds
 				// because each recovery strictly increases the total
@@ -913,7 +1037,7 @@ func (e *explorer) expand(c *config, depth int, sum *summary, crashes, recoverie
 				childSum, err = e.dfs(child, depth)
 			}
 			if childSum != nil {
-				mergeCrashChild(sum, childSum)
+				e.mergeCrashChild(sum, childSum)
 			}
 
 			e.schedule = e.schedule[:len(e.schedule)-1]
@@ -928,6 +1052,8 @@ func (e *explorer) expand(c *config, depth int, sum *summary, crashes, recoverie
 			if err != nil {
 				return err
 			}
+			e.recycleSummary(childSum)
+			e.recycleConfig(child)
 		}
 	}
 	for p := range c.procs {
@@ -936,21 +1062,49 @@ func (e *explorer) expand(c *config, depth int, sum *summary, crashes, recoverie
 		}
 		e.curConfig, e.curProc, e.curDepth = c, p, depth
 		act := c.procs[p].Pending
-		decl := &e.im.Objects[act.Obj]
-		port := decl.Port(p)
-		ts, err := decl.Spec.Apply(c.objs[act.Obj], port, act.Inv)
+		var cts []cachedTrans
+		var err error
+		if e.opts.Memoize {
+			cts, err = e.applyCached(c, p, act)
+		} else {
+			decl := &e.im.Objects[act.Obj]
+			var ts []types.Transition
+			ts, err = decl.Spec.Apply(c.objs[act.Obj], decl.Port(p), act.Inv)
+			cts = make([]cachedTrans, len(ts))
+			for i, t := range ts {
+				cts[i] = cachedTrans{next: t.Next, resp: t.Resp}
+			}
+		}
 		if err != nil {
 			return fmt.Errorf("process %d at depth %d: %w", p, depth, err)
 		}
-		for _, t := range ts {
-			child := c.clone()
-			child.objs[act.Obj] = t.Next
-			if e.opts.Faults.Enabled() && e.opts.Faults.Mode == faults.CrashBeforeFirstStep {
-				child.procs[p].Stepped = true
+		opID := e.opAccID(act.Obj, act.Inv.Op)
+		objID := e.objIDs[act.Obj]
+		procID := e.procIDs[p]
+		forcedStep := e.opts.Faults.Enabled() && e.opts.Faults.Mode == faults.CrashBeforeFirstStep
+		for _, t := range cts {
+			// Step in place: exactly one object and one process change on
+			// this edge, so instead of cloning the whole configuration
+			// (procStates are pointer-dense — the copies and their write
+			// barriers dominated the hot path) the edge saves the two
+			// changed slots and their segments, mutates, explores the
+			// child subtree, and restores. Configs are strictly
+			// stack-scoped — nothing below retains the pointer — and
+			// every expand call restores c before returning, so after the
+			// restore c is the parent again for the next transition.
+			oldObj := c.objs[act.Obj]
+			oldProc := c.procs[p]
+			var oldObjSeg, oldProcSeg []byte
+			if e.opts.Memoize {
+				oldObjSeg, oldProcSeg = c.objEnc[act.Obj], c.procEnc[p]
+			}
+			c.objs[act.Obj] = t.next
+			if forcedStep {
+				c.procs[p].Stepped = true
 			}
 
 			// Path-local bookkeeping with undo.
-			e.schedule = append(e.schedule, StepRecord{Proc: p, Obj: act.Obj, Inv: act.Inv, Resp: t.Resp})
+			e.schedule = append(e.schedule, StepRecord{Proc: p, Obj: act.Obj, Inv: act.Inv, Resp: t.resp})
 			respMark := len(e.responses[p])
 			histMark := len(e.history)
 			clockMark := e.clock
@@ -958,14 +1112,32 @@ func (e *explorer) expand(c *config, depth int, sum *summary, crashes, recoverie
 				e.clock++ // the access itself is a clock event
 			}
 
-			err := e.startNextOp(child, p, t.Resp)
+			var err error
+			if e.opts.Memoize {
+				// The object's successor segment comes pre-encoded with
+				// the cached transition, and the process advances (with
+				// its segment) through the step cache; everything else is
+				// shared.
+				c.objEnc[act.Obj] = t.nextEnc
+				err = e.stepProcCached(c, p, t.resp, forcedStep)
+			} else {
+				err = e.startNextOp(c, p, t.resp)
+			}
 			var childSum *summary
 			if err == nil {
-				childSum, err = e.dfs(child, depth+1)
+				childSum, err = e.dfs(c, depth+1)
+			}
+
+			// Restore the parent configuration before any other code
+			// (merges, error returns) can observe c.
+			c.objs[act.Obj] = oldObj
+			c.procs[p] = oldProc
+			if e.opts.Memoize {
+				c.objEnc[act.Obj], c.procEnc[p] = oldObjSeg, oldProcSeg
 			}
 
 			if childSum != nil {
-				mergeChild(sum, childSum, act.Obj, act.Inv.Op, p)
+				e.mergeChild(sum, childSum, opID, objID, procID)
 			}
 
 			// Undo path-local bookkeeping.
@@ -978,6 +1150,7 @@ func (e *explorer) expand(c *config, depth int, sum *summary, crashes, recoverie
 			if err != nil {
 				return err
 			}
+			e.recycleSummary(childSum)
 		}
 	}
 	return nil
@@ -1005,49 +1178,68 @@ func (e *explorer) undoHistory(histMark, clockMark int) {
 	e.clock = clockMark
 }
 
-// mergeChild folds a child subtree summary (reached via one access to obj
-// with operation op by process proc) into the parent summary. The edge
-// access increments the child's per-path counters for (obj, op), (obj, "")
-// and the stepping process; the three keys are compared inline so the
-// merge allocates nothing per edge.
-func mergeChild(parent, child *summary, obj int, op string, proc int) {
+// mergeChild folds a child subtree summary (reached via one access by the
+// stepping process) into the parent summary. The edge access increments
+// the child's per-path counters at the three dense ids — (obj, op),
+// (obj, "") and the process's step counter — and the per-path maximum is
+// taken elementwise; the merge allocates nothing per edge (the parent's
+// counter slice grows at most to the interning table's size, from the
+// arena). A zero counter means "key absent" in the old map semantics: a
+// bumped id the child never touched still contributes the edge itself
+// (max with 1), exactly as the map merge did.
+func (e *explorer) mergeChild(parent, child *summary, opID, objID, procID int32) {
 	parent.nodes += child.nodes
 	parent.leaves += child.leaves
 	if h := child.height + 1; h > parent.height {
 		parent.height = h
 	}
-	kOp := accKey{Obj: obj, Op: op}
-	kObj := accKey{Obj: obj}
-	kProc := procKey(proc)
-	for k, v := range child.acc {
-		if k == kOp || k == kObj || k == kProc {
+	need := len(child.acc)
+	if int(opID) >= need {
+		need = int(opID) + 1
+	}
+	if int(objID) >= need {
+		need = int(objID) + 1
+	}
+	if int(procID) >= need {
+		need = int(procID) + 1
+	}
+	if len(parent.acc) < need {
+		e.growAcc(parent, need)
+	}
+	pacc := parent.acc
+	for i, v := range child.acc {
+		switch int32(i) {
+		case opID, objID, procID:
 			v++
 		}
-		if v > parent.acc[k] {
-			parent.acc[k] = v
+		if v > pacc[i] {
+			pacc[i] = v
 		}
 	}
-	// Bumped keys absent from the child still contribute the edge itself.
-	for _, k := range [3]accKey{kOp, kObj, kProc} {
-		if _, ok := child.acc[k]; !ok && parent.acc[k] < 1 {
-			parent.acc[k] = 1
+	for _, id := range [3]int32{opID, objID, procID} {
+		if int(id) >= len(child.acc) && pacc[id] < 1 {
+			pacc[id] = 1
 		}
 	}
 }
 
-// mergeCrashChild folds a crash-branch subtree into the parent summary. A
-// crash edge is not an object access: it contributes no height and bumps no
-// per-object or per-process counters, so fault exploration never inflates
-// the Section 4.2 bounds.
-func mergeCrashChild(parent, child *summary) {
+// mergeCrashChild folds a crash- or recovery-branch subtree into the
+// parent summary. Such an edge is not an object access: it contributes no
+// height and bumps no per-object or per-process counters, so fault
+// exploration never inflates the Section 4.2 bounds.
+func (e *explorer) mergeCrashChild(parent, child *summary) {
 	parent.nodes += child.nodes
 	parent.leaves += child.leaves
 	if child.height > parent.height {
 		parent.height = child.height
 	}
-	for k, v := range child.acc {
-		if v > parent.acc[k] {
-			parent.acc[k] = v
+	if len(parent.acc) < len(child.acc) {
+		e.growAcc(parent, len(child.acc))
+	}
+	pacc := parent.acc
+	for i, v := range child.acc {
+		if v > pacc[i] {
+			pacc[i] = v
 		}
 	}
 }

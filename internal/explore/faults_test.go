@@ -330,8 +330,10 @@ func TestFaultParityAcrossParallelism(t *testing.T) {
 
 // TestMemoBudgetDegradation pins graceful degradation: a starved memo
 // table must change only the cost of a run — the verdict, bounds, node
-// and leaf counts all stay identical; only MemoHits may drop, and the
-// run is flagged Degraded at every level (Result, report, Stats).
+// and leaf counts all stay identical; only MemoHits may differ (eviction
+// forces re-exploration, which loses hits at the evicted configurations
+// and may score fresh ones below them), and the run is flagged Degraded at
+// every level (Result, report, Stats) with the evictions counted.
 func TestMemoBudgetDegradation(t *testing.T) {
 	im := consensus.Queue2()
 	full, err := Consensus(im, Options{Memoize: true})
@@ -354,8 +356,11 @@ func TestMemoBudgetDegradation(t *testing.T) {
 	if !tight.OK() || tight.Depth != full.Depth || !reflect.DeepEqual(tight.MaxAccess, full.MaxAccess) {
 		t.Errorf("degradation changed the verdict or bounds:\nfull:  %s\ntight: %s", full.Summary(), tight.Summary())
 	}
-	if tight.MemoHits > full.MemoHits {
-		t.Errorf("eviction increased memo hits: %d > %d", tight.MemoHits, full.MemoHits)
+	if tight.Stats.MemoEvictions == 0 {
+		t.Errorf("degraded run reported no evictions: %+v", tight.Stats)
+	}
+	if tight.Stats.MemoSpilled != 0 {
+		t.Errorf("run without a spill tier reported spills: %+v", tight.Stats)
 	}
 
 	// Degraded runs must preserve parity too: eviction is deterministic.

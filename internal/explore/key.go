@@ -313,17 +313,51 @@ var grayMark = &summary{}
 // concurrent explorers; the current explorer uses one table per execution
 // tree single-threadedly, where the uncontended locks are nearly free.
 //
-// A positive budget caps the number of retained entries: when a put would
-// exceed it, every cached (non-gray) entry is evicted and the table is
-// flagged degraded. Gray marks are the DFS stack and are always kept, so
-// cycle detection stays exact; eviction only trades memo hits for repeated
-// work, deterministically.
+// A positive budget caps the number of retained cached entries. Gray marks
+// are the DFS stack: they never count toward the budget and are never
+// evicted, so cycle detection stays exact at any budget. When an insert
+// would exceed the budget, entries are reclaimed one at a time in
+// insertion order with a second chance (an entry whose ref bit was set by
+// a hit since its last consideration is requeued instead of dropped) —
+// amortized O(1) per insert, never a full-table scan. Eviction order
+// depends only on the put/get sequence, not on hash placement, so a
+// single-threaded exploration evicts deterministically and budgeted
+// reports stay identical at every parallelism level.
+//
+// With a spill tier (Options.MemoSpillDir) evicted entries move to a
+// checksummed disk file instead of being forgotten, and a later get serves
+// them back — the budget then trades memory for disk, MemoHits match the
+// unbounded run, and the table never degrades. Without one, eviction loses
+// memo hits and the table is flagged degraded.
+//
+// The count of cached (non-gray) entries is exact under concurrency: every
+// transition mutates its shard under the shard lock and adjusts the count
+// by the delta it observed — there is no blind Store to race a concurrent
+// Add.
 type memoTable struct {
 	seed     maphash.Seed
 	budget   int
-	count    atomic.Int64
+	count    atomic.Int64 // resident cached (non-gray) entries
 	degraded atomic.Bool
 	shards   [memoShardCount]memoShard
+
+	// clock is the second-chance queue: retained keys in insertion order,
+	// consumed from clockHead. Entries dropped or re-grayed out of band
+	// leave stale references behind, skipped (and accounted as scans) when
+	// popped.
+	clockMu   sync.Mutex
+	clock     []string
+	clockHead int
+
+	spill *memoSpill // nil when spill is off
+
+	// Eviction telemetry, exported via Stats and pinned by the
+	// no-evict-storm regression test: evictions counts entries actually
+	// reclaimed, evictScans counts clock entries examined (eviction work),
+	// spilled counts entries written to the spill tier.
+	evictions  atomic.Int64
+	evictScans atomic.Int64
+	spilled    atomic.Int64
 }
 
 type memoShard struct {
@@ -331,32 +365,23 @@ type memoShard struct {
 	m  map[string]*summary
 }
 
-func newMemoTable(budget int) *memoTable {
+func newMemoTable(budget int, spillDir string) *memoTable {
 	t := &memoTable{seed: maphash.MakeSeed(), budget: budget}
 	for i := range t.shards {
 		t.shards[i].m = make(map[string]*summary)
 	}
+	if spillDir != "" && budget > 0 {
+		t.spill = newMemoSpill(spillDir)
+	}
 	return t
 }
 
-// evict drops every non-gray entry (the graceful-degradation path of a
-// budgeted table).
-func (t *memoTable) evict() {
-	var kept int64
-	for i := range t.shards {
-		s := &t.shards[i]
-		s.mu.Lock()
-		for k, v := range s.m {
-			if v == grayMark {
-				kept++
-				continue
-			}
-			delete(s.m, k)
-		}
-		s.mu.Unlock()
+// release tears the table down at tree completion, deleting the spill file
+// if one was created.
+func (t *memoTable) release() {
+	if t.spill != nil {
+		t.spill.close()
 	}
-	t.count.Store(kept)
-	t.degraded.Store(true)
 }
 
 func (t *memoTable) shardOf(key []byte) *memoShard {
@@ -364,40 +389,131 @@ func (t *memoTable) shardOf(key []byte) *memoShard {
 	return &t.shards[h&(memoShardCount-1)]
 }
 
-// get looks a key up without allocating (the string conversion in the map
-// index is optimized away by the compiler).
+// get looks a key up without allocating on the resident path (the string
+// conversion in the map index is optimized away by the compiler). A hit
+// sets the entry's second-chance bit. On a resident miss the spill tier is
+// consulted; a spilled summary is decoded, re-admitted as a resident entry
+// (possibly evicting another), and served — still a memo hit.
 func (t *memoTable) get(key []byte) (*summary, bool) {
 	s := t.shardOf(key)
 	s.mu.Lock()
 	v, ok := s.m[string(key)]
+	if ok && v != grayMark {
+		v.ref = true
+	}
 	s.mu.Unlock()
-	return v, ok
+	if ok {
+		return v, ok
+	}
+	if t.spill != nil {
+		if sum, ok := t.spill.load(key); ok {
+			sum.spilled = true // already on disk; never rewrite on re-evict
+			t.put(string(key), sum)
+			return sum, true
+		}
+	}
+	return nil, false
 }
 
-// put stores sum under a retained (string) key, evicting first if the
-// budget would be exceeded by a new entry.
+// put stores sum under a retained (string) key. Only a put that adds a new
+// cached (non-gray) entry counts toward the budget and can trigger
+// eviction; replacing an existing cached entry reuses its budget slot and
+// its clock position.
 func (t *memoTable) put(key string, sum *summary) {
-	if t.budget > 0 && t.count.Load() >= int64(t.budget) {
-		t.evict()
+	if sum != grayMark {
+		// The memo owns the summary from here on: the explorer's free list
+		// must never recycle it (a later hit would observe the reuse).
+		sum.retained = true
 	}
 	s := &t.shards[maphash.String(t.seed, key)&(memoShardCount-1)]
 	s.mu.Lock()
-	if _, existed := s.m[key]; !existed {
-		t.count.Add(1)
-	}
+	old, existed := s.m[key]
 	s.m[key] = sum
 	s.mu.Unlock()
+	wasCached := existed && old != grayMark
+	if sum == grayMark {
+		// (Re-)graying a key: gray marks hold no budget slot. The cached
+		// entry it replaced, if any, leaves a stale clock reference behind.
+		if wasCached {
+			t.count.Add(-1)
+		}
+		return
+	}
+	if wasCached {
+		return // replacement: same slot, same clock position
+	}
+	t.clockMu.Lock()
+	t.clock = append(t.clock, key)
+	t.clockMu.Unlock()
+	if n := t.count.Add(1); t.budget > 0 && n > int64(t.budget) {
+		t.evict()
+	}
+}
+
+// evict reclaims cached entries until the resident count is back within
+// budget: pop the oldest clock reference; skip it if stale (dropped or
+// re-grayed since), requeue it if its second-chance bit is set, spill or
+// forget it otherwise. Each pop either retires a clock reference or clears
+// a ref bit a hit set, so eviction work is amortized O(1) per insert —
+// the no-evict-storm guarantee.
+func (t *memoTable) evict() {
+	for t.count.Load() > int64(t.budget) {
+		t.clockMu.Lock()
+		if t.clockHead >= len(t.clock) {
+			t.clockMu.Unlock()
+			return // every resident entry is gray-shadowed or in flight
+		}
+		key := t.clock[t.clockHead]
+		t.clock[t.clockHead] = ""
+		t.clockHead++
+		if t.clockHead >= len(t.clock) {
+			t.clock = t.clock[:0]
+			t.clockHead = 0
+		}
+		t.clockMu.Unlock()
+		t.evictScans.Add(1)
+
+		s := &t.shards[maphash.String(t.seed, key)&(memoShardCount-1)]
+		s.mu.Lock()
+		v, ok := s.m[key]
+		if !ok || v == grayMark {
+			s.mu.Unlock()
+			continue // stale reference
+		}
+		if v.ref {
+			v.ref = false
+			s.mu.Unlock()
+			t.clockMu.Lock()
+			t.clock = append(t.clock, key)
+			t.clockMu.Unlock()
+			continue // second chance
+		}
+		delete(s.m, key)
+		s.mu.Unlock()
+		t.count.Add(-1)
+		t.evictions.Add(1)
+		if t.spill != nil {
+			if v.spilled || t.spill.store(key, v) {
+				t.spilled.Add(1)
+				continue
+			}
+			// Spill write failed: the entry is lost after all, so the run
+			// degrades exactly as it would without a spill tier.
+		}
+		t.degraded.Store(true)
+	}
 }
 
 // drop removes a key (used to clear the gray mark when a subtree errors).
 func (t *memoTable) drop(key string) {
 	s := &t.shards[maphash.String(t.seed, key)&(memoShardCount-1)]
 	s.mu.Lock()
-	if _, existed := s.m[key]; existed {
-		t.count.Add(-1)
-	}
+	v, existed := s.m[key]
 	delete(s.m, key)
 	s.mu.Unlock()
+	if existed && v != grayMark {
+		t.count.Add(-1)
+	}
 }
 
 // grayKeys returns the keys currently marked on-stack (test hook: after a

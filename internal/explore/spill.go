@@ -1,0 +1,198 @@
+package explore
+
+import (
+	"encoding/base64"
+	"encoding/binary"
+	"os"
+
+	"waitfree/internal/envelope"
+)
+
+// This file implements the memo table's disk-spill tier (Options.
+// MemoSpillDir): instead of forgetting an evicted summary, the table
+// serializes it into a per-record checksummed durable envelope appended to
+// a spill file, remembers the record's offset, and serves it back on a
+// later lookup. A budgeted run with a spill tier therefore scores exactly
+// the memo hits of an unbounded run — the budget trades memory for disk —
+// and never sets the Degraded flag.
+//
+// Each spilled entry is written as an independent durable envelope
+// (internal/durable line format, magic spillMagic, record kind "sum") at a
+// known offset, so a single entry can be read back and integrity-checked
+// without touching the rest of the file. Envelope payloads must be
+// newline-free; memo keys and summary encodings are arbitrary bytes, so
+// both are base64-encoded (the key as the header — verified on load
+// against the requested key — and the summary as the single record).
+//
+// The spill file is private to one memo table (one execution tree),
+// created lazily in MemoSpillDir on the first eviction and deleted when
+// the table is released at tree completion. Any I/O or integrity failure
+// marks the spill broken: subsequent evictions degrade exactly as if no
+// spill tier were configured, and loads miss. The exploration never fails
+// because of the spill tier; it only loses hits.
+
+const (
+	spillMagic = "waitfree-memospill-v1"
+	spillKind  = "sum"
+)
+
+// spillRef locates one entry's envelope within the spill file.
+type spillRef struct {
+	off int64
+	len int
+}
+
+// memoSpill is the disk tier behind a memoTable. It inherits the table's
+// synchronization: the explorer drives put/get/evict from one goroutine
+// per tree, and the memoTable never calls into the spill concurrently with
+// itself from a single exploration. (The concurrent hammer test exercises
+// the resident tiers only.)
+type memoSpill struct {
+	dir    string
+	f      *os.File
+	index  map[string]spillRef
+	off    int64
+	broken bool
+}
+
+func newMemoSpill(dir string) *memoSpill {
+	return &memoSpill{dir: dir, index: make(map[string]spillRef)}
+}
+
+// store appends sum's envelope to the spill file, creating it on first
+// use. It reports whether the entry is durably spilled; false marks the
+// spill broken and the caller degrades.
+func (sp *memoSpill) store(key string, sum *summary) bool {
+	if sp.broken {
+		return false
+	}
+	if sp.f == nil {
+		f, err := os.CreateTemp(sp.dir, "memospill-*.wfspill")
+		if err != nil {
+			sp.broken = true
+			return false
+		}
+		sp.f = f
+	}
+	block := encodeSpillRecord(key, sum)
+	n, err := sp.f.WriteAt(block, sp.off)
+	if err != nil || n != len(block) {
+		sp.broken = true
+		return false
+	}
+	sp.index[key] = spillRef{off: sp.off, len: len(block)}
+	sp.off += int64(len(block))
+	return true
+}
+
+// load reads the entry spilled under key back into a fresh summary,
+// verifying the envelope checksums and the stored key. A missing index
+// entry is an ordinary miss; a failed read or integrity check marks the
+// spill broken and misses.
+func (sp *memoSpill) load(key []byte) (*summary, bool) {
+	if sp.broken || sp.f == nil {
+		return nil, false
+	}
+	ref, ok := sp.index[string(key)]
+	if !ok {
+		return nil, false
+	}
+	buf := make([]byte, ref.len)
+	if _, err := sp.f.ReadAt(buf, ref.off); err != nil {
+		sp.broken = true
+		return nil, false
+	}
+	sum, ok := decodeSpillRecord(key, buf)
+	if !ok {
+		sp.broken = true
+		return nil, false
+	}
+	return sum, true
+}
+
+// close deletes the spill file (the tier is a cache private to one tree;
+// nothing in it outlives the exploration).
+func (sp *memoSpill) close() {
+	if sp.f == nil {
+		return
+	}
+	name := sp.f.Name()
+	sp.f.Close()
+	os.Remove(name)
+	sp.f = nil
+	sp.index = nil
+}
+
+// ---- record codec ----
+
+// encodeSummary renders a summary's aggregate fields (never the transient
+// ref/spilled bookkeeping) as varints: height, nodes, leaves, len(acc),
+// acc values.
+func encodeSummary(sum *summary) []byte {
+	b := make([]byte, 0, 16+5*len(sum.acc))
+	b = binary.AppendVarint(b, int64(sum.height))
+	b = binary.AppendVarint(b, sum.nodes)
+	b = binary.AppendVarint(b, sum.leaves)
+	b = binary.AppendUvarint(b, uint64(len(sum.acc)))
+	for _, v := range sum.acc {
+		b = binary.AppendVarint(b, int64(v))
+	}
+	return b
+}
+
+func decodeSummary(b []byte) (*summary, bool) {
+	sum := &summary{}
+	h, n := binary.Varint(b)
+	if n <= 0 {
+		return nil, false
+	}
+	b = b[n:]
+	sum.height = int(h)
+	if sum.nodes, n = binary.Varint(b); n <= 0 {
+		return nil, false
+	}
+	b = b[n:]
+	if sum.leaves, n = binary.Varint(b); n <= 0 {
+		return nil, false
+	}
+	b = b[n:]
+	cnt, n := binary.Uvarint(b)
+	if n <= 0 {
+		return nil, false
+	}
+	b = b[n:]
+	if cnt > 0 {
+		sum.acc = make([]int32, cnt)
+		for i := range sum.acc {
+			v, n := binary.Varint(b)
+			if n <= 0 {
+				return nil, false
+			}
+			b = b[n:]
+			sum.acc[i] = int32(v)
+		}
+	}
+	return sum, len(b) == 0
+}
+
+func encodeSpillRecord(key string, sum *summary) []byte {
+	hdr := base64.StdEncoding.AppendEncode(nil, []byte(key))
+	payload := base64.StdEncoding.AppendEncode(nil, encodeSummary(sum))
+	return envelope.Encode(spillMagic, spillKind, hdr, [][]byte{payload})
+}
+
+func decodeSpillRecord(key, block []byte) (*summary, bool) {
+	hdr, recs, err := envelope.Decode(spillMagic, spillKind, block)
+	if err != nil || len(recs) != 1 {
+		return nil, false
+	}
+	gotKey, err := base64.StdEncoding.AppendDecode(nil, hdr)
+	if err != nil || string(gotKey) != string(key) {
+		return nil, false
+	}
+	raw, err := base64.StdEncoding.AppendDecode(nil, recs[0])
+	if err != nil {
+		return nil, false
+	}
+	return decodeSummary(raw)
+}

@@ -67,9 +67,16 @@ type Stats struct {
 	Workers     int     `json:"workers"`
 	WorkerNodes []int64 `json:"worker_nodes,omitempty"`
 	// Degraded reports that at least one tree's memo table hit
-	// Options.MemoBudget and evicted entries (graceful degradation:
-	// verdicts stay exact, memo hits are lost).
+	// Options.MemoBudget and forgot evicted entries (graceful degradation:
+	// verdicts stay exact, memo hits are lost). Never set while a spill
+	// tier (Options.MemoSpillDir) is absorbing the evictions.
 	Degraded bool `json:"degraded,omitempty"`
+	// MemoEvictions counts memo entries reclaimed under Options.MemoBudget
+	// across finished trees; MemoSpilled counts how many of those moved to
+	// the disk-spill tier instead of being forgotten. Both stay zero on
+	// unbudgeted runs.
+	MemoEvictions int64 `json:"memo_evictions,omitempty"`
+	MemoSpilled   int64 `json:"memo_spilled,omitempty"`
 	// Heartbeats[w] is worker w's liveness record: what it is exploring
 	// and when it last flushed progress. The stall watchdog
 	// (Options.StallAfter) reads the same records; snapshots copy them, so
@@ -161,6 +168,8 @@ type counters struct {
 	orbitsDone    atomic.Int64
 	replayedTrees atomic.Int64
 	degraded      atomic.Bool
+	memoEvictions atomic.Int64
+	memoSpilled   atomic.Int64
 
 	workerNodes []atomic.Int64
 	beats       []workerBeat
@@ -246,17 +255,19 @@ func (c *counters) bumpMaxDepth(d int64) {
 // enough for progress display and cancellation accounting.
 func (c *counters) snapshot() Stats {
 	s := Stats{
-		Nodes:       c.nodes.Load(),
-		Leaves:      c.leaves.Load(),
-		MemoHits:    c.memoHits.Load(),
-		MaxDepth:    int(c.maxDepth.Load()),
-		CurDepth:    int(c.curDepth.Load()),
-		TreesDone:   int(c.treesDone.Load()),
-		TreesTotal:  c.treesTotal,
-		Workers:     len(c.workerNodes),
-		WorkerNodes: make([]int64, len(c.workerNodes)),
-		Degraded:    c.degraded.Load(),
-		Elapsed:     time.Since(c.start),
+		Nodes:         c.nodes.Load(),
+		Leaves:        c.leaves.Load(),
+		MemoHits:      c.memoHits.Load(),
+		MaxDepth:      int(c.maxDepth.Load()),
+		CurDepth:      int(c.curDepth.Load()),
+		TreesDone:     int(c.treesDone.Load()),
+		TreesTotal:    c.treesTotal,
+		Workers:       len(c.workerNodes),
+		WorkerNodes:   make([]int64, len(c.workerNodes)),
+		Degraded:      c.degraded.Load(),
+		MemoEvictions: c.memoEvictions.Load(),
+		MemoSpilled:   c.memoSpilled.Load(),
+		Elapsed:       time.Since(c.start),
 	}
 	s.Frontier = s.TreesTotal - s.TreesDone
 	if c.orbitsTotal > 0 {

@@ -212,8 +212,15 @@ func (c *Cache) readDisk(key Key) ([]byte, bool) {
 	}
 	if err != nil {
 		// Salvaged: the record itself verified even though the envelope
-		// did not. Count the incident but serve the report.
+		// did not. Count the incident, serve the report, and rewrite the
+		// healed envelope so only the first reader pays for the damage —
+		// leaving the torn file in place would make every later process
+		// re-decode the failure and bump Errors forever.
 		c.countError()
+		env := durable.EncodeEnvelope(envelopeMagic, recordKind, []byte(key.Hex()), [][]byte{records[0]})
+		if err := durable.SaveBytes(c.path(key), env); err != nil {
+			c.countError()
+		}
 	}
 	return records[0], true
 }

@@ -273,6 +273,57 @@ func TestCacheSalvagesTornTrailer(t *testing.T) {
 	}
 }
 
+// A salvaged entry is rewritten in place: the first reader pays for the
+// torn trailer once, and every later open decodes a clean envelope.
+func TestCacheHealsTornTrailerOnFirstRead(t *testing.T) {
+	dir := t.TempDir()
+	key := mustKey(t, consensusSpec(consensus.CAS(3), 2))
+	c, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := []byte(`{"ok":true}`)
+	if err := c.Put(key, report); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, key.Hex()+fileExt)
+	intact, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := bytes.LastIndex(intact, []byte("\nend "))
+	if err := os.WriteFile(path, intact[:cut+5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	fresh, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := fresh.Get(key); !ok {
+		t.Fatal("salvage miss")
+	}
+	healed, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("healed envelope missing: %v", err)
+	}
+	if !bytes.Equal(healed, intact) {
+		t.Fatalf("healed envelope differs from the original:\n%q\nwant:\n%q", healed, intact)
+	}
+	// A later process decodes cleanly: a disk hit with no new error.
+	later, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := later.Get(key)
+	if !ok || !bytes.Equal(got, report) {
+		t.Fatalf("post-heal get = %q, %v", got, ok)
+	}
+	if st := later.Stats(); st.Errors != 0 || st.DiskHits != 1 {
+		t.Fatalf("post-heal stats = %+v", st)
+	}
+}
+
 func TestCacheLRUEviction(t *testing.T) {
 	c, err := Open(Options{MemoryBudget: 64})
 	if err != nil {

@@ -1,0 +1,185 @@
+// Command benchreg is the CI allocation-regression gate. It runs the
+// BenchmarkConsensus* suite with -benchmem, compares allocs/op per
+// benchmark against a committed baseline JSON, fails (exit 1) when any
+// benchmark regresses by more than the threshold, and writes the fresh
+// numbers to -out so every CI run leaves a BENCH_*.json trajectory point.
+//
+// Allocations per op are deterministic counts, so they gate reliably on
+// shared CI runners; ns/op is recorded for the trajectory but never gated
+// (wall-clock on shared hardware is noise).
+//
+//	go run ./scripts/benchreg -baseline BENCH_BASELINE.json -out BENCH_9.json
+//	go run ./scripts/benchreg -update          # refresh the baseline in place
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Point is one benchmark's measurement.
+type Point struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	// Nodes is the explored-nodes custom metric, when the benchmark
+	// reports one; it turns the other columns into per-node costs.
+	Nodes float64 `json:"explored_nodes,omitempty"`
+}
+
+// File is the schema shared by the baseline and the emitted trajectory
+// point.
+type File struct {
+	Note       string           `json:"note,omitempty"`
+	GoOS       string           `json:"goos"`
+	GoArch     string           `json:"goarch"`
+	Benchmarks map[string]Point `json:"benchmarks"`
+}
+
+// benchLine matches one `go test -bench` result line; value/unit pairs
+// after the iteration count are parsed separately.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.*)$`)
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_BASELINE.json", "committed baseline to gate against")
+	outPath := flag.String("out", "", "write the fresh measurements to this file (e.g. BENCH_9.json)")
+	bench := flag.String("bench", "BenchmarkConsensus", "benchmark pattern to run")
+	benchtime := flag.String("benchtime", "5x", "-benchtime passed to go test")
+	threshold := flag.Float64("threshold", 0.10, "maximum tolerated allocs/op regression (fraction)")
+	update := flag.Bool("update", false, "rewrite -baseline with the fresh measurements instead of gating")
+	flag.Parse()
+
+	fresh, err := run(*bench, *benchtime)
+	if err != nil {
+		fatal(err)
+	}
+	if len(fresh) == 0 {
+		fatal(fmt.Errorf("no benchmarks matched %q", *bench))
+	}
+	out := &File{
+		Note:       "allocs/op gated by scripts/benchreg; ns/op recorded for the trajectory only",
+		GoOS:       runtime.GOOS,
+		GoArch:     runtime.GOARCH,
+		Benchmarks: fresh,
+	}
+	if *outPath != "" {
+		if err := writeJSON(*outPath, out); err != nil {
+			fatal(err)
+		}
+	}
+	if *update {
+		if err := writeJSON(*baselinePath, out); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchreg: baseline %s updated (%d benchmarks)\n", *baselinePath, len(fresh))
+		return
+	}
+
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fatal(fmt.Errorf("read baseline (run with -update to create it): %w", err))
+	}
+	var base File
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fatal(fmt.Errorf("parse baseline %s: %w", *baselinePath, err))
+	}
+
+	regressed := false
+	for name, b := range base.Benchmarks {
+		f, ok := fresh[name]
+		if !ok {
+			fmt.Printf("benchreg: MISSING %s (baseline has it, run did not)\n", name)
+			regressed = true
+			continue
+		}
+		limit := float64(b.AllocsPerOp) * (1 + *threshold)
+		switch {
+		case float64(f.AllocsPerOp) > limit:
+			fmt.Printf("benchreg: REGRESSION %s: %d allocs/op, baseline %d (limit %.0f)\n",
+				name, f.AllocsPerOp, b.AllocsPerOp, limit)
+			regressed = true
+		default:
+			fmt.Printf("benchreg: ok %s: %d allocs/op (baseline %d)\n", name, f.AllocsPerOp, b.AllocsPerOp)
+		}
+	}
+	if regressed {
+		fmt.Println("benchreg: FAIL — allocs/op regressed beyond the threshold")
+		os.Exit(1)
+	}
+	fmt.Printf("benchreg: PASS (%d benchmarks within %.0f%%)\n", len(base.Benchmarks), *threshold*100)
+}
+
+// run executes the benchmark suite and parses its output.
+func run(bench, benchtime string) (map[string]Point, error) {
+	cmd := exec.Command("go", "test", "-run", "XXX",
+		"-bench", bench, "-benchmem", "-benchtime", benchtime, ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return nil, fmt.Errorf("go test -bench: %w\n%s", err, out)
+	}
+	points := make(map[string]Point)
+	for _, line := range strings.Split(string(out), "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		// Strip the -GOMAXPROCS suffix so names are machine-independent.
+		name := m[1]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		p, ok := parseMetrics(m[3])
+		if !ok {
+			continue
+		}
+		points[name] = p
+	}
+	return points, nil
+}
+
+// parseMetrics walks the "value unit value unit ..." tail of a result
+// line. Only lines with a full -benchmem triple are recorded.
+func parseMetrics(tail string) (Point, bool) {
+	fields := strings.Fields(tail)
+	var p Point
+	var haveNs, haveBytes, haveAllocs bool
+	for i := 0; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return p, false
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			p.NsPerOp, haveNs = v, true
+		case "B/op":
+			p.BytesPerOp, haveBytes = int64(v), true
+		case "allocs/op":
+			p.AllocsPerOp, haveAllocs = int64(v), true
+		case "explored-nodes":
+			p.Nodes = v
+		}
+	}
+	return p, haveNs && haveBytes && haveAllocs
+}
+
+func writeJSON(path string, f *File) error {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchreg:", err)
+	os.Exit(1)
+}
