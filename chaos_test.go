@@ -1,0 +1,136 @@
+package waitfree_test
+
+import (
+	"bytes"
+	"context"
+	"syscall"
+	"testing"
+
+	"waitfree"
+	"waitfree/internal/fsx"
+)
+
+// This file is the storage chaos suite: full verification runs over a
+// fault-injected filesystem, pinning the two halves of the unified
+// storage-fault contract. A schedule the retry policy absorbs must be
+// invisible — the report is byte-identical to a clean run's. A schedule
+// it cannot absorb must degrade honestly — same verdict, Degraded set,
+// the ladder's counters visible — and never corrupt a report or wedge
+// the run.
+
+// chaosRequest is the reference spill-backed configuration: single
+// worker and fixed symmetry so the op sequence (and therefore every
+// Nth-op fault schedule) is deterministic, and a memo budget small
+// enough that the spill tier does real work.
+func chaosRequest(fs fsx.FS, spillDir string) waitfree.Request {
+	return waitfree.Request{
+		Kind:           waitfree.KindConsensus,
+		Implementation: waitfree.Queue2Consensus(),
+		Explore: waitfree.ExploreOptions{
+			Memoize:      true,
+			MemoBudget:   4,
+			MemoSpillDir: spillDir,
+			Parallelism:  1,
+			Symmetry:     waitfree.SymmetryOff,
+			Faults:       waitfree.FaultModel{MaxCrashes: 1},
+			FS:           fs,
+		},
+	}
+}
+
+func runChaos(t *testing.T, fs fsx.FS, spillDir string) *waitfree.Report {
+	t.Helper()
+	rep, err := waitfree.Check(context.Background(), chaosRequest(fs, spillDir))
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	rep.Canonicalize()
+	return rep
+}
+
+func TestChaosAbsorbedScheduleIsInvisible(t *testing.T) {
+	clean := runChaos(t, nil, t.TempDir())
+	if clean.Consensus.Degraded {
+		t.Fatalf("clean spill-backed run degraded: %s", clean.Consensus.Summary())
+	}
+
+	// Every fault here dies inside one retry schedule: two transient
+	// errors per op class (the third attempt lands) and one torn write
+	// the rewrite repairs.
+	ff := fsx.NewFaultFS(nil, 1,
+		fsx.Rule{Op: fsx.OpWriteAt, Nth: 1, Count: 2, Err: syscall.EIO},
+		fsx.Rule{Op: fsx.OpWriteAt, Nth: 7, Count: 1, Kind: fsx.FaultTorn},
+		fsx.Rule{Op: fsx.OpReadAt, Nth: 1, Count: 2, Err: syscall.EIO},
+		fsx.Rule{Op: fsx.OpCreateTemp, Nth: 1, Count: 1, Err: syscall.EIO},
+	)
+	faulted := runChaos(t, ff, t.TempDir())
+	if ff.Injected() == 0 {
+		t.Fatal("fault schedule never fired; the test proved nothing")
+	}
+	if faulted.Consensus.Degraded {
+		t.Fatalf("absorbed schedule degraded the run: %s", faulted.Consensus.Summary())
+	}
+	if faulted.Consensus.MemoHits != clean.Consensus.MemoHits {
+		t.Errorf("absorbed schedule cost memo hits: %d, clean %d",
+			faulted.Consensus.MemoHits, clean.Consensus.MemoHits)
+	}
+	if got, want := marshal(t, faulted), marshal(t, clean); !bytes.Equal(got, want) {
+		t.Errorf("absorbed schedule changed the report:\nclean:   %s\nfaulted: %s", want, got)
+	}
+}
+
+func TestChaosUnabsorbedScheduleDegradesHonestly(t *testing.T) {
+	clean := runChaos(t, nil, t.TempDir())
+
+	// Every spill write fails forever: retries exhaust, the one rebuild
+	// fails too, the tier breaks. The run must finish with the same
+	// verdict, flagged Degraded, with the ladder's counters visible.
+	ff := fsx.NewFaultFS(nil, 1,
+		fsx.Rule{Op: fsx.OpWriteAt, Nth: 1, Count: -1, Err: syscall.EIO})
+	sick, err := waitfree.Check(context.Background(), chaosRequest(ff, t.TempDir()))
+	if err != nil {
+		t.Fatalf("check over a dead spill disk: %v", err)
+	}
+	if sick.OK() != clean.OK() {
+		t.Fatalf("storage faults changed the verdict: ok=%v, clean ok=%v", sick.OK(), clean.OK())
+	}
+	if !sick.Consensus.Degraded {
+		t.Fatal("broken spill tier not reported as Degraded")
+	}
+	st := sick.Consensus.Stats
+	if st == nil {
+		t.Fatal("degraded run carries no stats block")
+	}
+	if !st.SpillBroken {
+		t.Errorf("stats do not report the broken spill tier: %+v", st)
+	}
+	if st.StorageRetries == 0 {
+		t.Errorf("stats show no absorbed retry attempts: %+v", st)
+	}
+	if sick.Consensus.Partial {
+		t.Error("storage faults turned a complete run partial")
+	}
+}
+
+// A silent bit flip on the spill read path must never change a report:
+// the per-record checksums catch it, the entry's hit is lost, and the
+// verdict fields stay exactly the clean run's.
+func TestChaosBitFlipNeverCorruptsVerdict(t *testing.T) {
+	clean := runChaos(t, nil, t.TempDir())
+	for seed := int64(1); seed <= 4; seed++ {
+		ff := fsx.NewFaultFS(nil, seed,
+			fsx.Rule{Op: fsx.OpReadAt, Nth: 3, Count: 2, Kind: fsx.FaultBitFlip})
+		sick, err := waitfree.Check(context.Background(), chaosRequest(ff, t.TempDir()))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if sick.OK() != clean.OK() {
+			t.Fatalf("seed %d: bit flips changed the verdict", seed)
+		}
+		if sick.Consensus.Agreement != clean.Consensus.Agreement ||
+			sick.Consensus.Validity != clean.Consensus.Validity ||
+			sick.Consensus.WaitFree != clean.Consensus.WaitFree {
+			t.Fatalf("seed %d: bit flips changed the verdict fields", seed)
+		}
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"waitfree"
+	"waitfree/internal/fsx"
 	"waitfree/internal/server"
 )
 
@@ -59,10 +60,23 @@ func run(logger *log.Logger, listen, dataDir, cacheDir string, cacheMem int64, w
 		}
 		cache = c
 	}
+	// WAITFREED_FAULT_FS scripts storage faults into the job store — the
+	// chaos CI leg uses it to prove the daemon degrades instead of
+	// wedging on a sick disk. Testing only: never set it in production.
+	var faultFS fsx.FS
+	if spec := os.Getenv("WAITFREED_FAULT_FS"); spec != "" {
+		rules, err := fsx.ParseRules(spec)
+		if err != nil {
+			return fmt.Errorf("WAITFREED_FAULT_FS: %w", err)
+		}
+		logger.Printf("WAITFREED_FAULT_FS=%q: injecting storage faults (testing only)", spec)
+		faultFS = fsx.NewFaultFS(nil, 1, rules...)
+	}
 	srv, err := server.New(server.Options{
 		Workers:          workers,
 		QueueDepth:       queueDepth,
 		DataDir:          dataDir,
+		FS:               faultFS,
 		Cache:            cache,
 		ProgressInterval: progress,
 		CheckpointEvery:  checkpointEvery,

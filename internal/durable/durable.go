@@ -29,17 +29,16 @@ package durable
 
 import (
 	"bytes"
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
-	"os"
 	"path/filepath"
-	"syscall"
-	"time"
 
 	"waitfree/internal/explore"
+	"waitfree/internal/fsx"
 )
 
 // Magic is the first line of every durable checkpoint file; the trailing
@@ -242,39 +241,38 @@ func Decode(data []byte) (*explore.Checkpoint, error) {
 	return cp, nil
 }
 
-// Injectable seams for the retry tests; production code never overrides
-// them.
-var (
-	renameFile = os.Rename
-	// saveAttempts bounds the write-retry loop; retryBackoff is doubled
-	// after each failed attempt.
-	saveAttempts = 3
-	retryBackoff = 10 * time.Millisecond
-)
-
 // Save atomically writes cp to path in the durable format: the encoded
 // bytes go to a temp file in the same directory, are fsynced, renamed
 // over path, and the directory is fsynced, so a crash at any instant
 // leaves either the old file or the new one — never a torn mix. Transient
-// IO failures are retried with exponential backoff.
+// IO failures are retried under fsx.DefaultRetry.
 func Save(path string, cp *explore.Checkpoint) error {
+	return SaveFS(nil, path, cp)
+}
+
+// SaveFS is Save over an explicit filesystem; fsys == nil means the real
+// one. Tests pass an *fsx.FaultFS to script storage faults.
+func SaveFS(fsys fsx.FS, path string, cp *explore.Checkpoint) error {
 	data, err := Encode(cp)
 	if err != nil {
 		return fmt.Errorf("durable: encode checkpoint: %w", err)
 	}
-	return SaveBytes(path, data)
+	return SaveBytesWith(context.Background(), fsys, fsx.DefaultRetry, path, data)
 }
 
-func writeAtomic(path string, data []byte) error {
+// writeAtomic performs one temp-file/fsync/rename/dir-sync write attempt
+// through fsys. It is the unit the retry policy wraps: any failure leaves
+// path untouched (old contents or absent), never torn.
+func writeAtomic(fsys fsx.FS, path string, data []byte) error {
 	dir := filepath.Dir(path)
-	f, err := os.CreateTemp(dir, ".checkpoint-*.tmp")
+	f, err := fsys.CreateTemp(dir, ".checkpoint-*.tmp")
 	if err != nil {
 		return err
 	}
 	tmp := f.Name()
 	cleanup := func(err error) error {
 		f.Close()
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return err
 	}
 	if _, err := f.Write(data); err != nil {
@@ -289,19 +287,15 @@ func writeAtomic(path string, data []byte) error {
 		return cleanup(err)
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return err
 	}
-	if err := renameFile(tmp, path); err != nil {
-		os.Remove(tmp)
+	if err := fsys.Rename(tmp, path); err != nil {
+		fsys.Remove(tmp)
 		return err
 	}
-	return syncDir(dir)
+	return syncDir(fsys, dir)
 }
-
-// fsyncDir is the directory-handle Sync seam (tests inject failures here;
-// production code never overrides it).
-var fsyncDir = func(d *os.File) error { return d.Sync() }
 
 // syncDir persists a rename by fsyncing its directory. Some filesystems
 // cannot sync directories at all and report EINVAL or EOPNOTSUPP — those
@@ -309,25 +303,11 @@ var fsyncDir = func(d *os.File) error { return d.Sync() }
 // matter) — but a real I/O failure (EIO, ENOSPC, ...) means the rename may
 // not be durable and must surface to the caller instead of being
 // swallowed.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return fmt.Errorf("durable: open dir for sync: %w", err)
-	}
-	defer d.Close()
-	if err := fsyncDir(d); err != nil && !unsupportedSync(err) {
+func syncDir(fsys fsx.FS, dir string) error {
+	if err := fsys.SyncDir(dir); err != nil && !fsx.IsSyncUnsupported(err) {
 		return fmt.Errorf("durable: sync dir %s: %w", dir, err)
 	}
 	return nil
-}
-
-// unsupportedSync reports whether err is the "directories cannot be
-// synced here" class of failure rather than a real I/O error.
-func unsupportedSync(err error) bool {
-	return errors.Is(err, syscall.EINVAL) ||
-		errors.Is(err, syscall.ENOTSUP) ||
-		errors.Is(err, syscall.EOPNOTSUPP) ||
-		errors.Is(err, errors.ErrUnsupported)
 }
 
 // Load reads and decodes the checkpoint at path. A missing file surfaces
@@ -335,7 +315,13 @@ func unsupportedSync(err error) bool {
 // treat it as a fresh start; an integrity failure surfaces as a
 // *CorruptError (with Path set and any salvageable prefix attached).
 func Load(path string) (*explore.Checkpoint, error) {
-	data, err := os.ReadFile(path)
+	return LoadFS(nil, path)
+}
+
+// LoadFS is Load over an explicit filesystem; fsys == nil means the real
+// one.
+func LoadFS(fsys fsx.FS, path string) (*explore.Checkpoint, error) {
+	data, err := fsx.Or(fsys).ReadFile(path)
 	if err != nil {
 		return nil, err
 	}

@@ -4,17 +4,18 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
-	"fmt"
 	"io/fs"
 	"os"
 	"path/filepath"
 	"reflect"
 	"strings"
+	"syscall"
 	"testing"
 	"time"
 
 	"waitfree/internal/explore"
 	"waitfree/internal/faults"
+	"waitfree/internal/fsx"
 )
 
 // sampleCheckpoint builds a representative checkpoint: several trees with
@@ -232,36 +233,38 @@ func TestDecodeTrailingGarbage(t *testing.T) {
 	}
 }
 
-func TestSaveRetriesTransientFailures(t *testing.T) {
-	defer func(r func(string, string) error, b time.Duration) {
-		renameFile, retryBackoff = r, b
-	}(renameFile, retryBackoff)
-	retryBackoff = time.Millisecond
+// quickRetry keeps fault-schedule tests fast: same shape as
+// fsx.DefaultRetry, millisecond backoff.
+var quickRetry = fsx.RetryPolicy{Attempts: 3, Base: time.Millisecond}
 
+func TestSaveRetriesTransientFailures(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "cp")
 	cp := sampleCheckpoint(1)
-
-	fails := 2
-	renameFile = func(old, new string) error {
-		if fails > 0 {
-			fails--
-			return fmt.Errorf("transient: %w", fs.ErrPermission)
-		}
-		return os.Rename(old, new)
+	data, err := Encode(cp)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if err := Save(path, cp); err != nil {
+
+	// Two transient rename failures: absorbed by the three-attempt policy.
+	ff := fsx.NewFaultFS(nil, 1, fsx.Rule{Op: fsx.OpRename, Nth: 1, Count: 2, Err: syscall.EIO})
+	if err := SaveBytesWith(context.Background(), ff, quickRetry, path, data); err != nil {
 		t.Fatalf("save with 2 transient failures: %v", err)
 	}
 	if _, err := Load(path); err != nil {
 		t.Fatalf("load after retried save: %v", err)
 	}
+	if got := ff.CountOf(fsx.OpRename); got != 3 {
+		t.Errorf("rename attempted %d times, want 3", got)
+	}
 
-	renameFile = func(old, new string) error { return fs.ErrPermission }
-	err := Save(path, cp)
+	// A rename that fails on every attempt: the policy gives up with an
+	// error naming the attempt count.
+	ff = fsx.NewFaultFS(nil, 1, fsx.Rule{Op: fsx.OpRename, Nth: 1, Count: -1, Err: syscall.EIO})
+	err = SaveBytesWith(context.Background(), ff, quickRetry, path, data)
 	if err == nil {
 		t.Fatal("save succeeded with a permanently failing rename")
 	}
-	if !errors.Is(err, fs.ErrPermission) || !strings.Contains(err.Error(), "attempts") {
+	if !errors.Is(err, syscall.EIO) || !strings.Contains(err.Error(), "attempts") {
 		t.Errorf("persistent-failure error = %v", err)
 	}
 	// The prior good file must be untouched by the failed overwrite.
@@ -270,23 +273,61 @@ func TestSaveRetriesTransientFailures(t *testing.T) {
 	}
 }
 
-// TestSaveBytesContextCancellation pins the cancellable-retry seam: a
-// caller shutting down over a failing disk must get out of the backoff
-// schedule as soon as its context dies, with an error naming both the
-// cancellation and the underlying write failure — and must not wait out
-// the remaining backoff (pinned by an hour-long backoff that would hang
-// the test if slept).
-func TestSaveBytesContextCancellation(t *testing.T) {
-	defer func(r func(string, string) error, b time.Duration) {
-		renameFile, retryBackoff = r, b
-	}(renameFile, retryBackoff)
-	retryBackoff = time.Hour
-	renameFile = func(old, new string) error { return fs.ErrPermission }
+// A permanent fault (the out-of-space class) must not burn the backoff
+// schedule: one attempt, immediate surfacing.
+func TestSavePermanentFaultBailsImmediately(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cp")
+	ff := fsx.NewFaultFS(nil, 1, fsx.Rule{Op: fsx.OpCreateTemp, Nth: 1, Count: -1, Err: syscall.ENOSPC})
+	err := SaveBytesWith(context.Background(), ff, quickRetry, path, []byte("payload"))
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("err = %v, want ENOSPC", err)
+	}
+	if got := ff.CountOf(fsx.OpCreateTemp); got != 1 {
+		t.Errorf("ENOSPC retried: %d CreateTemp attempts, want 1", got)
+	}
+}
 
+// A torn write is caught before the rename: the half-written temp file is
+// discarded and the retry writes a fresh one, so the destination never
+// holds a torn byte.
+func TestSaveTornWriteNeverPublishesPartialBytes(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cp")
+	cp := sampleCheckpoint(3)
+	data, err := Encode(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ff := fsx.NewFaultFS(nil, 1, fsx.Rule{Op: fsx.OpWrite, Nth: 1, Kind: fsx.FaultTorn, Err: syscall.EIO})
+	if err := SaveBytesWith(context.Background(), ff, quickRetry, path, data); err != nil {
+		t.Fatalf("save with one torn write: %v", err)
+	}
+	if _, err := Load(path); err != nil {
+		t.Fatalf("load after torn-write retry: %v", err)
+	}
+	// The discarded temp file must not linger next to the checkpoint.
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("directory holds %d entries after torn-write retry, want just the checkpoint", len(entries))
+	}
+}
+
+// TestSaveBytesContextCancellation pins the cancellable retry: a caller
+// shutting down over a failing disk must get out of the backoff schedule
+// as soon as its context dies, with an error naming both the cancellation
+// and the underlying write failure — and must not wait out the remaining
+// backoff (pinned by an hour-long backoff that would hang the test if
+// slept).
+func TestSaveBytesContextCancellation(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "blob")
+	ff := fsx.NewFaultFS(nil, 1, fsx.Rule{Op: fsx.OpRename, Nth: 1, Count: -1, Err: syscall.EIO})
+	slow := fsx.RetryPolicy{Attempts: 3, Base: time.Hour}
+
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
-	go func() { done <- SaveBytesContext(ctx, path, []byte("payload")) }()
+	go func() { done <- SaveBytesWith(ctx, ff, slow, path, []byte("payload")) }()
 	// The first attempt fails immediately; the goroutine is now parked in
 	// the hour-long backoff. Cancel and require a prompt return.
 	time.Sleep(10 * time.Millisecond)
@@ -296,17 +337,16 @@ func TestSaveBytesContextCancellation(t *testing.T) {
 		if !errors.Is(err, context.Canceled) {
 			t.Fatalf("err = %v, want context.Canceled", err)
 		}
-		if !strings.Contains(err.Error(), "last write error") {
+		if !strings.Contains(err.Error(), "last error") {
 			t.Errorf("error %q does not carry the underlying write failure", err)
 		}
 	case <-time.After(5 * time.Second):
-		t.Fatal("SaveBytesContext did not return after cancellation")
+		t.Fatal("SaveBytesWith did not return after cancellation")
 	}
 
 	// An already-cancelled context still permits the first attempt (no
 	// retry needed on a healthy disk): atomicity and forward progress win
 	// over eager cancellation checks.
-	renameFile = os.Rename
 	if err := SaveBytesContext(ctx, path, []byte("payload")); err != nil {
 		t.Fatalf("first-attempt save under a dead context: %v", err)
 	}

@@ -3,9 +3,9 @@ package durable
 import (
 	"context"
 	"fmt"
-	"time"
 
 	"waitfree/internal/envelope"
+	"waitfree/internal/fsx"
 )
 
 // The reusable per-record-checksummed envelope codec lives in
@@ -41,35 +41,34 @@ func DecodeEnvelope(magic, kind string, data []byte) (header []byte, records [][
 // SaveBytes atomically writes data to path with the same durability
 // discipline as Save: temp file in the same directory, fsync, rename, and
 // a directory sync, retried with exponential backoff on transient
-// failures. It is SaveBytesContext under a background context.
+// failures. It is SaveBytesWith under a background context, the real
+// filesystem, and the default retry policy.
 func SaveBytes(path string, data []byte) error {
-	return SaveBytesContext(context.Background(), path, data)
+	return SaveBytesWith(context.Background(), nil, fsx.DefaultRetry, path, data)
 }
 
 // SaveBytesContext is SaveBytes with a cancellable retry loop: the
 // exponential-backoff sleeps select on ctx, so a caller shutting down (a
 // draining daemon over a failing disk) is never held hostage by the
-// backoff schedule. Cancellation mid-retry returns an error wrapping both
-// ctx.Err() and the last write failure; an in-flight write itself is not
-// interrupted (atomicity is preserved — the file either has the old or
-// the new contents).
+// backoff schedule.
 func SaveBytesContext(ctx context.Context, path string, data []byte) error {
-	backoff := retryBackoff
-	var lastErr error
-	for attempt := 0; attempt < saveAttempts; attempt++ {
-		if attempt > 0 {
-			t := time.NewTimer(backoff)
-			select {
-			case <-ctx.Done():
-				t.Stop()
-				return fmt.Errorf("durable: save %s: %w (last write error: %v)", path, ctx.Err(), lastErr)
-			case <-t.C:
-			}
-			backoff *= 2
-		}
-		if lastErr = writeAtomic(path, data); lastErr == nil {
-			return nil
-		}
+	return SaveBytesWith(ctx, nil, fsx.DefaultRetry, path, data)
+}
+
+// SaveBytesWith is the fully explicit atomic write: data goes to path
+// through fsys (nil = the real filesystem) under the given retry policy.
+// Transient failures retry with the policy's capped jittered backoff;
+// permanent ones (ENOSPC and kin — fsx.IsPermanent) surface immediately.
+// Cancellation mid-retry returns an error wrapping both ctx.Err() and the
+// last write failure; an in-flight write itself is not interrupted
+// (atomicity is preserved — the file either has the old or the new
+// contents).
+func SaveBytesWith(ctx context.Context, fsys fsx.FS, policy fsx.RetryPolicy, path string, data []byte) error {
+	resolved := fsx.Or(fsys)
+	if err := policy.Do(ctx, func() error {
+		return writeAtomic(resolved, path, data)
+	}); err != nil {
+		return fmt.Errorf("durable: save %s: %w", path, err)
 	}
-	return fmt.Errorf("durable: save %s (after %d attempts): %w", path, saveAttempts, lastErr)
+	return nil
 }

@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"syscall"
 	"testing"
+
+	"waitfree/internal/fsx"
 )
 
 const (
@@ -140,11 +142,10 @@ func TestSaveBytesRoundTrip(t *testing.T) {
 // A filesystem that cannot fsync directories (EINVAL/EOPNOTSUPP) stays
 // best-effort: the write succeeds.
 func TestWriteAtomicDirSyncUnsupported(t *testing.T) {
-	defer func(f func(*os.File) error) { fsyncDir = f }(fsyncDir)
 	for _, unsupported := range []error{syscall.EINVAL, syscall.EOPNOTSUPP} {
-		fsyncDir = func(*os.File) error { return unsupported }
+		ff := fsx.NewFaultFS(nil, 1, fsx.Rule{Op: fsx.OpSyncDir, Nth: 1, Count: -1, Err: unsupported})
 		path := filepath.Join(t.TempDir(), "blob")
-		if err := writeAtomic(path, []byte("x")); err != nil {
+		if err := writeAtomic(ff, path, []byte("x")); err != nil {
 			t.Errorf("dir sync %v should be best-effort, got %v", unsupported, err)
 		}
 	}
@@ -153,10 +154,9 @@ func TestWriteAtomicDirSyncUnsupported(t *testing.T) {
 // A real I/O failure on the directory sync means the rename may not be
 // durable; it must surface instead of being swallowed.
 func TestWriteAtomicDirSyncIOError(t *testing.T) {
-	defer func(f func(*os.File) error) { fsyncDir = f }(fsyncDir)
-	fsyncDir = func(*os.File) error { return syscall.EIO }
+	ff := fsx.NewFaultFS(nil, 1, fsx.Rule{Op: fsx.OpSyncDir, Nth: 1, Err: syscall.EIO})
 	path := filepath.Join(t.TempDir(), "blob")
-	err := writeAtomic(path, []byte("x"))
+	err := writeAtomic(ff, path, []byte("x"))
 	if !errors.Is(err, syscall.EIO) {
 		t.Fatalf("dir sync EIO swallowed: got %v", err)
 	}

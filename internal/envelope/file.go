@@ -1,0 +1,18 @@
+package envelope
+
+import "waitfree/internal/fsx"
+
+// ReadFile loads and decodes the envelope at path through fsys (nil = the
+// real filesystem). It is the read half every envelope-on-disk tier
+// shares; the Decode contract is unchanged — on integrity failure the
+// error wraps ErrCorrupt and the returned header/records are the longest
+// individually-verified prefix, so callers may salvage even when the
+// envelope as a whole is rejected. A read error returns it verbatim
+// (callers distinguish fs.ErrNotExist from real I/O failures).
+func ReadFile(fsys fsx.FS, path, magic, kind string) (header []byte, records [][]byte, err error) {
+	data, err := fsx.Or(fsys).ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return Decode(magic, kind, data)
+}

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"waitfree/internal/faults"
+	"waitfree/internal/fsx"
 	"waitfree/internal/hist"
 	"waitfree/internal/program"
 	"waitfree/internal/types"
@@ -97,6 +98,11 @@ type Options struct {
 	// (I/O error, corrupt record), the run degrades exactly as it would
 	// without one. Requires MemoBudget.
 	MemoSpillDir string
+	// FS is the filesystem the spill tier performs its I/O through (nil =
+	// the real one). Tests pass an *fsx.FaultFS to script storage faults
+	// and assert the degradation ladder; it never affects verdicts — a
+	// failing FS only costs memo hits and sets Degraded honestly.
+	FS fsx.FS
 	// ResumeFrom, if set, resumes a consensus exploration from a Checkpoint
 	// taken by a cancelled run: proposal-vector trees recorded in the
 	// checkpoint are merged from their stored results instead of being
@@ -556,7 +562,7 @@ func newExplorer(im *program.Implementation, scripts [][]types.Invocation, opts 
 		curProc: -1,
 	}
 	if opts.Memoize {
-		e.memo = newMemoTable(opts.MemoBudget, opts.MemoSpillDir)
+		e.memo = newMemoTable(opts.MemoBudget, opts.MemoSpillDir, opts.FS)
 		e.enc = newKeyEncoder()
 	}
 	root := &config{
@@ -608,7 +614,7 @@ func (e *explorer) explore(root *config) (res *Result, err error) {
 		Depth:     sum.height,
 		Violation: e.violation,
 	}
-	if e.memo != nil && e.memo.degraded.Load() {
+	if e.memo != nil && e.memo.isDegraded() {
 		res.Degraded = true
 	}
 	res.MaxAccess = make([]int, len(im.Objects))
@@ -650,6 +656,17 @@ func (e *explorer) flushMemoCounters() {
 	}
 	if n := e.memo.spilled.Load(); n != 0 {
 		e.ctr.memoSpilled.Add(n)
+	}
+	if sp := e.memo.spill; sp != nil {
+		if sp.retries != 0 {
+			e.ctr.storageRetries.Add(sp.retries)
+		}
+		if sp.rebuilds != 0 {
+			e.ctr.spillRebuilds.Add(sp.rebuilds)
+		}
+		if sp.broken {
+			e.ctr.spillBroken.Store(true)
+		}
 	}
 }
 
@@ -1313,7 +1330,7 @@ func (e *explorer) flushCounters(depth int) {
 	}
 	e.ctr.curDepth.Store(int64(depth))
 	e.ctr.bumpMaxDepth(int64(depth))
-	if e.memo != nil && e.memo.degraded.Load() {
+	if e.memo != nil && e.memo.isDegraded() {
 		e.ctr.degraded.Store(true)
 	}
 	// Heartbeat: every flush proves this worker is making node progress.

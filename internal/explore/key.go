@@ -11,6 +11,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"waitfree/internal/fsx"
 	"waitfree/internal/program"
 	"waitfree/internal/types"
 )
@@ -365,15 +366,23 @@ type memoShard struct {
 	m  map[string]*summary
 }
 
-func newMemoTable(budget int, spillDir string) *memoTable {
+func newMemoTable(budget int, spillDir string, fsys fsx.FS) *memoTable {
 	t := &memoTable{seed: maphash.MakeSeed(), budget: budget}
 	for i := range t.shards {
 		t.shards[i].m = make(map[string]*summary)
 	}
 	if spillDir != "" && budget > 0 {
-		t.spill = newMemoSpill(spillDir)
+		t.spill = newMemoSpill(spillDir, fsys)
 	}
 	return t
+}
+
+// isDegraded reports whether this tree's memo lost entries for good:
+// either an eviction fell through with no (working) spill tier, or the
+// spill tier itself lost spilled entries (a rebuild, a dropped corrupt
+// record, or a broken tier).
+func (t *memoTable) isDegraded() bool {
+	return t.degraded.Load() || (t.spill != nil && t.spill.lost)
 }
 
 // release tears the table down at tree completion, deleting the spill file

@@ -203,7 +203,7 @@ func BenchmarkConfigKey(b *testing.B) {
 }
 
 func TestMemoTableBasics(t *testing.T) {
-	m := newMemoTable(0, "")
+	m := newMemoTable(0, "", nil)
 	sum := &summary{}
 	keys := []string{"", "a", "b", "aa", "\x00\x01", "longer key with bytes"}
 	for _, k := range keys {

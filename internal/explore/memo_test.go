@@ -19,7 +19,7 @@ import (
 // insert.
 func TestMemoPutNoEvictStorm(t *testing.T) {
 	const budget = 8
-	tbl := newMemoTable(budget, "")
+	tbl := newMemoTable(budget, "", nil)
 
 	// A deep DFS stack: gray marks alone exceed the whole budget. They
 	// hold no budget slot, so nothing is scanned and nothing is evicted.
@@ -85,7 +85,7 @@ func TestMemoPutNoEvictStorm(t *testing.T) {
 // equal the resident non-gray population exactly. Run under -race this
 // also pins the documented "safe for concurrent explorers" claim.
 func TestMemoCountExactUnderRace(t *testing.T) {
-	tbl := newMemoTable(32, "")
+	tbl := newMemoTable(32, "", nil)
 	const goroutines = 8
 	const ops = 4000
 	var wg sync.WaitGroup
@@ -179,10 +179,10 @@ func TestMemoSpillPreservesHits(t *testing.T) {
 
 // TestSpillRecordRoundTrip exercises the spill codec directly: arbitrary
 // (newline-containing) keys and summaries survive the base64+envelope
-// round trip, absent keys miss, and a corrupted file breaks the spill
-// instead of serving bad data.
+// round trip, absent keys miss, and a corrupted record is dropped —
+// confined to its own entry, never served, never breaking the tier.
 func TestSpillRecordRoundTrip(t *testing.T) {
-	sp := newMemoSpill(t.TempDir())
+	sp := newMemoSpill(t.TempDir(), nil)
 	defer sp.close()
 
 	key := "raw\nbytes\x00with separators"
@@ -202,18 +202,28 @@ func TestSpillRecordRoundTrip(t *testing.T) {
 		t.Fatal("phantom hit for a key never stored")
 	}
 
-	// Flip one byte of the stored envelope: the checksum must catch it,
-	// the load must miss, and the spill must mark itself broken.
+	// Flip one byte of the stored envelope: the checksum must catch it, the
+	// load must miss, the run must be flagged (the entry's hit is lost for
+	// good) — and only that record dies; the tier keeps working.
 	if _, err := sp.f.WriteAt([]byte{'#'}, 1); err != nil {
 		t.Fatal(err)
 	}
 	if _, ok := sp.load([]byte(key)); ok {
 		t.Fatal("corrupted record served")
 	}
-	if !sp.broken {
-		t.Fatal("integrity failure did not break the spill")
+	if !sp.lost {
+		t.Fatal("integrity failure not reported as a lost entry")
 	}
-	if sp.store("another", sum) {
-		t.Fatal("broken spill accepted a store")
+	if sp.broken {
+		t.Fatal("single corrupt record broke the whole tier")
+	}
+	if _, ok := sp.load([]byte(key)); ok {
+		t.Fatal("dropped record served on a second lookup")
+	}
+	if !sp.store("another", sum) {
+		t.Fatal("tier stopped accepting stores after a confined corruption")
+	}
+	if got, ok := sp.load([]byte("another")); !ok || got.nodes != sum.nodes {
+		t.Fatal("entry stored after a confined corruption did not round-trip")
 	}
 }

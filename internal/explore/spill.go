@@ -1,11 +1,13 @@
 package explore
 
 import (
+	"context"
 	"encoding/base64"
 	"encoding/binary"
-	"os"
+	"io"
 
 	"waitfree/internal/envelope"
+	"waitfree/internal/fsx"
 )
 
 // This file implements the memo table's disk-spill tier (Options.
@@ -26,10 +28,18 @@ import (
 //
 // The spill file is private to one memo table (one execution tree),
 // created lazily in MemoSpillDir on the first eviction and deleted when
-// the table is released at tree completion. Any I/O or integrity failure
-// marks the spill broken: subsequent evictions degrade exactly as if no
-// spill tier were configured, and loads miss. The exploration never fails
-// because of the spill tier; it only loses hits.
+// the table is released at tree completion — or the moment the tier
+// breaks, so a long-lived daemon never litters the spill dir. Failures
+// walk the unified degradation ladder instead of wedging the tier:
+// transient I/O errors are retried under fsx.DefaultRetry; a write or
+// read the retries cannot absorb buys one rebuild (fresh file, cleared
+// index — already-spilled entries are lost, so the run degrades, but the
+// tier keeps spilling); a failure after the rebuild breaks the tier for
+// the rest of the tree. A per-record integrity failure is confined to
+// that record: the entry is dropped (its hit is lost) and every other
+// spilled entry keeps serving. The exploration never fails because of the
+// spill tier; it only loses hits, and `lost` reports honestly when it
+// has.
 
 const (
 	spillMagic = "waitfree-memospill-v1"
@@ -48,37 +58,66 @@ type spillRef struct {
 // itself from a single exploration. (The concurrent hammer test exercises
 // the resident tiers only.)
 type memoSpill struct {
-	dir    string
-	f      *os.File
-	index  map[string]spillRef
-	off    int64
-	broken bool
+	dir   string
+	fsys  fsx.FS
+	f     fsx.File
+	index map[string]spillRef
+	off   int64
+
+	broken  bool // tier dead for the rest of the tree
+	rebuilt bool // the one allowed rebuild has been spent
+	lost    bool // at least one spilled entry's hit is gone: run degrades
+
+	// Ladder telemetry, aggregated into the engine counters at tree
+	// completion.
+	retries  int64
+	rebuilds int64
 }
 
-func newMemoSpill(dir string) *memoSpill {
-	return &memoSpill{dir: dir, index: make(map[string]spillRef)}
+func newMemoSpill(dir string, fsys fsx.FS) *memoSpill {
+	return &memoSpill{dir: dir, fsys: fsx.Or(fsys), index: make(map[string]spillRef)}
 }
 
-// store appends sum's envelope to the spill file, creating it on first
-// use. It reports whether the entry is durably spilled; false marks the
-// spill broken and the caller degrades.
+// policy is the unified retry policy with the spill's retry counter hung
+// on it. The spill inherits the memo table's single-goroutine discipline,
+// so the counter is a plain int64.
+func (sp *memoSpill) policy() fsx.RetryPolicy {
+	return fsx.DefaultRetry.WithObserver(func(error) { sp.retries++ })
+}
+
+// writeBlock writes block at the current append offset (creating the
+// spill file on first use), retrying transient faults. It does not
+// advance the offset; the caller records the ref on success.
+func (sp *memoSpill) writeBlock(block []byte) error {
+	return sp.policy().Do(context.Background(), func() error {
+		if sp.f == nil {
+			f, err := sp.fsys.CreateTemp(sp.dir, "memospill-*.wfspill")
+			if err != nil {
+				return err
+			}
+			sp.f = f
+		}
+		n, err := sp.f.WriteAt(block, sp.off)
+		if err == nil && n != len(block) {
+			err = io.ErrShortWrite
+		}
+		return err
+	})
+}
+
+// store appends sum's envelope to the spill file. It reports whether the
+// entry is durably spilled; on false the caller degrades for this entry.
+// An unabsorbed write failure buys one rebuild before breaking the tier.
 func (sp *memoSpill) store(key string, sum *summary) bool {
 	if sp.broken {
 		return false
 	}
-	if sp.f == nil {
-		f, err := os.CreateTemp(sp.dir, "memospill-*.wfspill")
-		if err != nil {
-			sp.broken = true
+	block := encodeSpillRecord(key, sum)
+	if sp.writeBlock(block) != nil {
+		if !sp.rebuild() || sp.writeBlock(block) != nil {
+			sp.breakTier()
 			return false
 		}
-		sp.f = f
-	}
-	block := encodeSpillRecord(key, sum)
-	n, err := sp.f.WriteAt(block, sp.off)
-	if err != nil || n != len(block) {
-		sp.broken = true
-		return false
 	}
 	sp.index[key] = spillRef{off: sp.off, len: len(block)}
 	sp.off += int64(len(block))
@@ -87,8 +126,10 @@ func (sp *memoSpill) store(key string, sum *summary) bool {
 
 // load reads the entry spilled under key back into a fresh summary,
 // verifying the envelope checksums and the stored key. A missing index
-// entry is an ordinary miss; a failed read or integrity check marks the
-// spill broken and misses.
+// entry is an ordinary miss. A read the retries cannot absorb walks the
+// same rebuild-then-break ladder as store; an integrity failure is
+// confined to the one record — it is dropped (a lost hit) and the rest of
+// the spill keeps serving.
 func (sp *memoSpill) load(key []byte) (*summary, bool) {
 	if sp.broken || sp.f == nil {
 		return nil, false
@@ -98,28 +139,68 @@ func (sp *memoSpill) load(key []byte) (*summary, bool) {
 		return nil, false
 	}
 	buf := make([]byte, ref.len)
-	if _, err := sp.f.ReadAt(buf, ref.off); err != nil {
-		sp.broken = true
+	err := sp.policy().Do(context.Background(), func() error {
+		_, rerr := sp.f.ReadAt(buf, ref.off)
+		return rerr
+	})
+	if err != nil {
+		if !sp.rebuild() {
+			sp.breakTier()
+		}
 		return nil, false
 	}
 	sum, ok := decodeSpillRecord(key, buf)
 	if !ok {
-		sp.broken = true
+		delete(sp.index, string(key))
+		sp.lost = true
 		return nil, false
 	}
 	return sum, true
 }
 
-// close deletes the spill file (the tier is a cache private to one tree;
-// nothing in it outlives the exploration).
-func (sp *memoSpill) close() {
+// rebuild discards the (unwritable or unreadable) spill file and starts a
+// fresh one, once per tree. Entries already spilled are lost — the run
+// degrades — but the tier keeps absorbing future evictions.
+func (sp *memoSpill) rebuild() bool {
+	if sp.rebuilt {
+		return false
+	}
+	sp.rebuilt = true
+	sp.rebuilds++
+	sp.removeFile()
+	if len(sp.index) > 0 {
+		sp.lost = true
+	}
+	sp.index = make(map[string]spillRef)
+	sp.off = 0
+	return true
+}
+
+// breakTier retires the spill for the rest of the tree: subsequent
+// evictions degrade exactly as if no spill were configured, and the file
+// is removed immediately so a long-lived process does not leak it.
+func (sp *memoSpill) breakTier() {
+	sp.broken = true
+	sp.lost = true
+	sp.removeFile()
+	sp.index = nil
+}
+
+// removeFile closes and deletes the spill file, if one exists.
+func (sp *memoSpill) removeFile() {
 	if sp.f == nil {
 		return
 	}
 	name := sp.f.Name()
 	sp.f.Close()
-	os.Remove(name)
+	sp.fsys.Remove(name)
 	sp.f = nil
+}
+
+// close deletes the spill file (the tier is a cache private to one tree;
+// nothing in it outlives the exploration).
+func (sp *memoSpill) close() {
+	sp.removeFile()
 	sp.index = nil
 }
 

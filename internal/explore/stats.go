@@ -77,6 +77,15 @@ type Stats struct {
 	// unbudgeted runs.
 	MemoEvictions int64 `json:"memo_evictions,omitempty"`
 	MemoSpilled   int64 `json:"memo_spilled,omitempty"`
+	// StorageRetries counts transient spill-tier I/O faults absorbed by
+	// the unified retry policy (fsx.DefaultRetry); SpillRebuilds counts
+	// spill files discarded and restarted after an unabsorbed fault;
+	// SpillBroken reports at least one tree's spill tier broke outright
+	// (its run degrades exactly as if no spill were configured). All stay
+	// zero on a healthy disk.
+	StorageRetries int64 `json:"storage_retries,omitempty"`
+	SpillRebuilds  int64 `json:"spill_rebuilds,omitempty"`
+	SpillBroken    bool  `json:"spill_broken,omitempty"`
 	// Heartbeats[w] is worker w's liveness record: what it is exploring
 	// and when it last flushed progress. The stall watchdog
 	// (Options.StallAfter) reads the same records; snapshots copy them, so
@@ -159,17 +168,20 @@ type counters struct {
 	// fields in snapshots so unreduced runs keep their exact Stats shape.
 	orbitsTotal int
 
-	nodes         atomic.Int64
-	leaves        atomic.Int64
-	memoHits      atomic.Int64
-	maxDepth      atomic.Int64
-	curDepth      atomic.Int64
-	treesDone     atomic.Int64
-	orbitsDone    atomic.Int64
-	replayedTrees atomic.Int64
-	degraded      atomic.Bool
-	memoEvictions atomic.Int64
-	memoSpilled   atomic.Int64
+	nodes          atomic.Int64
+	leaves         atomic.Int64
+	memoHits       atomic.Int64
+	maxDepth       atomic.Int64
+	curDepth       atomic.Int64
+	treesDone      atomic.Int64
+	orbitsDone     atomic.Int64
+	replayedTrees  atomic.Int64
+	degraded       atomic.Bool
+	memoEvictions  atomic.Int64
+	memoSpilled    atomic.Int64
+	storageRetries atomic.Int64
+	spillRebuilds  atomic.Int64
+	spillBroken    atomic.Bool
 
 	workerNodes []atomic.Int64
 	beats       []workerBeat
@@ -255,19 +267,22 @@ func (c *counters) bumpMaxDepth(d int64) {
 // enough for progress display and cancellation accounting.
 func (c *counters) snapshot() Stats {
 	s := Stats{
-		Nodes:         c.nodes.Load(),
-		Leaves:        c.leaves.Load(),
-		MemoHits:      c.memoHits.Load(),
-		MaxDepth:      int(c.maxDepth.Load()),
-		CurDepth:      int(c.curDepth.Load()),
-		TreesDone:     int(c.treesDone.Load()),
-		TreesTotal:    c.treesTotal,
-		Workers:       len(c.workerNodes),
-		WorkerNodes:   make([]int64, len(c.workerNodes)),
-		Degraded:      c.degraded.Load(),
-		MemoEvictions: c.memoEvictions.Load(),
-		MemoSpilled:   c.memoSpilled.Load(),
-		Elapsed:       time.Since(c.start),
+		Nodes:          c.nodes.Load(),
+		Leaves:         c.leaves.Load(),
+		MemoHits:       c.memoHits.Load(),
+		MaxDepth:       int(c.maxDepth.Load()),
+		CurDepth:       int(c.curDepth.Load()),
+		TreesDone:      int(c.treesDone.Load()),
+		TreesTotal:     c.treesTotal,
+		Workers:        len(c.workerNodes),
+		WorkerNodes:    make([]int64, len(c.workerNodes)),
+		Degraded:       c.degraded.Load(),
+		MemoEvictions:  c.memoEvictions.Load(),
+		MemoSpilled:    c.memoSpilled.Load(),
+		StorageRetries: c.storageRetries.Load(),
+		SpillRebuilds:  c.spillRebuilds.Load(),
+		SpillBroken:    c.spillBroken.Load(),
+		Elapsed:        time.Since(c.start),
 	}
 	s.Frontier = s.TreesTotal - s.TreesDone
 	if c.orbitsTotal > 0 {

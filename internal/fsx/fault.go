@@ -1,0 +1,407 @@
+package fsx
+
+import (
+	"fmt"
+	"io/fs"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+)
+
+// This file is the deterministic fault injector. A *FaultFS wraps an
+// inner FS and fires scripted faults by op class and occurrence number:
+// "the 3rd WriteAt returns EIO", "every CreateTemp returns ENOSPC",
+// "the 1st ReadFile comes back with one bit flipped". Schedules are
+// plain Rule values (or the op:nth:fault string form ParseRules
+// accepts, used by the chaos CI legs), injection is deterministic given
+// the seed and the op sequence, and per-op counters plus a full trace
+// let tests assert exactly what the consumer saw.
+
+// Op names one operation class for fault matching and counting.
+type Op string
+
+// The op classes, one per FS/File method that can fail.
+const (
+	OpReadFile   Op = "readfile"
+	OpCreateTemp Op = "createtemp"
+	OpWrite      Op = "write"
+	OpWriteAt    Op = "writeat"
+	OpReadAt     Op = "readat"
+	OpSync       Op = "sync"
+	OpSyncDir    Op = "syncdir"
+	OpRename     Op = "rename"
+	OpRemove     Op = "remove"
+	OpMkdirAll   Op = "mkdirall"
+	OpReadDir    Op = "readdir"
+	OpClose      Op = "close"
+)
+
+// FaultKind selects how a matched rule corrupts the operation.
+type FaultKind int
+
+const (
+	// FaultErr returns Err without touching the inner FS (the default).
+	FaultErr FaultKind = iota
+	// FaultTorn performs half the write through the inner FS, then
+	// returns Err — a torn/short write that leaves partial bytes on
+	// disk. Write/WriteAt only; other ops treat it as FaultErr.
+	FaultTorn
+	// FaultBitFlip lets the read succeed, then flips one seeded-random
+	// bit of the returned data — silent corruption the integrity layer
+	// must catch. ReadFile/ReadAt only; other ops treat it as FaultErr.
+	FaultBitFlip
+)
+
+// Rule scripts one fault: which op class, which occurrences, what goes
+// wrong.
+type Rule struct {
+	// Op is the operation class the rule applies to.
+	Op Op
+	// Nth is the first occurrence (1-based, counted per op class) the
+	// rule fires on; 0 means 1.
+	Nth int
+	// Count is how many consecutive occurrences fire, starting at Nth:
+	// 0 means 1, negative means every occurrence from Nth on.
+	Count int
+	// Kind selects the corruption mode.
+	Kind FaultKind
+	// Err is the error injected for FaultErr/FaultTorn (nil = EIO).
+	Err error
+	// Path, if non-empty, restricts the rule to operations whose path
+	// contains it as a substring. Occurrence counting is per op class,
+	// not per path.
+	Path string
+}
+
+func (r *Rule) errOr() error {
+	if r.Err != nil {
+		return r.Err
+	}
+	return syscall.EIO
+}
+
+// matches reports whether the rule fires on occurrence n of its op.
+func (r *Rule) matches(n int, path string) bool {
+	if r.Path != "" && !strings.Contains(path, r.Path) {
+		return false
+	}
+	nth := r.Nth
+	if nth <= 0 {
+		nth = 1
+	}
+	if n < nth {
+		return false
+	}
+	count := r.Count
+	if count == 0 {
+		count = 1
+	}
+	return count < 0 || n < nth+count
+}
+
+// TraceEntry records one operation the FaultFS saw.
+type TraceEntry struct {
+	// Op and N identify the operation: the N-th occurrence (1-based) of
+	// its class.
+	Op Op
+	N  int
+	// Path is the operand path (the file's name for File ops).
+	Path string
+	// Injected reports a rule fired; Err is the injected error, nil for
+	// a bit-flip (which corrupts silently).
+	Injected bool
+	Err      error
+}
+
+// FaultFS wraps an inner FS (nil = the real filesystem) and injects the
+// scripted faults. All methods are safe for concurrent use; for
+// deterministic Nth-op schedules, drive it from one goroutine (e.g.
+// Parallelism 1 in the explorer).
+type FaultFS struct {
+	inner FS
+
+	mu       sync.Mutex
+	rules    []Rule
+	counts   map[Op]int
+	trace    []TraceEntry
+	rng      *rand.Rand
+	injected int
+}
+
+// NewFaultFS builds a fault injector over inner (nil = OS{}). seed
+// drives the bit-flip positions, so a schedule is reproducible.
+func NewFaultFS(inner FS, seed int64, rules ...Rule) *FaultFS {
+	return &FaultFS{
+		inner:  Or(inner),
+		rules:  rules,
+		counts: make(map[Op]int),
+		rng:    rand.New(rand.NewSource(seed)),
+	}
+}
+
+// SetRules replaces the schedule mid-flight (occurrence counters keep
+// running).
+func (f *FaultFS) SetRules(rules ...Rule) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.rules = rules
+}
+
+// CountOf returns how many operations of class op have been performed.
+func (f *FaultFS) CountOf(op Op) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.counts[op]
+}
+
+// Counts returns a copy of the per-op-class operation counters.
+func (f *FaultFS) Counts() map[Op]int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make(map[Op]int, len(f.counts))
+	for k, v := range f.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// Injected returns how many faults have fired.
+func (f *FaultFS) Injected() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.injected
+}
+
+// Trace returns a copy of every operation seen so far, in order.
+func (f *FaultFS) Trace() []TraceEntry {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]TraceEntry(nil), f.trace...)
+}
+
+// step counts one operation and returns the rule that fires on it, if
+// any.
+func (f *FaultFS) step(op Op, path string) *Rule {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.counts[op]++
+	n := f.counts[op]
+	var hit *Rule
+	for i := range f.rules {
+		if f.rules[i].Op == op && f.rules[i].matches(n, path) {
+			hit = &f.rules[i]
+			break
+		}
+	}
+	e := TraceEntry{Op: op, N: n, Path: path, Injected: hit != nil}
+	if hit != nil {
+		f.injected++
+		if hit.Kind == FaultErr || hit.Kind == FaultTorn {
+			e.Err = hit.errOr()
+		}
+	}
+	f.trace = append(f.trace, e)
+	return hit
+}
+
+// flipBit flips one seeded-random bit of p.
+func (f *FaultFS) flipBit(p []byte) {
+	if len(p) == 0 {
+		return
+	}
+	f.mu.Lock()
+	i, b := f.rng.Intn(len(p)), byte(1)<<f.rng.Intn(8)
+	f.mu.Unlock()
+	p[i] ^= b
+}
+
+func (f *FaultFS) ReadFile(name string) ([]byte, error) {
+	if r := f.step(OpReadFile, name); r != nil {
+		if r.Kind == FaultBitFlip {
+			data, err := f.inner.ReadFile(name)
+			if err == nil {
+				f.flipBit(data)
+			}
+			return data, err
+		}
+		return nil, r.errOr()
+	}
+	return f.inner.ReadFile(name)
+}
+
+func (f *FaultFS) CreateTemp(dir, pattern string) (File, error) {
+	if r := f.step(OpCreateTemp, dir); r != nil {
+		return nil, r.errOr()
+	}
+	file, err := f.inner.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: file, fs: f}, nil
+}
+
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	if r := f.step(OpRename, newpath); r != nil {
+		return r.errOr()
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f *FaultFS) Remove(name string) error {
+	if r := f.step(OpRemove, name); r != nil {
+		return r.errOr()
+	}
+	return f.inner.Remove(name)
+}
+
+func (f *FaultFS) MkdirAll(dir string, perm fs.FileMode) error {
+	if r := f.step(OpMkdirAll, dir); r != nil {
+		return r.errOr()
+	}
+	return f.inner.MkdirAll(dir, perm)
+}
+
+func (f *FaultFS) ReadDir(name string) ([]fs.DirEntry, error) {
+	if r := f.step(OpReadDir, name); r != nil {
+		return nil, r.errOr()
+	}
+	return f.inner.ReadDir(name)
+}
+
+func (f *FaultFS) SyncDir(dir string) error {
+	if r := f.step(OpSyncDir, dir); r != nil {
+		return r.errOr()
+	}
+	return f.inner.SyncDir(dir)
+}
+
+// faultFile threads File operations back through the FaultFS schedule.
+type faultFile struct {
+	File
+	fs *FaultFS
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	if r := f.fs.step(OpWrite, f.Name()); r != nil {
+		if r.Kind == FaultTorn {
+			n, _ := f.File.Write(p[:len(p)/2])
+			return n, r.errOr()
+		}
+		return 0, r.errOr()
+	}
+	return f.File.Write(p)
+}
+
+func (f *faultFile) WriteAt(p []byte, off int64) (int, error) {
+	if r := f.fs.step(OpWriteAt, f.Name()); r != nil {
+		if r.Kind == FaultTorn {
+			n, _ := f.File.WriteAt(p[:len(p)/2], off)
+			return n, r.errOr()
+		}
+		return 0, r.errOr()
+	}
+	return f.File.WriteAt(p, off)
+}
+
+func (f *faultFile) ReadAt(p []byte, off int64) (int, error) {
+	if r := f.fs.step(OpReadAt, f.Name()); r != nil {
+		if r.Kind == FaultBitFlip {
+			n, err := f.File.ReadAt(p, off)
+			if n > 0 {
+				f.fs.flipBit(p[:n])
+			}
+			return n, err
+		}
+		return 0, r.errOr()
+	}
+	return f.File.ReadAt(p, off)
+}
+
+func (f *faultFile) Sync() error {
+	if r := f.fs.step(OpSync, f.Name()); r != nil {
+		return r.errOr()
+	}
+	return f.File.Sync()
+}
+
+func (f *faultFile) Close() error {
+	if r := f.fs.step(OpClose, f.Name()); r != nil {
+		return r.errOr()
+	}
+	return f.File.Close()
+}
+
+// faultNames maps the string fault names ParseRules accepts.
+var faultNames = map[string]Rule{
+	"eio":     {Kind: FaultErr, Err: syscall.EIO},
+	"enospc":  {Kind: FaultErr, Err: syscall.ENOSPC},
+	"eperm":   {Kind: FaultErr, Err: fs.ErrPermission},
+	"einval":  {Kind: FaultErr, Err: syscall.EINVAL},
+	"torn":    {Kind: FaultTorn, Err: syscall.EIO},
+	"bitflip": {Kind: FaultBitFlip},
+}
+
+var opNames = map[string]Op{
+	string(OpReadFile): OpReadFile, string(OpCreateTemp): OpCreateTemp,
+	string(OpWrite): OpWrite, string(OpWriteAt): OpWriteAt,
+	string(OpReadAt): OpReadAt, string(OpSync): OpSync,
+	string(OpSyncDir): OpSyncDir, string(OpRename): OpRename,
+	string(OpRemove): OpRemove, string(OpMkdirAll): OpMkdirAll,
+	string(OpReadDir): OpReadDir, string(OpClose): OpClose,
+}
+
+// ParseRules parses a comma-separated fault schedule of op:nth:fault
+// triples — the form the chaos CI legs pass through the WAITFREED_FAULT_FS
+// environment variable:
+//
+//	writeat:3:eio        the 3rd WriteAt returns EIO
+//	createtemp:*:enospc  every CreateTemp returns ENOSPC
+//	writeat:2+:torn      every WriteAt from the 2nd on is torn
+//	readfile:1:bitflip   the 1st ReadFile has one bit flipped
+//
+// nth is a 1-based integer, N+ for "from the Nth on", or * for "every".
+func ParseRules(spec string) ([]Rule, error) {
+	var rules []Rule
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		fields := strings.Split(part, ":")
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("fsx: rule %q: want op:nth:fault", part)
+		}
+		op, ok := opNames[fields[0]]
+		if !ok {
+			return nil, fmt.Errorf("fsx: rule %q: unknown op %q", part, fields[0])
+		}
+		r, ok := faultNames[fields[2]]
+		if !ok {
+			return nil, fmt.Errorf("fsx: rule %q: unknown fault %q", part, fields[2])
+		}
+		r.Op = op
+		switch nth := fields[1]; {
+		case nth == "*":
+			r.Nth, r.Count = 1, -1
+		case strings.HasSuffix(nth, "+"):
+			n, err := strconv.Atoi(strings.TrimSuffix(nth, "+"))
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("fsx: rule %q: bad occurrence %q", part, nth)
+			}
+			r.Nth, r.Count = n, -1
+		default:
+			n, err := strconv.Atoi(nth)
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("fsx: rule %q: bad occurrence %q", part, nth)
+			}
+			r.Nth, r.Count = n, 1
+		}
+		rules = append(rules, r)
+	}
+	if len(rules) == 0 {
+		return nil, fmt.Errorf("fsx: empty fault schedule %q", spec)
+	}
+	return rules, nil
+}

@@ -1,0 +1,296 @@
+package fsx
+
+import (
+	"context"
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestOSPassthroughRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	fsys := OS{}
+	f, err := fsys.CreateTemp(dir, "fsx-*.tmp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello world")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("HELLO"), 0); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 5)
+	if _, err := f.ReadAt(buf, 6); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "world" {
+		t.Fatalf("ReadAt = %q, want world", buf)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Chmod(0o644); err != nil {
+		t.Fatal(err)
+	}
+	tmp := f.Name()
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	final := filepath.Join(dir, "final")
+	if err := fsys.Rename(tmp, final); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.SyncDir(dir); err != nil && !IsSyncUnsupported(err) {
+		t.Fatal(err)
+	}
+	data, err := fsys.ReadFile(final)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "HELLO world" {
+		t.Fatalf("ReadFile = %q", data)
+	}
+	entries, err := fsys.ReadDir(dir)
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("ReadDir = %v, %v", entries, err)
+	}
+	if err := fsys.Remove(final); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.MkdirAll(filepath.Join(dir, "a/b"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOrDefaultsNilToOS(t *testing.T) {
+	if _, ok := Or(nil).(OS); !ok {
+		t.Fatalf("Or(nil) = %T, want OS", Or(nil))
+	}
+	f := NewFaultFS(nil, 1)
+	if got := Or(f); got != FS(f) {
+		t.Fatalf("Or(non-nil) did not pass through")
+	}
+}
+
+// TestFaultNthOp pins the occurrence matching: exactly the scripted
+// occurrences fire, counters and trace record every op.
+func TestFaultNthOp(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	if err := os.WriteFile(path, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ff := NewFaultFS(nil, 1, Rule{Op: OpReadFile, Nth: 2, Count: 2, Err: syscall.EIO})
+	for i, wantErr := range []bool{false, true, true, false} {
+		_, err := ff.ReadFile(path)
+		if gotErr := err != nil; gotErr != wantErr {
+			t.Fatalf("read %d: err = %v, want failure %v", i+1, err, wantErr)
+		}
+		if wantErr && !errors.Is(err, syscall.EIO) {
+			t.Fatalf("read %d: err = %v, want EIO", i+1, err)
+		}
+	}
+	if got := ff.CountOf(OpReadFile); got != 4 {
+		t.Fatalf("CountOf(readfile) = %d, want 4", got)
+	}
+	if got := ff.Injected(); got != 2 {
+		t.Fatalf("Injected = %d, want 2", got)
+	}
+	tr := ff.Trace()
+	if len(tr) != 4 || tr[0].Injected || !tr[1].Injected || !tr[2].Injected || tr[3].Injected {
+		t.Fatalf("trace = %+v", tr)
+	}
+}
+
+func TestFaultTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	ff := NewFaultFS(nil, 1, Rule{Op: OpWriteAt, Nth: 1, Kind: FaultTorn, Err: syscall.EIO})
+	f, err := ff.CreateTemp(dir, "t-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	n, err := f.WriteAt([]byte("0123456789"), 0)
+	if !errors.Is(err, syscall.EIO) {
+		t.Fatalf("torn write err = %v, want EIO", err)
+	}
+	if n != 5 {
+		t.Fatalf("torn write wrote %d bytes, want 5", n)
+	}
+	// The retry (2nd WriteAt) is clean and repairs the tear in place.
+	if _, err := f.WriteAt([]byte("0123456789"), 0); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(f.Name())
+	if err != nil || string(data) != "0123456789" {
+		t.Fatalf("file = %q, %v", data, err)
+	}
+}
+
+func TestFaultBitFlipIsSilent(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	orig := []byte("the quick brown fox")
+	if err := os.WriteFile(path, orig, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ff := NewFaultFS(nil, 42, Rule{Op: OpReadFile, Nth: 1, Kind: FaultBitFlip})
+	got, err := ff.ReadFile(path)
+	if err != nil {
+		t.Fatalf("bit-flip read errored: %v", err)
+	}
+	diff := 0
+	for i := range orig {
+		if got[i] != orig[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("bit flip changed %d bytes, want exactly 1", diff)
+	}
+	// Same seed, same schedule: the corruption is reproducible.
+	ff2 := NewFaultFS(nil, 42, Rule{Op: OpReadFile, Nth: 1, Kind: FaultBitFlip})
+	got2, _ := ff2.ReadFile(path)
+	if string(got2) != string(got) {
+		t.Fatal("same seed produced a different bit flip")
+	}
+}
+
+func TestParseRules(t *testing.T) {
+	rules, err := ParseRules("writeat:3:eio, createtemp:*:enospc,readfile:2+:bitflip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Rule{
+		{Op: OpWriteAt, Nth: 3, Count: 1, Kind: FaultErr, Err: syscall.EIO},
+		{Op: OpCreateTemp, Nth: 1, Count: -1, Kind: FaultErr, Err: syscall.ENOSPC},
+		{Op: OpReadFile, Nth: 2, Count: -1, Kind: FaultBitFlip},
+	}
+	if len(rules) != len(want) {
+		t.Fatalf("parsed %d rules, want %d", len(rules), len(want))
+	}
+	for i := range want {
+		if rules[i].Op != want[i].Op || rules[i].Nth != want[i].Nth ||
+			rules[i].Count != want[i].Count || rules[i].Kind != want[i].Kind ||
+			!errors.Is(rules[i].errOr(), want[i].errOr()) {
+			t.Errorf("rule %d = %+v, want %+v", i, rules[i], want[i])
+		}
+	}
+	for _, bad := range []string{"", "writeat:1", "nosuchop:1:eio", "writeat:0:eio", "writeat:1:nosuchfault"} {
+		if _, err := ParseRules(bad); err == nil {
+			t.Errorf("ParseRules(%q) accepted", bad)
+		}
+	}
+}
+
+func TestRetryTransientThenSuccess(t *testing.T) {
+	p := RetryPolicy{Attempts: 3, Base: time.Millisecond}
+	var retries int
+	p.OnRetry = func(err error) {
+		if !errors.Is(err, syscall.EIO) {
+			t.Errorf("OnRetry err = %v", err)
+		}
+		retries++
+	}
+	calls := 0
+	err := p.Do(context.Background(), func() error {
+		calls++
+		if calls < 3 {
+			return syscall.EIO
+		}
+		return nil
+	})
+	if err != nil || calls != 3 || retries != 2 {
+		t.Fatalf("err=%v calls=%d retries=%d", err, calls, retries)
+	}
+}
+
+func TestRetryPermanentBailsImmediately(t *testing.T) {
+	for _, perm := range []error{syscall.ENOSPC, syscall.EROFS, fs.ErrNotExist} {
+		calls := 0
+		err := RetryPolicy{Attempts: 5, Base: time.Millisecond}.Do(context.Background(), func() error {
+			calls++
+			return perm
+		})
+		if !errors.Is(err, perm) || calls != 1 {
+			t.Errorf("%v: err=%v calls=%d, want 1 call", perm, err, calls)
+		}
+	}
+}
+
+func TestRetryExhaustionNamesAttempts(t *testing.T) {
+	calls := 0
+	err := RetryPolicy{Attempts: 3, Base: time.Millisecond}.Do(context.Background(), func() error {
+		calls++
+		return syscall.EIO
+	})
+	if calls != 3 || !errors.Is(err, syscall.EIO) {
+		t.Fatalf("calls=%d err=%v", calls, err)
+	}
+	if got := err.Error(); got != "after 3 attempts: input/output error" {
+		t.Errorf("exhaustion error = %q", got)
+	}
+}
+
+// TestRetryContextCancellation pins the cancellable backoff: a caller
+// shutting down must escape the schedule promptly (an hour-long base
+// backoff would hang the test if slept), with an error carrying both the
+// cancellation and the last failure.
+func TestRetryContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- RetryPolicy{Attempts: 3, Base: time.Hour}.Do(ctx, func() error { return syscall.EIO })
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+		if got := err.Error(); got != "context canceled (last error: input/output error)" {
+			t.Errorf("cancellation error = %q", got)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Do did not return after cancellation")
+	}
+	// A dead context still permits the first attempt: forward progress on
+	// a healthy disk beats eager cancellation checks.
+	calls := 0
+	p := RetryPolicy{Attempts: 3, Base: time.Hour}
+	if err := p.Do(ctx, func() error { calls++; return nil }); err != nil || calls != 1 {
+		t.Fatalf("first attempt under dead context: err=%v calls=%d", err, calls)
+	}
+}
+
+func TestJitterBounds(t *testing.T) {
+	const d = 100 * time.Millisecond
+	for i := 0; i < 200; i++ {
+		got := jittered(d, 0.5)
+		if got < 50*time.Millisecond || got > 150*time.Millisecond {
+			t.Fatalf("jittered(%v, 0.5) = %v, outside ±50%%", d, got)
+		}
+	}
+	if got := jittered(d, 0); got != d {
+		t.Fatalf("zero jitter changed the duration: %v", got)
+	}
+}
+
+func TestIsSyncUnsupported(t *testing.T) {
+	for _, err := range []error{syscall.EINVAL, syscall.ENOTSUP, errors.ErrUnsupported} {
+		if !IsSyncUnsupported(err) {
+			t.Errorf("IsSyncUnsupported(%v) = false", err)
+		}
+	}
+	for _, err := range []error{syscall.EIO, syscall.ENOSPC} {
+		if IsSyncUnsupported(err) {
+			t.Errorf("IsSyncUnsupported(%v) = true", err)
+		}
+	}
+}

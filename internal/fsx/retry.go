@@ -1,0 +1,134 @@
+package fsx
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io/fs"
+	"math/rand"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// This file is the unified storage retry policy. Every disk tier retries
+// transient faults the same way — capped, jittered, context-aware
+// exponential backoff — and bails immediately on permanent ones, so a
+// full disk never burns a backoff schedule and a flaky one never turns a
+// single glitch into a broken tier.
+
+// IsPermanent reports whether err is not worth retrying: the
+// out-of-space class (ENOSPC, EDQUOT, EROFS), a missing or invalid file,
+// or a dead context. Everything else — EIO, EAGAIN, EINTR, EBUSY, and
+// whatever else a flaky disk or network filesystem produces — is treated
+// as transient and retried; the attempt cap bounds the damage when the
+// guess is wrong.
+func IsPermanent(err error) bool {
+	return errors.Is(err, syscall.ENOSPC) ||
+		errors.Is(err, syscall.EDQUOT) ||
+		errors.Is(err, syscall.EROFS) ||
+		errors.Is(err, fs.ErrNotExist) ||
+		errors.Is(err, fs.ErrInvalid) ||
+		errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded)
+}
+
+// RetryPolicy bounds a retry loop: how many attempts, and how the
+// backoff between them grows. The zero value retries nothing useful;
+// start from DefaultRetry.
+type RetryPolicy struct {
+	// Attempts is the total number of tries (minimum 1).
+	Attempts int
+	// Base is the backoff before the second attempt; it doubles after
+	// each failure, capped at Max.
+	Base time.Duration
+	// Max caps a single backoff sleep (0 = uncapped).
+	Max time.Duration
+	// Jitter randomizes each sleep by ±Jitter fraction (0.5 = ±50%), so
+	// many writers recovering from the same fault don't retry in
+	// lockstep.
+	Jitter float64
+	// OnRetry, if set, observes every retry (called with the error that
+	// caused it, before the backoff sleep). Consumers hang their storage
+	// health counters here.
+	OnRetry func(err error)
+}
+
+// DefaultRetry is the policy every disk tier uses unless a test
+// overrides it: three attempts, 5ms base backoff doubling to a 250ms
+// cap, ±50% jitter.
+var DefaultRetry = RetryPolicy{
+	Attempts: 3,
+	Base:     5 * time.Millisecond,
+	Max:      250 * time.Millisecond,
+	Jitter:   0.5,
+}
+
+// WithObserver returns a copy of the policy with OnRetry set.
+func (p RetryPolicy) WithObserver(onRetry func(err error)) RetryPolicy {
+	p.OnRetry = onRetry
+	return p
+}
+
+// Do runs op under the policy: transient failures are retried with
+// backoff, permanent failures (IsPermanent) return immediately, and a
+// context death during a backoff sleep returns an error wrapping both
+// ctx.Err() and the last failure. The op itself is never interrupted
+// mid-flight.
+func (p RetryPolicy) Do(ctx context.Context, op func() error) error {
+	attempts := p.Attempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	backoff := p.Base
+	if backoff <= 0 {
+		backoff = time.Millisecond
+	}
+	var last error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			if p.OnRetry != nil {
+				p.OnRetry(last)
+			}
+			t := time.NewTimer(jittered(backoff, p.Jitter))
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return fmt.Errorf("%w (last error: %v)", ctx.Err(), last)
+			case <-t.C:
+			}
+			backoff *= 2
+			if p.Max > 0 && backoff > p.Max {
+				backoff = p.Max
+			}
+		}
+		if last = op(); last == nil {
+			return nil
+		}
+		if IsPermanent(last) {
+			return last
+		}
+	}
+	return fmt.Errorf("after %d attempts: %w", attempts, last)
+}
+
+// jitterRand backs the backoff jitter; it has its own lock because
+// RetryPolicy values are shared across goroutines.
+var (
+	jitterMu   sync.Mutex
+	jitterRand = rand.New(rand.NewSource(1))
+)
+
+func jittered(d time.Duration, jitter float64) time.Duration {
+	if jitter <= 0 || d <= 0 {
+		return d
+	}
+	jitterMu.Lock()
+	f := 1 + jitter*(2*jitterRand.Float64()-1)
+	jitterMu.Unlock()
+	out := time.Duration(float64(d) * f)
+	if out < time.Millisecond {
+		out = time.Millisecond
+	}
+	return out
+}

@@ -2,13 +2,15 @@ package rescache
 
 import (
 	"container/list"
+	"context"
 	"errors"
 	"fmt"
-	"os"
+	"io/fs"
 	"path/filepath"
 	"sync"
 
 	"waitfree/internal/durable"
+	"waitfree/internal/fsx"
 )
 
 const (
@@ -21,6 +23,12 @@ const (
 	envelopeMagic = "waitfree result cache v1"
 	recordKind    = "report"
 	fileExt       = ".wfres"
+
+	// diskFailLimit is how many consecutive disk-store failures demote the
+	// disk tier to bypassed (DiskDegraded); while bypassed, one real store
+	// per diskProbeEvery skipped ones probes whether the disk recovered.
+	diskFailLimit  = 3
+	diskProbeEvery = 64
 )
 
 // Options configures Open.
@@ -32,6 +40,10 @@ type Options struct {
 	// DefaultMemoryBudget). Entries larger than the budget skip memory
 	// and live on disk only.
 	MemoryBudget int64
+	// FS is the filesystem the disk tier performs its I/O through (nil =
+	// the real one). Tests pass an *fsx.FaultFS to script storage faults;
+	// served bytes never depend on it — a failing FS only costs hits.
+	FS fsx.FS
 }
 
 // Stats are the cache's cumulative counters. Hits = MemoryHits +
@@ -46,6 +58,15 @@ type Stats struct {
 	Stores     int64 `json:"stores"`
 	Evictions  int64 `json:"evictions"`
 	Errors     int64 `json:"errors"`
+	// Retries counts transient disk faults absorbed by the unified retry
+	// policy; Heals counts bad disk entries repaired or removed so later
+	// readers stop paying for them.
+	Retries int64 `json:"retries,omitempty"`
+	Heals   int64 `json:"heals,omitempty"`
+	// DiskDegraded reports the disk tier is currently bypassed after
+	// diskFailLimit consecutive store failures; the memory tier keeps
+	// serving, and a periodic probe re-enables disk when it recovers.
+	DiskDegraded bool `json:"disk_degraded,omitempty"`
 }
 
 // Outcome describes what the cache did for one request; waitfree.Check
@@ -98,20 +119,24 @@ type entry struct {
 type Cache struct {
 	dir    string
 	budget int64
+	fsys   fsx.FS
 
-	mu    sync.Mutex
-	used  int64
-	lru   *list.List // *entry, front = most recent
-	index map[Key]*list.Element
-	stats Stats
+	mu          sync.Mutex
+	used        int64
+	lru         *list.List // *entry, front = most recent
+	index       map[Key]*list.Element
+	stats       Stats
+	consecFails int64 // consecutive disk-store failures (bypass trigger)
+	skipped     int64 // stores skipped while bypassed (probe cadence)
 }
 
 // Open creates a cache. With a Dir it ensures the directory exists and
 // every entry written survives the process (durable envelope per key);
 // without one the cache is memory-only.
 func Open(opts Options) (*Cache, error) {
+	fsys := fsx.Or(opts.FS)
 	if opts.Dir != "" {
-		if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		if err := fsys.MkdirAll(opts.Dir, 0o755); err != nil {
 			return nil, fmt.Errorf("rescache: create cache dir: %w", err)
 		}
 	}
@@ -122,9 +147,20 @@ func Open(opts Options) (*Cache, error) {
 	return &Cache{
 		dir:    opts.Dir,
 		budget: budget,
+		fsys:   fsys,
 		lru:    list.New(),
 		index:  make(map[Key]*list.Element),
 	}, nil
+}
+
+// policy is the unified retry policy with the cache's Retries counter
+// hung on it.
+func (c *Cache) policy() fsx.RetryPolicy {
+	return fsx.DefaultRetry.WithObserver(func(error) {
+		c.mu.Lock()
+		c.stats.Retries++
+		c.mu.Unlock()
+	})
 }
 
 // Stats returns a snapshot of the cumulative counters.
@@ -165,49 +201,93 @@ func (c *Cache) Get(key Key) ([]byte, bool) {
 
 // Put stores the report bytes under key in both tiers. A disk failure is
 // returned for logging but leaves the memory tier populated; the caller
-// already has its report either way.
+// already has its report either way. After diskFailLimit consecutive
+// failures the disk tier is bypassed (DiskDegraded) so a dead disk does
+// not burn a retry schedule per store; a periodic probe re-enables it.
 func (c *Cache) Put(key Key, data []byte) error {
 	data = append([]byte(nil), data...)
 	c.mu.Lock()
 	c.insertLocked(key, data)
 	c.stats.Stores++
 	c.mu.Unlock()
-	if c.dir == "" {
+	if c.dir == "" || !c.diskAttempt() {
 		return nil
 	}
 	env := durable.EncodeEnvelope(envelopeMagic, recordKind, []byte(key.Hex()), [][]byte{data})
-	if err := durable.SaveBytes(c.path(key), env); err != nil {
-		c.mu.Lock()
-		c.stats.Errors++
-		c.mu.Unlock()
+	if err := durable.SaveBytesWith(context.Background(), c.fsys, c.policy(), c.path(key), env); err != nil {
+		c.noteDiskFailure()
 		return err
 	}
+	c.noteDiskOK()
 	return nil
+}
+
+// diskAttempt reports whether this store should touch the disk: always
+// while healthy, one probe per diskProbeEvery skipped stores while
+// bypassed.
+func (c *Cache) diskAttempt() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.consecFails < diskFailLimit {
+		return true
+	}
+	c.skipped++
+	return c.skipped%diskProbeEvery == 0
+}
+
+func (c *Cache) noteDiskFailure() {
+	c.mu.Lock()
+	c.stats.Errors++
+	c.consecFails++
+	if c.consecFails >= diskFailLimit {
+		c.stats.DiskDegraded = true
+	}
+	c.mu.Unlock()
+}
+
+func (c *Cache) noteDiskOK() {
+	c.mu.Lock()
+	c.consecFails = 0
+	c.skipped = 0
+	c.stats.DiskDegraded = false
+	c.mu.Unlock()
 }
 
 func (c *Cache) path(key Key) string {
 	return filepath.Join(c.dir, key.Hex()+fileExt)
 }
 
-// readDisk loads and verifies the disk entry for key. The envelope's
-// per-record checksums let a report survive a torn trailer: a decode
-// error with an intact header and first record is still a hit. Anything
-// less is deleted so the next store heals the entry.
+// readDisk loads and verifies the disk entry for key. Transient read
+// faults are retried under the unified policy; the envelope's per-record
+// checksums let a report survive a torn trailer: a decode error with an
+// intact header and first record is still a hit. Anything less — an
+// unreadable file included — is deleted so later readers stop paying for
+// it and the next store heals the entry.
 func (c *Cache) readDisk(key Key) ([]byte, bool) {
 	if c.dir == "" {
 		return nil, false
 	}
-	raw, err := os.ReadFile(c.path(key))
+	var raw []byte
+	err := c.policy().Do(context.Background(), func() error {
+		var rerr error
+		raw, rerr = c.fsys.ReadFile(c.path(key))
+		return rerr
+	})
 	if err != nil {
-		if !errors.Is(err, os.ErrNotExist) {
-			c.countError()
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, false
 		}
+		// An entry the disk cannot produce would fail every future reader
+		// and grow Errors forever; quarantine it by deletion — a cache
+		// entry is always safe to drop, and the next store rewrites it.
+		c.countError()
+		c.healByRemoval(key)
 		return nil, false
 	}
 	header, records, err := durable.DecodeEnvelope(envelopeMagic, recordKind, raw)
 	if string(header) != key.Hex() || len(records) < 1 {
 		c.countError()
-		os.Remove(c.path(key))
+		c.healByRemoval(key)
 		return nil, false
 	}
 	if err != nil {
@@ -218,11 +298,27 @@ func (c *Cache) readDisk(key Key) ([]byte, bool) {
 		// re-decode the failure and bump Errors forever.
 		c.countError()
 		env := durable.EncodeEnvelope(envelopeMagic, recordKind, []byte(key.Hex()), [][]byte{records[0]})
-		if err := durable.SaveBytes(c.path(key), env); err != nil {
+		if err := durable.SaveBytesWith(context.Background(), c.fsys, c.policy(), c.path(key), env); err != nil {
 			c.countError()
+		} else {
+			c.countHeal()
 		}
 	}
 	return records[0], true
+}
+
+// healByRemoval deletes the disk entry for key so it cannot poison later
+// lookups; the removal is itself a heal when it lands.
+func (c *Cache) healByRemoval(key Key) {
+	if c.fsys.Remove(c.path(key)) == nil {
+		c.countHeal()
+	}
+}
+
+func (c *Cache) countHeal() {
+	c.mu.Lock()
+	c.stats.Heals++
+	c.mu.Unlock()
 }
 
 func (c *Cache) countError() {

@@ -1,0 +1,215 @@
+package rescache
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"syscall"
+	"testing"
+
+	"waitfree/internal/consensus"
+	"waitfree/internal/fsx"
+)
+
+// Transient read faults are absorbed by the unified retry policy: the
+// lookup still hits, Retries counts the absorbed attempts, and no error
+// incident is recorded.
+func TestCacheTransientReadFaultAbsorbed(t *testing.T) {
+	dir := t.TempDir()
+	key := mustKey(t, consensusSpec(consensus.CAS(3), 2))
+	report := []byte(`{"ok":true}`)
+	seed, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := seed.Put(key, report); err != nil {
+		t.Fatal(err)
+	}
+
+	ff := fsx.NewFaultFS(nil, 1, fsx.Rule{Op: fsx.OpReadFile, Nth: 1, Count: 2, Err: syscall.EIO})
+	c, err := Open(Options{Dir: dir, FS: ff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Get(key)
+	if !ok || !bytes.Equal(got, report) {
+		t.Fatalf("get under transient faults = %q, %v", got, ok)
+	}
+	st := c.Stats()
+	if st.Retries != 2 || st.Errors != 0 || st.DiskHits != 1 {
+		t.Fatalf("stats = %+v, want 2 retries, 0 errors, 1 disk hit", st)
+	}
+	if n := ff.CountOf(fsx.OpReadFile); n != 3 {
+		t.Fatalf("ReadFile attempted %d times, want 3", n)
+	}
+}
+
+// An entry the disk cannot produce at all (persistent read fault that is
+// not ENOENT) is quarantined by deletion: the incident is counted once,
+// and a reopen over a healthy disk sees a plain miss — Errors stops
+// growing instead of every future reader re-paying for the bad file.
+func TestCacheUnreadableEntryQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	key := mustKey(t, consensusSpec(consensus.CAS(3), 2))
+	seed, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := seed.Put(key, []byte(`{"ok":true}`)); err != nil {
+		t.Fatal(err)
+	}
+
+	ff := fsx.NewFaultFS(nil, 1, fsx.Rule{Op: fsx.OpReadFile, Nth: 1, Count: -1, Err: syscall.EIO})
+	sick, err := Open(Options{Dir: dir, FS: ff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := sick.Get(key); ok {
+		t.Fatal("unreadable entry served as a hit")
+	}
+	st := sick.Stats()
+	if st.Errors != 1 || st.Heals != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want 1 error, 1 heal, 1 miss", st)
+	}
+	if _, err := os.Stat(seed.path(key)); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("unreadable entry not quarantined by removal: %v", err)
+	}
+
+	// A healthy reopen pays nothing for the old damage: plain miss, no
+	// error growth.
+	fresh, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := fresh.Get(key); ok {
+		t.Fatal("phantom hit after quarantine")
+	}
+	if st := fresh.Stats(); st.Errors != 0 {
+		t.Fatalf("errors kept growing after quarantine: %+v", st)
+	}
+}
+
+// Persistent store failures walk the disk tier down the degradation
+// ladder: after diskFailLimit consecutive failures the tier is bypassed
+// (Put returns nil, no disk I/O, memory keeps serving), and the periodic
+// probe re-enables it the moment the disk recovers.
+func TestCachePutDegradationLadderAndProbe(t *testing.T) {
+	dir := t.TempDir()
+	// ENOSPC is permanent: no retry schedule, one CreateTemp per Put.
+	ff := fsx.NewFaultFS(nil, 1, fsx.Rule{Op: fsx.OpCreateTemp, Nth: 1, Count: -1, Err: syscall.ENOSPC})
+	c, err := Open(Options{Dir: dir, FS: ff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keyAt := func(i int) Key { return Key{byte(i), byte(i >> 8)} }
+	for i := 0; i < diskFailLimit; i++ {
+		if err := c.Put(keyAt(i), []byte(`{"ok":true}`)); err == nil {
+			t.Fatalf("put %d on a full disk reported success", i)
+		}
+	}
+	st := c.Stats()
+	if !st.DiskDegraded || st.Errors != diskFailLimit {
+		t.Fatalf("stats after %d failures = %+v, want disk degraded", diskFailLimit, st)
+	}
+	// Memory tier is unaffected by the sick disk.
+	if _, ok := c.Get(keyAt(0)); !ok {
+		t.Fatal("memory tier lost an entry to a disk failure")
+	}
+
+	// While bypassed, stores skip the disk entirely: no new CreateTemp
+	// until the probe, and Put reports success (the memory tier took it).
+	before := ff.CountOf(fsx.OpCreateTemp)
+	for i := 0; i < diskProbeEvery-1; i++ {
+		if err := c.Put(keyAt(100+i), []byte(`{"ok":true}`)); err != nil {
+			t.Fatalf("bypassed put %d returned %v", i, err)
+		}
+	}
+	if got := ff.CountOf(fsx.OpCreateTemp); got != before {
+		t.Fatalf("bypassed stores touched the disk: %d CreateTemps, want %d", got, before)
+	}
+
+	// Disk recovers; the next probe (the diskProbeEvery-th skipped store)
+	// lands, and the tier is re-enabled.
+	ff.SetRules()
+	probeKey := mustKey(t, consensusSpec(consensus.CAS(3), 2))
+	if err := c.Put(probeKey, []byte(`{"probe":true}`)); err != nil {
+		t.Fatalf("probe put failed: %v", err)
+	}
+	if st := c.Stats(); st.DiskDegraded {
+		t.Fatalf("probe success did not re-enable the disk tier: %+v", st)
+	}
+	// The probe's entry really reached the disk.
+	fresh, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := fresh.Get(probeKey); !ok || !bytes.Equal(got, []byte(`{"probe":true}`)) {
+		t.Fatalf("probe entry not durably stored: %q, %v", got, ok)
+	}
+}
+
+// Every op class on the cache's write and read paths absorbs a single
+// transient fault: the round trip stays intact, no error incident is
+// recorded, and the retry counter shows the policy did the work.
+func TestCacheEveryOpClassTransientFaultAbsorbed(t *testing.T) {
+	report := []byte(`{"ok":true}`)
+	for _, op := range []fsx.Op{
+		fsx.OpCreateTemp, fsx.OpWrite, fsx.OpSync, fsx.OpClose,
+		fsx.OpRename, fsx.OpSyncDir, fsx.OpReadFile,
+	} {
+		t.Run(string(op), func(t *testing.T) {
+			dir := t.TempDir()
+			key := mustKey(t, consensusSpec(consensus.CAS(3), 2))
+			ff := fsx.NewFaultFS(nil, 1, fsx.Rule{Op: op, Nth: 1, Count: 1, Err: syscall.EIO})
+			c, err := Open(Options{Dir: dir, FS: ff})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := c.Put(key, report); err != nil {
+				t.Fatalf("put under a transient %s fault: %v", op, err)
+			}
+			// A fresh cache over the same fault FS forces the read path.
+			fresh, err := Open(Options{Dir: dir, FS: ff})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, ok := fresh.Get(key)
+			if !ok || !bytes.Equal(got, report) {
+				t.Fatalf("round trip under a transient %s fault = %q, %v", op, got, ok)
+			}
+			if st := c.Stats(); st.Errors != 0 {
+				t.Fatalf("transient %s fault recorded an error incident: %+v", op, st)
+			}
+			if c.Stats().Retries+fresh.Stats().Retries == 0 {
+				t.Fatalf("transient %s fault absorbed without a retry", op)
+			}
+		})
+	}
+}
+
+// A silent bit flip on the read path must never surface corrupt report
+// bytes: the checksummed envelope either still decodes (flip landed
+// somewhere recoverable and the hit is byte-identical) or the lookup is
+// a miss with the entry quarantined.
+func TestCacheBitFlipNeverServesCorruptBytes(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		dir := t.TempDir()
+		key := mustKey(t, consensusSpec(consensus.CAS(3), 2))
+		report := []byte(`{"kind":"consensus","ok":true,"n":12345}`)
+		clean, err := Open(Options{Dir: dir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := clean.Put(key, report); err != nil {
+			t.Fatal(err)
+		}
+		ff := fsx.NewFaultFS(nil, seed, fsx.Rule{Op: fsx.OpReadFile, Nth: 1, Kind: fsx.FaultBitFlip})
+		c, err := Open(Options{Dir: dir, FS: ff})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, ok := c.Get(key); ok && !bytes.Equal(got, report) {
+			t.Fatalf("seed %d: bit-flipped entry served corrupt bytes: %q", seed, got)
+		}
+	}
+}

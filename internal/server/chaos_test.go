@@ -1,0 +1,113 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"syscall"
+	"testing"
+
+	"waitfree/internal/fsx"
+)
+
+// postForError submits body and returns the HTTP status plus the wire
+// error code (empty on success).
+func postForError(t *testing.T, ts *httptest.Server, body string) (int, string) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusAccepted {
+		return resp.StatusCode, ""
+	}
+	var out struct {
+		Error *WireError `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil || out.Error == nil {
+		t.Fatalf("error response did not decode: %v", err)
+	}
+	return resp.StatusCode, out.Error.Code
+}
+
+func healthz(t *testing.T, ts *httptest.Server) map[string]any {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d, want 200 (liveness is not a verdict)", resp.StatusCode)
+	}
+	body := map[string]any{}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+// TestServerStorageDegradationChaos boots the daemon over a disk that
+// cannot persist anything and pins the degradation contract: submission
+// is refused with 503/storage_degraded instead of accepting jobs a crash
+// would lose, /v1/healthz reports "degraded" with the store's counters,
+// every other endpoint keeps serving — and the moment the disk recovers,
+// admission resumes and health returns to "ok".
+func TestServerStorageDegradationChaos(t *testing.T) {
+	// ENOSPC is permanent: every save fails on its first attempt.
+	ff := fsx.NewFaultFS(nil, 1,
+		fsx.Rule{Op: fsx.OpCreateTemp, Nth: 1, Count: -1, Err: syscall.ENOSPC})
+	_, ts := newTestServer(t, Options{Workers: 1, DataDir: t.TempDir(), FS: ff})
+	body := `{"api":"v1","kind":"consensus","protocol":"cas"}`
+
+	for i := 0; i < storeFailLimit; i++ {
+		status, code := postForError(t, ts, body)
+		if status != http.StatusServiceUnavailable || code != CodeStorageDegraded {
+			t.Fatalf("submit %d on a dead disk: status %d code %q, want 503 %s",
+				i, status, code, CodeStorageDegraded)
+		}
+	}
+
+	h := healthz(t, ts)
+	if h["status"] != "degraded" {
+		t.Fatalf("healthz = %v, want status degraded", h)
+	}
+	storage, ok := h["storage"].(map[string]any)
+	if !ok {
+		t.Fatalf("healthz carries no storage block: %v", h)
+	}
+	if storage["degraded"] != true {
+		t.Errorf("storage block not degraded: %v", storage)
+	}
+	if f, _ := storage["failures"].(float64); f < storeFailLimit {
+		t.Errorf("storage failures = %v, want >= %d", storage["failures"], storeFailLimit)
+	}
+
+	// A refused admission left nothing behind: the daemon is responsive
+	// and the job table is empty.
+	resp, err := http.Get(ts.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list struct {
+		Jobs []*JobView `json:"jobs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(list.Jobs) != 0 {
+		t.Fatalf("refused submissions leaked into the job table: %+v", list.Jobs)
+	}
+
+	// The disk recovers: the next submission persists and is accepted,
+	// and health goes back to ok.
+	ff.SetRules()
+	v := submitJob(t, ts, body)
+	waitJob(t, ts, v.ID, 30e9, terminal)
+	if h := healthz(t, ts); h["status"] != "ok" {
+		t.Fatalf("healthz after recovery = %v, want status ok", h)
+	}
+}

@@ -6,7 +6,6 @@ import (
 	"fmt"
 	"io"
 	"net/http"
-	"os"
 	"time"
 
 	"waitfree"
@@ -57,7 +56,7 @@ func httpStatus(code string) int {
 		return http.StatusNotFound
 	case CodeConflict:
 		return http.StatusConflict
-	case CodeDraining, CodeQueueFull:
+	case CodeDraining, CodeQueueFull, CodeStorageDegraded:
 		return http.StatusServiceUnavailable
 	default:
 		return http.StatusInternalServerError
@@ -176,12 +175,32 @@ func writeSSE(w io.Writer, ev Event) {
 	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, ev.Data)
 }
 
+// handleHealthz reports liveness plus the storage degradation ladder: a
+// daemon on a failing disk answers "degraded" (with the store's health
+// counters and the cache's stats attached) instead of wedging or lying
+// "ok". The HTTP status stays 200 — the process is alive and serving —
+// and the body says how much to trust it.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	status := "ok"
+	body := map[string]any{"api": APIVersion}
+	if sh := s.store.healthView(); sh != nil {
+		body["storage"] = sh
+		if sh.Degraded {
+			status = "degraded"
+		}
+	}
+	if s.opts.Cache != nil {
+		cs := s.opts.Cache.Stats()
+		body["cache"] = &cs
+		if cs.DiskDegraded {
+			status = "degraded"
+		}
+	}
 	if s.draining.Load() {
 		status = "draining"
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": status, "api": APIVersion})
+	body["status"] = status
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -195,11 +214,4 @@ func (s *Server) handleProtocols(w http.ResponseWriter, r *http.Request) {
 		"protocols": waitfree.Protocols(),
 		"objects":   waitfree.ObjectSets(),
 	})
-}
-
-func removePath(path string) error {
-	if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
-		return err
-	}
-	return nil
 }

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"waitfree"
+	"waitfree/internal/fsx"
 	"waitfree/internal/rescache"
 )
 
@@ -44,6 +45,11 @@ type Options struct {
 	// are silently clamped, not rejected, so a fleet-wide policy change
 	// does not break existing clients.
 	MaxTimeout time.Duration
+	// FS is the filesystem the durable job store performs its I/O through
+	// (nil = the real one). The chaos smoke test passes an *fsx.FaultFS
+	// (via WAITFREED_FAULT_FS) to prove the daemon degrades instead of
+	// wedging on a failing disk.
+	FS fsx.FS
 	// Logf receives operational log lines (0 = discard).
 	Logf func(format string, args ...any)
 }
@@ -93,7 +99,7 @@ func New(opts Options) (*Server, error) {
 	if opts.Logf == nil {
 		opts.Logf = func(string, ...any) {}
 	}
-	st, err := newStore(opts.DataDir)
+	st, err := newStore(opts.DataDir, opts.FS)
 	if err != nil {
 		return nil, err
 	}
@@ -426,7 +432,15 @@ func (s *Server) submit(raw []byte) (*Job, error) {
 		hub:     newHub(),
 	}
 	if err := s.store.save(s.persistCtx, j); err != nil {
-		return nil, err
+		// Persist-before-enqueue is the durability contract: a job the
+		// store cannot write is refused (503, storage_degraded) rather than
+		// accepted into memory where a crash would lose it. The daemon
+		// itself stays healthy — reads, cancels, and streams keep working.
+		s.opts.Logf("%v", err)
+		return nil, &WireError{
+			Code:    CodeStorageDegraded,
+			Message: "durable job store cannot persist the job; retry later",
+		}
 	}
 	// Enqueue and register under one lock hold, and only register after
 	// the send succeeds: a rejected job never appears in the table, so
@@ -453,7 +467,7 @@ func (s *Server) submit(raw []byte) (*Job, error) {
 	return j, nil
 }
 
-func removeJobFile(st *store, id string) error { return removePath(st.path(id)) }
+func removeJobFile(st *store, id string) error { return st.remove(id) }
 
 // job looks a job up by id.
 func (s *Server) job(id string) (*Job, bool) {
@@ -503,6 +517,9 @@ type StatsView struct {
 	// Cache is the result cache's cumulative counters (nil without a
 	// cache).
 	Cache *rescache.Stats `json:"cache,omitempty"`
+	// Storage is the durable job store's health counters (nil without a
+	// DataDir).
+	Storage *StorageHealth `json:"storage,omitempty"`
 	// Draining reports a shutdown in progress.
 	Draining bool  `json:"draining,omitempty"`
 	UptimeMS int64 `json:"uptime_ms"`
@@ -536,6 +553,7 @@ func (s *Server) statsView() *StatsView {
 		st := s.opts.Cache.Stats()
 		v.Cache = &st
 	}
+	v.Storage = s.store.healthView()
 	return v
 }
 

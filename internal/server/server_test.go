@@ -362,13 +362,13 @@ func TestPoolSaturationAndDrain(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var hz map[string]string
+	var hz map[string]any
 	if err := json.NewDecoder(resp.Body).Decode(&hz); err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
 	if hz["status"] != "draining" {
-		t.Errorf("healthz status %q, want draining", hz["status"])
+		t.Errorf("healthz status %v, want draining", hz["status"])
 	}
 	// The running job went back to queued (cancelled by drain, not lost).
 	if got := getJob(t, ts, running.ID); got.State != JobQueued {
@@ -666,7 +666,7 @@ func TestCrashRecoveryJobFileTruncationSweep(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	src, err := newStore(t.TempDir())
+	src, err := newStore(t.TempDir(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}

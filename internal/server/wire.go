@@ -128,6 +128,11 @@ const (
 	CodeQueueFull = "queue_full"
 	// CodeConflict: the operation does not apply to the job's state.
 	CodeConflict = "conflict"
+	// CodeStorageDegraded: the durable job store cannot persist the job
+	// (disk failure survived the retry policy); the daemon stays up and
+	// keeps serving reads, but admission is refused rather than accepting
+	// a job a crash could lose.
+	CodeStorageDegraded = "storage_degraded"
 )
 
 func badRequest(format string, args ...any) error {

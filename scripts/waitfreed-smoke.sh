@@ -125,4 +125,41 @@ fi
 kill -TERM "$pid"
 wait "$pid" || { echo "waitfreed-smoke: FAIL — daemon exited nonzero on SIGTERM" >&2; exit 1; }
 pid=""
-echo "waitfreed-smoke: OK — resumed report is identical to the fresh run"
+
+# Round three: the storage chaos leg. Boot over a job store whose every
+# write fails (the scripted fault filesystem turns each CreateTemp into
+# ENOSPC) and assert the daemon walks the degradation ladder instead of
+# wedging or lying: submission is refused 503/storage_degraded, the
+# health endpoint answers "degraded" with the store's counters attached,
+# reads keep serving, and SIGTERM still drains clean.
+echo "waitfreed-smoke: chaos — boot over a dead disk"
+WAITFREED_FAULT_FS='createtemp:*:enospc' \
+	"$work/waitfreed" -listen "$addr" -data "$work/chaos-jobs" 2>> "$work/daemon.log" &
+pid=$!
+for _ in $(seq 1 100); do
+	curl -fsS "$base/healthz" > /dev/null 2>&1 && break
+	kill -0 "$pid" 2>/dev/null || { echo "waitfreed-smoke: chaos daemon died on start" >&2; cat "$work/daemon.log" >&2; exit 1; }
+	sleep 0.1
+done
+
+echo "waitfreed-smoke: chaos — submissions must be refused, not wedged"
+for _ in 1 2 3; do
+	code="$(curl -sS -o "$work/chaos-submit.json" -w '%{http_code}' -X POST "$base/jobs" -d "$job")"
+	if [ "$code" != 503 ] || [ "$(jq -r .error.code "$work/chaos-submit.json")" != storage_degraded ]; then
+		echo "waitfreed-smoke: FAIL — submit on a dead disk returned $code $(cat "$work/chaos-submit.json")" >&2
+		exit 1
+	fi
+done
+health="$(curl -fsS "$base/healthz")"
+if [ "$(jq -r .status <<< "$health")" != degraded ] || [ "$(jq -r .storage.degraded <<< "$health")" != true ]; then
+	echo "waitfreed-smoke: FAIL — healthz does not report the sick disk: $health" >&2
+	exit 1
+fi
+if [ "$(jq -r '.jobs | length' <<< "$(curl -fsS "$base/jobs")")" != 0 ]; then
+	echo "waitfreed-smoke: FAIL — refused submissions leaked into the job table" >&2
+	exit 1
+fi
+kill -TERM "$pid"
+wait "$pid" || { echo "waitfreed-smoke: FAIL — degraded daemon exited nonzero on SIGTERM" >&2; exit 1; }
+pid=""
+echo "waitfreed-smoke: OK — resumed reports identical, degraded daemon refused instead of wedging"
